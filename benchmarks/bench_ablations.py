@@ -1,0 +1,138 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Each ablation runs GDR end-to-end at a fixed feedback budget and
+compares final quality when one ingredient is changed:
+
+* committee size ``k`` (the paper fixes k = 10);
+* grouping + VOI vs plain active learning (the §5.2 over-fitting
+  argument);
+* the ``d_i = E(1 − g/g_max)`` effort quota vs verifying whole groups;
+* the score prior ``p̃ = s`` vs an uninformative uniform prior in Eq. 6;
+* oracle noise (imperfect expert), an extension beyond the paper.
+"""
+
+from __future__ import annotations
+
+from conftest import publish
+
+from repro.core import GDRConfig, GDREngine, GroundTruthOracle, NoisyOracle
+from repro.experiments import Series, initial_dirty_count, render_table
+
+
+def _run_once(dataset, config: GDRConfig, budget: int, oracle=None) -> float:
+    db = dataset.fresh_dirty()
+    if oracle is None:
+        oracle = GroundTruthOracle(dataset.clean)
+    engine = GDREngine(db, dataset.rules, oracle, config=config, clean_db=dataset.clean)
+    return engine.run(feedback_limit=budget).improvement
+
+
+def test_ablation_committee_size(benchmark, hospital_bench_dataset):
+    """Final improvement as the committee size k varies."""
+    ds = hospital_bench_dataset
+    budget = initial_dirty_count(ds) // 2
+
+    def sweep():
+        return {
+            k: _run_once(ds, GDRConfig.gdr(n_estimators=k, seed=0), budget)
+            for k in (1, 5, 10, 20)
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    series = Series("improvement", [(float(k), v) for k, v in sorted(results.items())])
+    table = render_table(
+        f"Ablation: committee size k (budget {budget} labels, {ds.name})",
+        "k",
+        [series],
+        [float(k) for k in sorted(results)],
+    )
+    publish(benchmark, "ablation_committee_size", table, results=results)
+    assert all(v > 0 for v in results.values())
+
+
+def test_ablation_grouping(benchmark, hospital_bench_dataset):
+    """Grouping + VOI vs plain active learning at the same budget."""
+    ds = hospital_bench_dataset
+    budget = initial_dirty_count(ds) // 2
+
+    def sweep():
+        return {
+            "GDR (grouping + VOI)": _run_once(ds, GDRConfig.gdr(seed=0), budget),
+            "Active-Learning (no grouping)": _run_once(
+                ds, GDRConfig.active_learning(seed=0), budget
+            ),
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [f"Ablation: grouping (budget {budget} labels, {ds.name})"]
+    lines += [f"  {k:<32} {v:6.1f}%" for k, v in results.items()]
+    publish(benchmark, "ablation_grouping", "\n".join(lines), results=results)
+    assert results["GDR (grouping + VOI)"] > results["Active-Learning (no grouping)"]
+
+
+def test_ablation_effort_quota(benchmark, hospital_bench_dataset):
+    """The paper's benefit-scaled quota vs verifying whole groups."""
+    ds = hospital_bench_dataset
+    budget = initial_dirty_count(ds) // 2
+
+    def sweep():
+        return {
+            "benefit quota d_i": _run_once(
+                ds, GDRConfig.gdr(use_benefit_quota=True, seed=0), budget
+            ),
+            "whole-group quota": _run_once(
+                ds, GDRConfig.gdr(use_benefit_quota=False, seed=0), budget
+            ),
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [f"Ablation: effort quota (budget {budget} labels, {ds.name})"]
+    lines += [f"  {k:<22} {v:6.1f}%" for k, v in results.items()]
+    publish(benchmark, "ablation_effort_quota", "\n".join(lines), results=results)
+    assert all(v > 0 for v in results.values())
+
+
+def test_ablation_voi_prior(benchmark, hospital_bench_dataset):
+    """Eq. 6 with the repair-score prior vs a uniform prior."""
+    ds = hospital_bench_dataset
+    budget = initial_dirty_count(ds) // 2
+
+    def sweep():
+        return {
+            "score prior (p=s)": _run_once(
+                ds, GDRConfig.gdr(voi_prior="score", seed=0), budget
+            ),
+            "uniform prior (p=0.5)": _run_once(
+                ds, GDRConfig.gdr(voi_prior="uniform", seed=0), budget
+            ),
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [f"Ablation: VOI prior (budget {budget} labels, {ds.name})"]
+    lines += [f"  {k:<24} {v:6.1f}%" for k, v in results.items()]
+    publish(benchmark, "ablation_voi_prior", "\n".join(lines), results=results)
+
+
+def test_ablation_oracle_noise(benchmark, hospital_bench_dataset):
+    """Robustness to an imperfect expert (extension experiment)."""
+    ds = hospital_bench_dataset
+    budget = initial_dirty_count(ds) // 2
+
+    def sweep():
+        results = {}
+        for rate in (0.0, 0.1, 0.2):
+            oracle = NoisyOracle(GroundTruthOracle(ds.clean), error_rate=rate, seed=1)
+            results[rate] = _run_once(ds, GDRConfig.gdr(seed=0), budget, oracle=oracle)
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    series = Series("improvement", [(100 * r, v) for r, v in sorted(results.items())])
+    table = render_table(
+        f"Ablation: oracle noise (budget {budget} labels, {ds.name})",
+        "noise %",
+        [series],
+        [0.0, 10.0, 20.0],
+    )
+    publish(benchmark, "ablation_oracle_noise", table, results=results)
+    # a perfect oracle should not lose to a very noisy one
+    assert results[0.0] >= results[0.2] - 5.0

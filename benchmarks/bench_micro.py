@@ -1,0 +1,149 @@
+"""Micro-benchmarks of the substrates backing every experiment.
+
+These time the hot paths: violation detection (full build, incremental
+maintenance, what-if queries), candidate generation, Eq. 7 similarity,
+forest training/prediction and CFD mining.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constraints import ViolationDetector, mine_constant_cfds
+from repro.ml import RandomForestClassifier
+from repro.repair import RepairState, UpdateGenerator, levenshtein
+from repro.repair.similarity import _cached_similarity
+
+
+def test_detector_build(benchmark, hospital_bench_dataset):
+    """Full violation-statistics build over the dirty instance."""
+    ds = hospital_bench_dataset
+
+    def build():
+        detector = ViolationDetector(ds.dirty, ds.rules)
+        detector.detach()
+        return detector.vio_total()
+
+    total = benchmark(build)
+    assert total > 0
+
+
+def test_detector_incremental_updates(benchmark, hospital_bench_dataset):
+    """Incremental maintenance under a burst of cell writes."""
+    ds = hospital_bench_dataset
+    db = ds.fresh_dirty()
+    detector = ViolationDetector(db, ds.rules)
+    tids = db.tids()[:50]
+    values = [db.value(t, "zip") for t in tids]
+
+    def churn():
+        for tid in tids:
+            db.set_value(tid, "zip", "00000")
+        for tid, old in zip(tids, values):
+            db.set_value(tid, "zip", old)
+        return detector.vio_total()
+
+    benchmark(churn)
+    assert detector.verify()
+
+
+def test_detector_what_if(benchmark, hospital_bench_dataset):
+    """Eq. 6 what-if queries (the VOI ranking hot path)."""
+    ds = hospital_bench_dataset
+    db = ds.fresh_dirty()
+    detector = ViolationDetector(db, ds.rules)
+    dirty = sorted(detector.dirty_tuples())[:100]
+
+    def probe():
+        total = 0
+        for tid in dirty:
+            outcomes = detector.what_if(tid, "zip", "46360")
+            total += sum(o.vio_reduction for o in outcomes.values())
+        return total
+
+    benchmark(probe)
+    assert detector.verify()
+
+
+def test_generator_initial_pass(benchmark, hospital_bench_dataset):
+    """Algorithm 1 over every dirty tuple."""
+    ds = hospital_bench_dataset
+
+    def generate():
+        db = ds.fresh_dirty()
+        detector = ViolationDetector(db, ds.rules)
+        state = RepairState()
+        generator = UpdateGenerator(db, ds.rules, detector, state)
+        produced = generator.generate_all()
+        generator.detach()
+        detector.detach()
+        return len(produced)
+
+    produced = benchmark(generate)
+    assert produced > 0
+
+
+def test_levenshtein_speed(benchmark):
+    """Raw edit-distance throughput on address-like strings."""
+    pairs = [
+        ("Michigan City", "Michigan Cty"),
+        ("Fort Wayne", "FT Wayne"),
+        ("46360", "46391"),
+        ("Sherden RD", "SherdenRD"),
+    ] * 25
+
+    def run():
+        return sum(levenshtein(a, b) for a, b in pairs)
+
+    total = benchmark(run)
+    assert total > 0
+
+
+def test_similarity_cache(benchmark):
+    """Cached Eq. 7 lookups (the effective cost inside the loops)."""
+    _cached_similarity.cache_clear()
+    pairs = [(f"value{i}", f"value{i + 1}") for i in range(64)]
+
+    def run():
+        return sum(_cached_similarity(a, b) for a, b in pairs for __ in range(10))
+
+    benchmark(run)
+
+
+def test_forest_fit(benchmark):
+    """Committee training at feedback-learner scale (200 x 13)."""
+    rng = np.random.default_rng(0)
+    X = rng.integers(0, 20, size=(200, 13)).astype(float)
+    y = (X[:, 0] + X[:, 5] > 18).astype(np.int64)
+
+    def fit():
+        forest = RandomForestClassifier(n_estimators=10, max_depth=12, random_state=0)
+        forest.fit(X, y)
+        return forest
+
+    forest = benchmark(fit)
+    assert float(np.mean(forest.predict(X) == y)) > 0.8
+
+
+def test_forest_predict(benchmark):
+    """Committee prediction throughput."""
+    rng = np.random.default_rng(0)
+    X = rng.integers(0, 20, size=(400, 13)).astype(float)
+    y = (X[:, 0] > 10).astype(np.int64)
+    forest = RandomForestClassifier(n_estimators=10, random_state=0).fit(X, y)
+
+    def predict():
+        return forest.vote_fractions(X).sum()
+
+    benchmark(predict)
+
+
+def test_cfd_mining(benchmark, adult_bench_dataset):
+    """Constant-CFD discovery at the paper's 5% support threshold."""
+    ds = adult_bench_dataset
+
+    def mine():
+        return mine_constant_cfds(ds.dirty, support=0.05, confidence=0.92, max_lhs=1)
+
+    rules = benchmark(mine)
+    assert len(rules) > 0

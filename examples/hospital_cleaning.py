@@ -1,0 +1,88 @@
+"""Dataset 1 walkthrough: guided repair of emergency-room visit records.
+
+Generates the hospital dataset (the paper's Dataset 1 analogue, with
+source-correlated recurrent errors), then compares three ways to clean
+it:
+
+1. the fully automatic heuristic (no user),
+2. GDR with a limited feedback budget (20% of the dirty tuples),
+3. GDR with an unlimited budget.
+
+Prints quality improvement, precision/recall and effort for each.
+
+Run::
+
+    python examples/hospital_cleaning.py [--n 1000] [--seed 0]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import GDRConfig, GDREngine, GroundTruthOracle, batch_repair, evaluate_repair
+from repro.core.quality import QualityEvaluator, quality_improvement
+from repro.datasets import load_dataset
+from repro.experiments import initial_dirty_count
+
+
+def run_heuristic(dataset) -> None:
+    db = dataset.fresh_dirty()
+    evaluator = QualityEvaluator(dataset.clean, dataset.rules)
+    initial_loss = evaluator.loss_of(db)
+    result = batch_repair(db, dataset.rules)
+    final_loss = evaluator.loss_of(db)
+    report = evaluate_repair(dataset.dirty, db, dataset.clean)
+    print("\nAutomatic heuristic (no user)")
+    print(f"  passes={result.passes} cells changed={len(result.changed_cells)}")
+    print(f"  improvement: {quality_improvement(initial_loss, final_loss):.1f}%")
+    print(f"  {report.describe()}")
+
+
+def run_gdr(dataset, budget: int | None, label: str, seed: int) -> None:
+    db = dataset.fresh_dirty()
+    engine = GDREngine(
+        db,
+        dataset.rules,
+        GroundTruthOracle(dataset.clean),
+        config=GDRConfig.gdr(seed=seed),
+        clean_db=dataset.clean,
+    )
+    result = engine.run(feedback_limit=budget)
+    print(f"\n{label}")
+    print(f"  feedback={result.feedback_used} learner decisions={result.learner_decisions}")
+    print(f"  improvement: {result.improvement:.1f}%")
+    print(f"  {result.report.describe()}")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=1000)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    dataset = load_dataset("hospital", n=args.n, seed=args.seed)
+    base = initial_dirty_count(dataset)
+    print(f"Dataset: {dataset.describe()}")
+    print(f"Tuples flagged dirty by the rules (incl. partners): {base}")
+
+    # show a recurrent source mistake, the correlation the learner exploits
+    examples = [
+        (tid, attr)
+        for tid, attr in dataset.corruption.corrupted_cells
+        if attr == "city"
+    ][:3]
+    for tid, attr in examples:
+        row = dataset.dirty.row(tid)
+        truth = dataset.clean.value(tid, attr)
+        print(
+            f"  e.g. tuple {tid} from {row['hospital']}: city={row[attr]!r} "
+            f"(truth: {truth!r})"
+        )
+
+    run_heuristic(dataset)
+    run_gdr(dataset, budget=max(1, base // 5), label="GDR with 20% effort", seed=args.seed)
+    run_gdr(dataset, budget=None, label="GDR with unlimited effort", seed=args.seed)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Robustness study: what if the domain expert is sometimes wrong?
+
+The paper assumes a perfect oracle. This example wraps the ground-truth
+oracle in :class:`repro.NoisyOracle` and measures how repair quality
+degrades as the expert's error rate grows — an extension experiment
+enabled by the framework's pluggable user model.
+
+Also shows how to plug in a custom similarity function (token Jaccard
+instead of edit distance) for the update evaluation of Eq. 7.
+
+Run::
+
+    python examples/noisy_expert.py [--n 600] [--seed 0]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import GDRConfig, GDREngine, GroundTruthOracle, NoisyOracle
+from repro.datasets import load_dataset
+from repro.repair import UpdateGenerator, token_jaccard
+
+
+def run_with_noise(dataset, error_rate: float, seed: int):
+    oracle = NoisyOracle(
+        GroundTruthOracle(dataset.clean), error_rate=error_rate, seed=seed
+    )
+    engine = GDREngine(
+        dataset.fresh_dirty(),
+        dataset.rules,
+        oracle,
+        config=GDRConfig.gdr(seed=seed),
+        clean_db=dataset.clean,
+    )
+    result = engine.run(feedback_limit=engine.initial_dirty)
+    return result, oracle
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=600)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    dataset = load_dataset("hospital", n=args.n, seed=args.seed)
+    print(f"Dataset: {dataset.describe()}\n")
+    print(f"{'noise':>6} | {'improvement':>11} | {'precision':>9} | {'recall':>7} | corrupted answers")
+    print("-" * 64)
+    for rate in (0.0, 0.05, 0.1, 0.2):
+        result, oracle = run_with_noise(dataset, rate, args.seed)
+        print(
+            f"{rate:6.2f} | {result.improvement:10.1f}% | "
+            f"{result.report.precision:9.3f} | {result.report.recall:7.3f} | {oracle.corrupted}"
+        )
+
+    # custom similarity: token Jaccard for multi-word address fields
+    db = dataset.fresh_dirty()
+    from repro.constraints import ViolationDetector
+    from repro.repair import RepairState
+
+    detector = ViolationDetector(db, dataset.rules)
+    generator = UpdateGenerator(
+        db, dataset.rules, detector, RepairState(), sim=token_jaccard
+    )
+    produced = generator.generate_all()
+    print(f"\nWith token-Jaccard similarity, {len(produced)} updates are suggested;")
+    scored = sorted(produced, key=lambda u: -u.score)[:3]
+    for update in scored:
+        print(f"  {update.describe()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+"""repro — a reproduction of *Guided Data Repair* (Yakout et al., VLDB 2011).
+
+GDR combines constraint-based automatic repair (CFD violation
+resolution) with selective user feedback: candidate updates are grouped,
+groups are ranked by a decision-theoretic value-of-information estimate,
+and an actively-trained per-attribute random-forest committee gradually
+takes the labelling burden off the user.
+
+Quickstart
+----------
+>>> from repro import (Database, Schema, RuleSet, parse_rules,
+...                    GDREngine, GroundTruthOracle)
+>>> schema = Schema("customer", ["zip", "city"])
+>>> dirty = Database(schema, [["46360", "Westville"], ["46360", "Michigan City"]])
+>>> clean = Database(schema, [["46360", "Michigan City"], ["46360", "Michigan City"]])
+>>> rules = RuleSet(parse_rules("(zip -> city, {46360 || 'Michigan City'})"))
+>>> engine = GDREngine(dirty, rules, GroundTruthOracle(clean), clean_db=clean)
+>>> result = engine.run()
+>>> result.remaining_dirty
+0
+"""
+
+from repro.constraints import (
+    ANY,
+    CFD,
+    PatternTuple,
+    RuleSet,
+    ViolationDetector,
+    discover_rules,
+    format_cfd,
+    mine_constant_cfds,
+    parse_cfd,
+    parse_rules,
+)
+from repro.core import (
+    GDRConfig,
+    GDREngine,
+    GDRResult,
+    GroundTruthOracle,
+    NoisyOracle,
+    QualityEvaluator,
+    RepairReport,
+    evaluate_repair,
+    quality_improvement,
+)
+from repro.db import ChangeLog, Database, Row, Schema
+from repro.errors import ReproError
+from repro.repair import (
+    CandidateUpdate,
+    Feedback,
+    UserFeedback,
+    batch_repair,
+    levenshtein,
+    similarity,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ANY",
+    "CFD",
+    "CandidateUpdate",
+    "ChangeLog",
+    "Database",
+    "Feedback",
+    "GDRConfig",
+    "GDREngine",
+    "GDRResult",
+    "GroundTruthOracle",
+    "NoisyOracle",
+    "PatternTuple",
+    "QualityEvaluator",
+    "RepairReport",
+    "ReproError",
+    "Row",
+    "RuleSet",
+    "Schema",
+    "UserFeedback",
+    "ViolationDetector",
+    "batch_repair",
+    "discover_rules",
+    "evaluate_repair",
+    "format_cfd",
+    "levenshtein",
+    "mine_constant_cfds",
+    "parse_cfd",
+    "parse_rules",
+    "quality_improvement",
+    "similarity",
+    "__version__",
+]

@@ -1,0 +1,174 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``check``     detect violations in a CSV against a rule file
+``clean``     repair a CSV automatically (batch heuristic)
+``guided``    repair a CSV interactively (terminal prompts)
+``discover``  mine CFDs from a CSV and write a rule file
+``explain``   print violation explanations for specific tuples
+
+Example session::
+
+    python -m repro discover dirty.csv --output rules.txt --support 0.05
+    python -m repro check dirty.csv rules.txt
+    python -m repro clean dirty.csv rules.txt --output repaired.csv
+    python -m repro guided dirty.csv rules.txt --output repaired.csv
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.constraints import (
+    RuleSet,
+    ViolationDetector,
+    discover_rules,
+    format_cfd,
+)
+from repro.constraints.explain import explain_tuple
+from repro.constraints.parser import load_rules, save_rules
+from repro.core import CallbackOracle, GDRConfig, GDREngine
+from repro.db.io import load_csv, save_csv
+from repro.repair import UserFeedback, batch_repair
+
+__all__ = ["main"]
+
+
+def _load(csv_path: str, rules_path: str):
+    db = load_csv(csv_path)
+    rules = RuleSet(load_rules(rules_path), schema=db.schema)
+    return db, rules
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    db, rules = _load(args.csv, args.rules)
+    detector = ViolationDetector(db, rules)
+    dirty = sorted(detector.dirty_tuples())
+    print(f"{len(db)} tuples, {len(rules)} rules, {len(dirty)} dirty tuples, "
+          f"vio(D, Sigma) = {detector.vio_total()}")
+    for tid in dirty[: args.limit]:
+        print(explain_tuple(detector, tid).describe())
+    if len(dirty) > args.limit:
+        print(f"... and {len(dirty) - args.limit} more (raise --limit to see them)")
+    return 0 if not dirty else 1
+
+
+def _cmd_clean(args: argparse.Namespace) -> int:
+    db, rules = _load(args.csv, args.rules)
+    result = batch_repair(db, rules)
+    print(
+        f"heuristic repair: {len(result.changed_cells)} cells changed in "
+        f"{result.passes} passes; {result.remaining_violations} violations remain"
+    )
+    save_csv(db, args.output)
+    print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_guided(args: argparse.Namespace) -> int:
+    db, rules = _load(args.csv, args.rules)
+
+    def prompt(update, current):
+        row = db.row(update.tid)
+        print(f"\ntuple t{update.tid}: {row.as_dict()}")
+        print(f"suggestion: {update.attribute} = {update.value!r} "
+              f"(currently {current!r}, score {update.score:.2f})")
+        while True:
+            answer = input("[c]onfirm / [r]eject / [k]eep current / value: ").strip()
+            if answer in ("c", "confirm"):
+                return UserFeedback.confirm()
+            if answer in ("r", "reject"):
+                return UserFeedback.reject()
+            if answer in ("k", "keep", "retain"):
+                return UserFeedback.retain()
+            if answer:
+                return UserFeedback.reject(correction=answer)
+
+    engine = GDREngine(db, rules, CallbackOracle(prompt), config=GDRConfig.gdr())
+    result = engine.run(feedback_limit=args.budget)
+    print(
+        f"\ndone: {result.feedback_used} answers, "
+        f"{result.learner_decisions} learner decisions, "
+        f"{result.remaining_dirty} tuples still dirty"
+    )
+    save_csv(db, args.output)
+    print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_discover(args: argparse.Namespace) -> int:
+    db = load_csv(args.csv)
+    rules = discover_rules(
+        db,
+        support=args.support,
+        confidence=args.confidence,
+        max_lhs=args.max_lhs,
+    )
+    for rule in rules:
+        print(format_cfd(rule))
+    if args.output:
+        save_rules(rules, args.output)
+        print(f"wrote {len(rules)} rules to {args.output}")
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    db, rules = _load(args.csv, args.rules)
+    detector = ViolationDetector(db, rules)
+    for tid in args.tids:
+        print(explain_tuple(detector, tid).describe())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    check = commands.add_parser("check", help="detect violations")
+    check.add_argument("csv")
+    check.add_argument("rules")
+    check.add_argument("--limit", type=int, default=10, help="explanations to print")
+    check.set_defaults(fn=_cmd_check)
+
+    clean = commands.add_parser("clean", help="automatic heuristic repair")
+    clean.add_argument("csv")
+    clean.add_argument("rules")
+    clean.add_argument("--output", required=True)
+    clean.set_defaults(fn=_cmd_clean)
+
+    guided = commands.add_parser("guided", help="interactive guided repair")
+    guided.add_argument("csv")
+    guided.add_argument("rules")
+    guided.add_argument("--output", required=True)
+    guided.add_argument("--budget", type=int, default=None, help="max answers")
+    guided.set_defaults(fn=_cmd_guided)
+
+    discover = commands.add_parser("discover", help="mine CFDs from data")
+    discover.add_argument("csv")
+    discover.add_argument("--output", default=None)
+    discover.add_argument("--support", type=float, default=0.05)
+    discover.add_argument("--confidence", type=float, default=0.92)
+    discover.add_argument("--max-lhs", type=int, default=1, dest="max_lhs")
+    discover.set_defaults(fn=_cmd_discover)
+
+    explain = commands.add_parser("explain", help="explain specific tuples")
+    explain.add_argument("csv")
+    explain.add_argument("rules")
+    explain.add_argument("tids", type=int, nargs="+")
+    explain.set_defaults(fn=_cmd_explain)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

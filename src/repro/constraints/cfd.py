@@ -1,0 +1,177 @@
+"""Conditional functional dependencies in normal form.
+
+A CFD ``φ : (X -> A, tp)`` couples a functional dependency with a
+pattern tuple over ``X ∪ {A}``. Following the paper (and Cong et al.),
+rules are kept in *normal form*: a single right-hand-side attribute per
+rule; multi-RHS rules are split by :func:`normalize`.
+
+A rule is *constant* when its RHS pattern entry is a constant (a single
+tuple can violate it) and *variable* when the RHS entry is the wildcard
+(violations are witnessed by pairs of tuples, like plain FDs).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.constraints.pattern import ANY, PatternTuple
+from repro.db.schema import Schema
+from repro.errors import RuleError
+
+__all__ = ["CFD", "normalize"]
+
+
+class CFD:
+    """One normal-form conditional functional dependency.
+
+    Parameters
+    ----------
+    lhs:
+        Left-hand-side attribute names (the ``X`` of ``X -> A``).
+    rhs:
+        The single right-hand-side attribute ``A``.
+    pattern:
+        Pattern tuple covering exactly ``X ∪ {A}``; either a
+        :class:`~repro.constraints.pattern.PatternTuple` or a mapping.
+    name:
+        Optional identifier used in reports (``phi1``, ...).
+
+    Examples
+    --------
+    >>> rule = CFD(["zip"], "city", {"zip": "46360", "city": "Michigan City"})
+    >>> rule.is_constant
+    True
+    >>> rule.attributes
+    ('zip', 'city')
+    """
+
+    __slots__ = ("lhs", "rhs", "pattern", "name")
+
+    def __init__(
+        self,
+        lhs: Sequence[str],
+        rhs: str,
+        pattern: PatternTuple | Mapping[str, object],
+        name: str = "",
+    ) -> None:
+        lhs_tuple = tuple(lhs)
+        if not lhs_tuple:
+            raise RuleError("CFD must have at least one LHS attribute")
+        if len(set(lhs_tuple)) != len(lhs_tuple):
+            raise RuleError(f"CFD LHS has duplicate attributes: {lhs_tuple!r}")
+        if rhs in lhs_tuple:
+            raise RuleError(f"CFD RHS attribute {rhs!r} also appears on the LHS")
+        if not isinstance(pattern, PatternTuple):
+            pattern = PatternTuple(pattern)
+        expected = set(lhs_tuple) | {rhs}
+        if set(pattern.attributes) != expected:
+            raise RuleError(
+                f"CFD pattern must cover exactly {sorted(expected)!r}, "
+                f"got {sorted(pattern.attributes)!r}"
+            )
+        self.lhs = lhs_tuple
+        self.rhs = rhs
+        self.pattern = pattern
+        self.name = name
+
+    # ------------------------------------------------------------------
+    @property
+    def is_constant(self) -> bool:
+        """True when the RHS pattern entry is a constant."""
+        return self.pattern.is_constant_on(self.rhs)
+
+    @property
+    def is_variable(self) -> bool:
+        """True when the RHS pattern entry is the wildcard."""
+        return not self.is_constant
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        """All attributes the rule touches: LHS order, then RHS."""
+        return self.lhs + (self.rhs,)
+
+    @property
+    def rhs_constant(self) -> object:
+        """The RHS constant of a constant rule.
+
+        Raises
+        ------
+        RuleError
+            If the rule is a variable CFD.
+        """
+        value = self.pattern.value(self.rhs)
+        if value is ANY:
+            raise RuleError(f"{self!r} is a variable CFD and has no RHS constant")
+        return value
+
+    def lhs_constants(self) -> dict[str, object]:
+        """Constant entries of the LHS pattern (the rule's context)."""
+        return {a: v for a, v in self.pattern.items() if a != self.rhs and v is not ANY}
+
+    # ------------------------------------------------------------------
+    def matches_lhs(self, getter) -> bool:
+        """True when a tuple (via value *getter*) falls in the rule context."""
+        return self.pattern.matches(getter, self.lhs)
+
+    def matches_rhs(self, getter) -> bool:
+        """True when the tuple's RHS value matches the RHS pattern entry."""
+        return self.pattern.matches(getter, (self.rhs,))
+
+    def validate_schema(self, schema: Schema) -> None:
+        """Raise if the rule mentions attributes outside *schema*."""
+        schema.validate_attributes(self.attributes)
+
+    # ------------------------------------------------------------------
+    def _key(self) -> tuple:
+        return (self.lhs, self.rhs, self.pattern)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CFD):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:
+        label = f"{self.name}: " if self.name else ""
+        lhs_pat = ", ".join(_fmt(self.pattern.value(a)) for a in self.lhs)
+        rhs_pat = _fmt(self.pattern.value(self.rhs))
+        return f"CFD({label}{', '.join(self.lhs)} -> {self.rhs}, {{{lhs_pat} || {rhs_pat}}})"
+
+
+def _fmt(value: object) -> str:
+    return "-" if value is ANY else str(value)
+
+
+def normalize(
+    lhs: Sequence[str],
+    rhs_attributes: Sequence[str],
+    pattern: Mapping[str, object],
+    name: str = "",
+) -> list[CFD]:
+    """Split a (possibly multi-RHS) CFD into normal-form rules.
+
+    ``(X -> A1, A2, tp)`` becomes ``(X -> A1, tp|A1)`` and
+    ``(X -> A2, tp|A2)`` as in the paper's Appendix A. Names get a
+    ``.k`` suffix when the split produces more than one rule.
+
+    Examples
+    --------
+    >>> rules = normalize(["zip"], ["city", "state"],
+    ...                   {"zip": "46360", "city": "Michigan City", "state": "IN"},
+    ...                   name="phi1")
+    >>> [r.name for r in rules]
+    ['phi1.1', 'phi1.2']
+    """
+    rhs_tuple = tuple(rhs_attributes)
+    if not rhs_tuple:
+        raise RuleError("CFD must have at least one RHS attribute")
+    rules: list[CFD] = []
+    multi = len(rhs_tuple) > 1
+    for i, rhs in enumerate(rhs_tuple, start=1):
+        entries = {a: pattern[a] for a in lhs}
+        entries[rhs] = pattern[rhs]
+        rule_name = f"{name}.{i}" if (name and multi) else name
+        rules.append(CFD(lhs, rhs, entries, name=rule_name))
+    return rules

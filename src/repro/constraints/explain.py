@@ -1,0 +1,121 @@
+"""Human-readable violation explanations.
+
+A cleaning UI (and the interactive CLI) needs to tell the user *why* a
+tuple is dirty: which rules it violates, with which partner tuples, and
+what the rules expect. :func:`explain_tuple` assembles that from the
+live violation detector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.constraints.cfd import CFD
+from repro.constraints.parser import format_cfd
+from repro.constraints.violations import ViolationDetector
+
+__all__ = ["RuleViolation", "TupleExplanation", "explain_tuple"]
+
+
+@dataclass(frozen=True, slots=True)
+class RuleViolation:
+    """One rule a tuple currently violates.
+
+    Attributes
+    ----------
+    rule:
+        The violated CFD.
+    kind:
+        ``"constant"`` or ``"variable"``.
+    expected:
+        For a constant rule, the value the pattern demands for the RHS;
+        ``None`` for variable rules.
+    actual:
+        The tuple's current RHS value.
+    partners:
+        For a variable rule, the tuples conflicting with this one.
+    """
+
+    rule: CFD
+    kind: str
+    expected: object
+    actual: object
+    partners: tuple[int, ...] = ()
+
+    def describe(self) -> str:
+        """One-line explanation suitable for terminal display."""
+        rule_text = format_cfd(self.rule)
+        if self.kind == "constant":
+            return (
+                f"violates {rule_text}: {self.rule.rhs} is {self.actual!r}, "
+                f"pattern requires {self.expected!r}"
+            )
+        partner_text = ", ".join(f"t{p}" for p in sorted(self.partners)[:5])
+        suffix = "..." if len(self.partners) > 5 else ""
+        return (
+            f"violates {rule_text}: {self.rule.rhs} = {self.actual!r} conflicts "
+            f"with {partner_text}{suffix}"
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class TupleExplanation:
+    """Everything the detector knows about one tuple's dirtiness."""
+
+    tid: int
+    values: dict[str, object]
+    violations: tuple[RuleViolation, ...] = field(default_factory=tuple)
+
+    @property
+    def is_dirty(self) -> bool:
+        """True when at least one rule is violated."""
+        return bool(self.violations)
+
+    def describe(self) -> str:
+        """Multi-line explanation for terminal display."""
+        if not self.violations:
+            return f"t{self.tid}: clean"
+        lines = [f"t{self.tid}: {len(self.violations)} violation(s)"]
+        lines.extend(f"  - {v.describe()}" for v in self.violations)
+        return "\n".join(lines)
+
+
+def explain_tuple(detector: ViolationDetector, tid: int) -> TupleExplanation:
+    """Explain why tuple *tid* is dirty (or report it clean).
+
+    Examples
+    --------
+    >>> from repro.db import Database, Schema
+    >>> from repro.constraints import RuleSet, ViolationDetector, parse_rules
+    >>> db = Database(Schema("r", ["zip", "city"]), [["46360", "Westvile"]])
+    >>> rules = RuleSet(parse_rules("(zip -> city, {46360 || 'Michigan City'})"))
+    >>> explanation = explain_tuple(ViolationDetector(db, rules), 0)
+    >>> explanation.is_dirty
+    True
+    >>> "Michigan City" in explanation.describe()
+    True
+    """
+    row = detector.db.row(tid)
+    violations: list[RuleViolation] = []
+    for rule in detector.violated_rules(tid):
+        actual = row[rule.rhs]
+        if rule.is_constant:
+            violations.append(
+                RuleViolation(
+                    rule=rule,
+                    kind="constant",
+                    expected=rule.rhs_constant,
+                    actual=actual,
+                )
+            )
+        else:
+            violations.append(
+                RuleViolation(
+                    rule=rule,
+                    kind="variable",
+                    expected=None,
+                    actual=actual,
+                    partners=tuple(sorted(detector.partners(tid, rule))),
+                )
+            )
+    return TupleExplanation(tid=tid, values=row.as_dict(), violations=tuple(violations))

@@ -1,0 +1,147 @@
+"""Conditional inclusion dependencies (CINDs) — a §7 future-work item.
+
+The paper's conclusion lists CINDs (Bravo, Fan & Ma, VLDB 2007) among
+the rule types GDR should eventually support. This module provides the
+detection side: a CIND ``R1[X; Xp] ⊆ R2[Y; Yp]`` demands that every
+R1-tuple matching the pattern ``Xp`` has an R2-tuple agreeing on the
+correspondence ``X → Y`` and matching ``Yp``.
+
+Repair integration (generating candidate updates from CIND violations)
+is left as future work, exactly as in the paper; the checker already
+slots into cleaning pipelines for *detection and explanation*.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.constraints.pattern import PatternTuple
+from repro.db.database import Database
+from repro.errors import RuleError
+
+__all__ = ["IND", "check_ind"]
+
+
+class IND:
+    """One conditional inclusion dependency between two relations.
+
+    Parameters
+    ----------
+    child_attrs:
+        Attributes ``X`` of the child (referencing) relation.
+    parent_attrs:
+        Attributes ``Y`` of the parent (referenced) relation, positionally
+        corresponding to *child_attrs*.
+    child_pattern:
+        Optional pattern over child attributes restricting which child
+        tuples the dependency applies to (the "condition").
+    parent_pattern:
+        Optional pattern the matching parent tuples must additionally
+        satisfy.
+    name:
+        Optional identifier for reports.
+
+    Examples
+    --------
+    >>> ind = IND(["zip"], ["zip_code"], name="visits_zip_in_gazetteer")
+    >>> ind.arity
+    1
+    """
+
+    __slots__ = ("child_attrs", "parent_attrs", "child_pattern", "parent_pattern", "name")
+
+    def __init__(
+        self,
+        child_attrs: Sequence[str],
+        parent_attrs: Sequence[str],
+        child_pattern: PatternTuple | Mapping[str, object] | None = None,
+        parent_pattern: PatternTuple | Mapping[str, object] | None = None,
+        name: str = "",
+    ) -> None:
+        child = tuple(child_attrs)
+        parent = tuple(parent_attrs)
+        if not child:
+            raise RuleError("IND must reference at least one attribute")
+        if len(child) != len(parent):
+            raise RuleError(
+                f"IND arity mismatch: {len(child)} child vs {len(parent)} parent attributes"
+            )
+        if len(set(child)) != len(child) or len(set(parent)) != len(parent):
+            raise RuleError("IND attribute lists must not contain duplicates")
+        self.child_attrs = child
+        self.parent_attrs = parent
+        self.child_pattern = _coerce_pattern(child_pattern)
+        self.parent_pattern = _coerce_pattern(parent_pattern)
+        self.name = name
+
+    @property
+    def arity(self) -> int:
+        """Number of corresponding attribute pairs."""
+        return len(self.child_attrs)
+
+    @property
+    def is_conditional(self) -> bool:
+        """True when a child or parent pattern restricts applicability."""
+        return self.child_pattern is not None or self.parent_pattern is not None
+
+    def __repr__(self) -> str:
+        label = f"{self.name}: " if self.name else ""
+        cond = " (conditional)" if self.is_conditional else ""
+        return (
+            f"IND({label}[{', '.join(self.child_attrs)}] ⊆ "
+            f"[{', '.join(self.parent_attrs)}]{cond})"
+        )
+
+
+def _coerce_pattern(pattern) -> PatternTuple | None:
+    if pattern is None:
+        return None
+    if isinstance(pattern, PatternTuple):
+        return pattern
+    return PatternTuple(dict(pattern))
+
+
+def check_ind(child: Database, parent: Database, ind: IND) -> set[int]:
+    """Return the child tuple ids violating *ind*.
+
+    A child tuple violates when it matches the child pattern (if any)
+    but no parent tuple both agrees on the corresponding attributes and
+    matches the parent pattern (if any).
+
+    Examples
+    --------
+    >>> from repro.db import Database, Schema
+    >>> visits = Database(Schema("v", ["zip"]), [["46360"], ["99999"]])
+    >>> gazetteer = Database(Schema("g", ["zip_code"]), [["46360"]])
+    >>> check_ind(visits, gazetteer, IND(["zip"], ["zip_code"]))
+    {1}
+    """
+    child.schema.validate_attributes(ind.child_attrs)
+    parent.schema.validate_attributes(ind.parent_attrs)
+    if ind.child_pattern is not None:
+        child.schema.validate_attributes(ind.child_pattern.attributes)
+    if ind.parent_pattern is not None:
+        parent.schema.validate_attributes(ind.parent_pattern.attributes)
+
+    parent_positions = parent.schema.positions(ind.parent_attrs)
+    parent_keys: set[tuple[object, ...]] = set()
+    for tid in parent.tids():
+        values = parent.values_snapshot(tid)
+        if ind.parent_pattern is not None:
+            row = parent.row(tid)
+            if not ind.parent_pattern.matches(row.__getitem__):
+                continue
+        parent_keys.add(tuple(values[p] for p in parent_positions))
+
+    child_positions = child.schema.positions(ind.child_attrs)
+    violating: set[int] = set()
+    for tid in child.tids():
+        if ind.child_pattern is not None:
+            row = child.row(tid)
+            if not ind.child_pattern.matches(row.__getitem__):
+                continue
+        values = child.values_snapshot(tid)
+        key = tuple(values[p] for p in child_positions)
+        if key not in parent_keys:
+            violating.add(tid)
+    return violating

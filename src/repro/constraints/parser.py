@@ -1,0 +1,198 @@
+"""Parser for the textual CFD notation used in the paper's Figure 1.
+
+The accepted grammar (whitespace-insensitive)::
+
+    rule     := [name ":"] "(" attrs "->" attrs "," "{" vals "||" vals "}" ")"
+    attrs    := attr ("," attr)*
+    vals     := val ("," val)*
+    val      := quoted string | bare token | "-" | "_" | empty
+
+``-``, ``_`` and the empty string denote the wildcard. The two value
+lists must have the same arity as the LHS and RHS attribute lists.
+Multi-RHS rules are normalized into one rule per RHS attribute.
+
+Examples
+--------
+>>> rules = parse_cfd("phi1: (zip -> city, state, {46360 || 'Michigan City', IN})")
+>>> len(rules)
+2
+>>> rules[0].rhs_constant
+'Michigan City'
+"""
+
+from __future__ import annotations
+
+from repro.constraints.cfd import CFD, normalize
+from repro.constraints.pattern import ANY
+from repro.errors import RuleParseError
+
+__all__ = ["format_cfd", "load_rules", "parse_cfd", "parse_rules", "save_rules"]
+
+_WILDCARD_TOKENS = {"-", "_", ""}
+_SEPARATORS = ("||", "‖")
+
+
+def parse_cfd(text: str) -> list[CFD]:
+    """Parse one rule in textual notation into normal-form CFDs."""
+    raw = text.strip()
+    if not raw:
+        raise RuleParseError(text, "empty rule text")
+    name, body = _split_name(raw)
+    if not (body.startswith("(") and body.endswith(")")):
+        raise RuleParseError(text, "rule body must be parenthesised")
+    body = body[1:-1].strip()
+
+    brace_open = body.find("{")
+    brace_close = body.rfind("}")
+    if brace_open < 0 or brace_close < 0 or brace_close < brace_open:
+        raise RuleParseError(text, "missing pattern tableau braces")
+    head = body[:brace_open].rstrip()
+    if head.endswith(","):
+        head = head[:-1]
+    tableau = body[brace_open + 1 : brace_close]
+
+    if "->" not in head:
+        raise RuleParseError(text, "missing '->' in the embedded FD")
+    lhs_text, rhs_text = head.split("->", 1)
+    lhs = [a.strip() for a in lhs_text.split(",") if a.strip()]
+    rhs = [a.strip() for a in rhs_text.split(",") if a.strip()]
+    if not lhs:
+        raise RuleParseError(text, "empty LHS attribute list")
+    if not rhs:
+        raise RuleParseError(text, "empty RHS attribute list")
+
+    lhs_vals_text, rhs_vals_text = _split_tableau(text, tableau)
+    lhs_vals = _parse_values(lhs_vals_text)
+    rhs_vals = _parse_values(rhs_vals_text)
+    if len(lhs_vals) == 1 and lhs_vals[0] is ANY and len(lhs) > 1:
+        lhs_vals = [ANY] * len(lhs)
+    if len(rhs_vals) == 1 and rhs_vals[0] is ANY and len(rhs) > 1:
+        rhs_vals = [ANY] * len(rhs)
+    if len(lhs_vals) != len(lhs):
+        raise RuleParseError(text, f"LHS pattern arity {len(lhs_vals)} != {len(lhs)} attributes")
+    if len(rhs_vals) != len(rhs):
+        raise RuleParseError(text, f"RHS pattern arity {len(rhs_vals)} != {len(rhs)} attributes")
+
+    pattern = dict(zip(lhs, lhs_vals))
+    pattern.update(zip(rhs, rhs_vals))
+    try:
+        return normalize(lhs, rhs, pattern, name=name)
+    except Exception as exc:  # structural problems become parse errors
+        raise RuleParseError(text, str(exc)) from exc
+
+
+def parse_rules(text: str) -> list[CFD]:
+    """Parse a multi-line rule block; ``#`` starts a comment line.
+
+    Examples
+    --------
+    >>> rules = parse_rules('''
+    ... # address rules
+    ... phi1: (zip -> city, {46360 || 'Michigan City'})
+    ... phi5: (street, city -> zip, {-, 'Fort Wayne' || -})
+    ... ''')
+    >>> [r.name for r in rules]
+    ['phi1', 'phi5']
+    """
+    rules: list[CFD] = []
+    for line in text.splitlines():
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        rules.extend(parse_cfd(stripped))
+    return rules
+
+
+def load_rules(path) -> list[CFD]:
+    """Parse a rule file (one rule per line, ``#`` comments allowed)."""
+    from pathlib import Path
+
+    return parse_rules(Path(path).read_text())
+
+
+def save_rules(rules, path) -> None:
+    """Write rules to a file in parseable textual notation."""
+    from pathlib import Path
+
+    text = "\n".join(format_cfd(rule) for rule in rules)
+    Path(path).write_text(text + "\n")
+
+
+def format_cfd(rule: CFD) -> str:
+    """Render a CFD back into parseable textual notation."""
+    lhs_vals = ", ".join(_format_value(rule.pattern.value(a)) for a in rule.lhs)
+    rhs_val = _format_value(rule.pattern.value(rule.rhs))
+    head = f"{', '.join(rule.lhs)} -> {rule.rhs}"
+    body = f"({head}, {{{lhs_vals} || {rhs_val}}})"
+    return f"{rule.name}: {body}" if rule.name else body
+
+
+# ----------------------------------------------------------------------
+def _format_value(value: object) -> str:
+    """Render one pattern entry so that it parses back identically."""
+    if value is ANY:
+        return "-"
+    text = str(value)
+    needs_quotes = (
+        text in _WILDCARD_TOKENS
+        or any(ch in text for ch in ",{}|'\"")
+        or text != text.strip()
+        or " " in text
+    )
+    if needs_quotes:
+        quote = '"' if "'" in text else "'"
+        return f"{quote}{text}{quote}"
+    return text
+
+
+def _split_name(raw: str) -> tuple[str, str]:
+    if raw.startswith("("):
+        return "", raw
+    colon = raw.find(":")
+    paren = raw.find("(")
+    if 0 <= colon < paren:
+        return raw[:colon].strip(), raw[colon + 1 :].strip()
+    return "", raw
+
+
+def _split_tableau(text: str, tableau: str) -> tuple[str, str]:
+    for sep in _SEPARATORS:
+        if sep in tableau:
+            left, right = tableau.split(sep, 1)
+            return left, right
+    raise RuleParseError(text, "missing '||' separator in pattern tableau")
+
+
+def _parse_values(section: str) -> list[object]:
+    values: list[object] = []
+    for token in _split_csv(section):
+        stripped = token.strip()
+        if len(stripped) >= 2 and stripped[0] == stripped[-1] and stripped[0] in "'\"":
+            values.append(stripped[1:-1])
+        elif stripped in _WILDCARD_TOKENS:
+            values.append(ANY)
+        else:
+            values.append(stripped)
+    return values
+
+
+def _split_csv(section: str) -> list[str]:
+    """Split on commas while honouring single/double quotes."""
+    parts: list[str] = []
+    current: list[str] = []
+    quote: str | None = None
+    for ch in section:
+        if quote:
+            current.append(ch)
+            if ch == quote:
+                quote = None
+        elif ch in "'\"":
+            quote = ch
+            current.append(ch)
+        elif ch == ",":
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    parts.append("".join(current))
+    return parts

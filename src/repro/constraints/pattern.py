@@ -1,0 +1,124 @@
+"""Pattern tableaux for conditional functional dependencies.
+
+A CFD pattern assigns to each attribute either a constant from the
+attribute's domain or the wildcard ``ANY`` (written ``-`` in the
+paper's tableau notation). The paper's match operator ``≍`` is
+implemented by :meth:`PatternTuple.matches`: a data value matches a
+constant only by equality and matches ``ANY`` always.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+__all__ = ["ANY", "PatternTuple", "Wildcard"]
+
+
+class Wildcard:
+    """Singleton marker for the ``-`` (unconstrained) pattern value."""
+
+    _instance: "Wildcard | None" = None
+
+    def __new__(cls) -> "Wildcard":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "ANY"
+
+    def __reduce__(self):
+        return (Wildcard, ())
+
+
+#: The wildcard pattern value (the paper's ``-``).
+ANY = Wildcard()
+
+
+class PatternTuple:
+    """A pattern over a set of attributes.
+
+    Parameters
+    ----------
+    entries:
+        Mapping from attribute name to either a constant value or
+        :data:`ANY`.
+
+    Examples
+    --------
+    >>> tp = PatternTuple({"zip": "46360", "city": ANY})
+    >>> tp.matches({"zip": "46360", "city": "Michigan City"}.__getitem__)
+    True
+    >>> tp.is_constant_on("zip"), tp.is_constant_on("city")
+    (True, False)
+    """
+
+    __slots__ = ("_entries",)
+
+    def __init__(self, entries: Mapping[str, object]) -> None:
+        self._entries = dict(entries)
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        """Attributes constrained by this pattern, insertion-ordered."""
+        return tuple(self._entries)
+
+    def value(self, attribute: str) -> object:
+        """The pattern entry for *attribute* (a constant or ``ANY``)."""
+        return self._entries[attribute]
+
+    def get(self, attribute: str, default: object = None) -> object:
+        """Pattern entry for *attribute*, or *default* if unconstrained."""
+        return self._entries.get(attribute, default)
+
+    def is_constant_on(self, attribute: str) -> bool:
+        """True when the entry for *attribute* is a constant."""
+        return self._entries[attribute] is not ANY
+
+    def constants(self) -> dict[str, object]:
+        """All ``attribute -> constant`` entries (wildcards omitted)."""
+        return {a: v for a, v in self._entries.items() if v is not ANY}
+
+    def matches(self, getter, attributes: tuple[str, ...] | None = None) -> bool:
+        """Evaluate the ``≍`` operator against a value accessor.
+
+        Parameters
+        ----------
+        getter:
+            Callable mapping an attribute name to the tuple's value.
+        attributes:
+            Restrict the check to these attributes (defaults to all
+            pattern attributes).
+        """
+        attrs = attributes if attributes is not None else self.attributes
+        for attr in attrs:
+            expected = self._entries[attr]
+            if expected is not ANY and getter(attr) != expected:
+                return False
+        return True
+
+    def restrict(self, attributes: tuple[str, ...]) -> "PatternTuple":
+        """A new pattern containing only the given attributes."""
+        return PatternTuple({a: self._entries[a] for a in attributes})
+
+    def items(self):
+        """Iterate over ``(attribute, entry)`` pairs."""
+        return self._entries.items()
+
+    def __contains__(self, attribute: object) -> bool:
+        return attribute in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PatternTuple):
+            return NotImplemented
+        return self._entries == other._entries
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._entries.items()))
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{a}={'-' if v is ANY else repr(v)}" for a, v in self._entries.items())
+        return f"PatternTuple({parts})"

@@ -1,0 +1,129 @@
+"""Rule sets (the paper's Σ) with attribute routing.
+
+:class:`RuleSet` owns a collection of normal-form CFDs, assigns stable
+names, validates them against a schema, and answers the two routing
+questions the repair machinery asks constantly:
+
+* which rules have attribute ``A`` as their RHS, and
+* which rules touch attribute ``A`` anywhere (LHS or RHS).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Iterable, Iterator
+
+from repro.constraints.cfd import CFD
+from repro.db.schema import Schema
+from repro.errors import RuleError
+
+__all__ = ["RuleSet"]
+
+
+class RuleSet:
+    """An ordered, named collection of normal-form CFDs.
+
+    Parameters
+    ----------
+    rules:
+        The CFDs; unnamed rules are assigned ``phi<k>`` names. Duplicate
+        rules (same FD and pattern) are rejected.
+    schema:
+        Optional schema to validate attribute names against.
+
+    Examples
+    --------
+    >>> from repro.constraints import parse_rules
+    >>> rs = RuleSet(parse_rules("(zip -> city, {46360 || 'Michigan City'})"))
+    >>> len(rs)
+    1
+    >>> [r.name for r in rs.rules_with_rhs("city")]
+    ['phi1']
+    """
+
+    def __init__(self, rules: Iterable[CFD], schema: Schema | None = None) -> None:
+        self._rules: list[CFD] = []
+        self._by_name: dict[str, CFD] = {}
+        self._by_rhs: dict[str, list[CFD]] = defaultdict(list)
+        self._touching: dict[str, list[CFD]] = defaultdict(list)
+        seen: set[CFD] = set()
+        for rule in rules:
+            if rule in seen:
+                raise RuleError(f"duplicate rule: {rule!r}")
+            seen.add(rule)
+            if schema is not None:
+                rule.validate_schema(schema)
+            if not rule.name:
+                rule = CFD(rule.lhs, rule.rhs, rule.pattern, name=f"phi{len(self._rules) + 1}")
+            if rule.name in self._by_name:
+                raise RuleError(f"duplicate rule name {rule.name!r}")
+            self._rules.append(rule)
+            self._by_name[rule.name] = rule
+            self._by_rhs[rule.rhs].append(rule)
+            for attr in rule.attributes:
+                self._touching[attr].append(rule)
+
+    # ------------------------------------------------------------------
+    def rules_with_rhs(self, attribute: str) -> list[CFD]:
+        """Rules whose RHS is *attribute* (copy)."""
+        return list(self._by_rhs.get(attribute, ()))
+
+    def rules_touching(self, attribute: str) -> list[CFD]:
+        """Rules mentioning *attribute* on either side (copy)."""
+        return list(self._touching.get(attribute, ()))
+
+    def rules_with_lhs_attr(self, attribute: str) -> list[CFD]:
+        """Rules with *attribute* somewhere on the LHS."""
+        return [r for r in self._touching.get(attribute, ()) if attribute in r.lhs]
+
+    def by_name(self, name: str) -> CFD:
+        """Look a rule up by its name."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise RuleError(f"no rule named {name!r}") from None
+
+    @property
+    def constant_rules(self) -> list[CFD]:
+        """All constant CFDs, in rule order."""
+        return [r for r in self._rules if r.is_constant]
+
+    @property
+    def variable_rules(self) -> list[CFD]:
+        """All variable CFDs, in rule order."""
+        return [r for r in self._rules if r.is_variable]
+
+    def attributes(self) -> set[str]:
+        """All attributes mentioned by any rule."""
+        return set(self._touching)
+
+    def constants_for_attribute(self, attribute: str) -> set[object]:
+        """All constants any rule pattern assigns to *attribute*.
+
+        This is the "values in the CFDs" pool searched first by
+        scenario 3 of Algorithm 1.
+        """
+        values: set[object] = set()
+        for rule in self._rules:
+            if attribute in rule.pattern:
+                entry = rule.pattern.get(attribute)
+                if entry is not None and rule.pattern.is_constant_on(attribute):
+                    values.add(entry)
+        return values
+
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[CFD]:
+        return iter(self._rules)
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __getitem__(self, index: int) -> CFD:
+        return self._rules[index]
+
+    def __contains__(self, rule: object) -> bool:
+        return rule in set(self._rules)
+
+    def __repr__(self) -> str:
+        kinds = f"{len(self.constant_rules)} constant, {len(self.variable_rules)} variable"
+        return f"RuleSet({len(self._rules)} rules: {kinds})"

@@ -1,0 +1,507 @@
+"""Violation detection and bookkeeping for CFDs (paper Definition 1).
+
+The detector maintains, incrementally under cell updates:
+
+* per rule, the set of *violating* tuples and the pairwise violation
+  count ``vio(D, {φ})`` of Definition 1;
+* per rule, the *context size* ``|D(φ)|`` (tuples matching the LHS
+  pattern) and the *satisfying count* ``|D ⊨ φ|`` (context tuples not in
+  violation) used by the quality-loss equations;
+* the global dirty-tuple set and each tuple's violated-rule list.
+
+For a variable CFD, context tuples are partitioned by their LHS values;
+a partition of size ``G`` with RHS value counts ``{c_v}`` contributes
+``G² − Σ c_v²`` pairwise violations and ``G`` violating tuples when it
+holds more than one distinct RHS value (otherwise zero). Single-cell
+updates touch at most two partitions per rule, so maintenance is cheap.
+
+The *what-if* API answers "how would applying update ⟨t, A, v⟩ change
+``vio`` and ``|D ⊨ φ|``" — the quantities of Eq. 6 — by applying the
+cell change to the internal statistics and reverting it, which keeps the
+hypothetical path byte-identical to the real update path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constraints.cfd import CFD
+from repro.constraints.repository import RuleSet
+from repro.db.changelog import CellChange
+from repro.db.database import Database
+
+__all__ = ["ViolationDetector", "WhatIfOutcome"]
+
+
+@dataclass(frozen=True, slots=True)
+class WhatIfOutcome:
+    """Effect of a hypothetical single-cell update on one rule.
+
+    Attributes
+    ----------
+    vio_before / vio_after:
+        ``vio(D, {φ})`` and ``vio(D^r, {φ})`` of Eq. 6.
+    satisfying_after:
+        ``|D^r ⊨ φ|``, the number of context tuples satisfying the rule
+        after the hypothetical update.
+    """
+
+    vio_before: int
+    vio_after: int
+    satisfying_after: int
+
+    @property
+    def vio_reduction(self) -> int:
+        """``vio(D,{φ}) − vio(D^r,{φ})``: positive when the update helps."""
+        return self.vio_before - self.vio_after
+
+
+class _ConstantRuleState:
+    """Violation bookkeeping for one constant CFD."""
+
+    __slots__ = ("rule", "_lhs_pos", "_rhs_pos", "_lhs_consts", "_rhs_const", "context", "violating")
+
+    def __init__(self, rule: CFD, db: Database) -> None:
+        self.rule = rule
+        schema = db.schema
+        self._lhs_pos = schema.positions(rule.lhs)
+        self._rhs_pos = schema.position(rule.rhs)
+        self._lhs_consts = [
+            (schema.position(attr), value) for attr, value in rule.lhs_constants().items()
+        ]
+        self._rhs_const = rule.rhs_constant
+        self.context: set[int] = set()
+        self.violating: set[int] = set()
+
+    def matches_lhs(self, values) -> bool:
+        for pos, const in self._lhs_consts:
+            if values[pos] != const:
+                return False
+        return True
+
+    def update_cell(self, tid: int, values) -> None:
+        """Re-evaluate tuple *tid* whose values are now *values*."""
+        self.context.discard(tid)
+        self.violating.discard(tid)
+        if self.matches_lhs(values):
+            self.context.add(tid)
+            if values[self._rhs_pos] != self._rhs_const:
+                self.violating.add(tid)
+
+    @property
+    def total_vio(self) -> int:
+        return len(self.violating)
+
+    @property
+    def violating_count(self) -> int:
+        return len(self.violating)
+
+    @property
+    def context_size(self) -> int:
+        return len(self.context)
+
+    def vio_tuple(self, tid: int) -> int:
+        return 1 if tid in self.violating else 0
+
+    def is_violating(self, tid: int) -> bool:
+        return tid in self.violating
+
+
+class _Group:
+    """One LHS-value partition of a variable CFD's context."""
+
+    __slots__ = ("members", "size")
+
+    def __init__(self) -> None:
+        self.members: dict[object, set[int]] = {}
+        self.size = 0
+
+    def count(self, value: object) -> int:
+        bucket = self.members.get(value)
+        return len(bucket) if bucket is not None else 0
+
+    @property
+    def distinct(self) -> int:
+        return len(self.members)
+
+    def all_tids(self) -> list[int]:
+        tids: list[int] = []
+        for bucket in self.members.values():
+            tids.extend(bucket)
+        return tids
+
+
+class _VariableRuleState:
+    """Violation bookkeeping for one variable CFD."""
+
+    __slots__ = (
+        "rule",
+        "_lhs_pos",
+        "_rhs_pos",
+        "_lhs_consts",
+        "groups",
+        "membership",
+        "total_vio",
+        "violating",
+        "context_size",
+    )
+
+    def __init__(self, rule: CFD, db: Database) -> None:
+        self.rule = rule
+        schema = db.schema
+        self._lhs_pos = schema.positions(rule.lhs)
+        self._rhs_pos = schema.position(rule.rhs)
+        self._lhs_consts = [
+            (schema.position(attr), value) for attr, value in rule.lhs_constants().items()
+        ]
+        self.groups: dict[tuple[object, ...], _Group] = {}
+        self.membership: dict[int, tuple[tuple[object, ...], object]] = {}
+        self.total_vio = 0
+        self.violating: set[int] = set()
+        self.context_size = 0
+
+    def matches_lhs(self, values) -> bool:
+        for pos, const in self._lhs_consts:
+            if values[pos] != const:
+                return False
+        return True
+
+    def key_of(self, values) -> tuple[object, ...]:
+        return tuple(values[p] for p in self._lhs_pos)
+
+    # -- incremental core ------------------------------------------------
+    def _remove(self, tid: int) -> None:
+        key, value = self.membership.pop(tid)
+        group = self.groups[key]
+        size = group.size
+        cv = group.count(value)
+        self.total_vio -= 2 * (size - cv)
+        distinct_before = group.distinct
+        distinct_after = distinct_before - 1 if cv == 1 else distinct_before
+        was_mixed = distinct_before >= 2
+        stays_mixed = distinct_after >= 2
+        bucket = group.members[value]
+        bucket.discard(tid)
+        if not bucket:
+            del group.members[value]
+        group.size = size - 1
+        if was_mixed and not stays_mixed:
+            self.violating.discard(tid)
+            for member in group.all_tids():
+                self.violating.discard(member)
+        elif was_mixed:
+            self.violating.discard(tid)
+        if group.size == 0:
+            del self.groups[key]
+        self.context_size -= 1
+
+    def _add(self, tid: int, key: tuple[object, ...], value: object) -> None:
+        group = self.groups.get(key)
+        if group is None:
+            group = self.groups[key] = _Group()
+        size = group.size
+        cv = group.count(value)
+        self.total_vio += 2 * (size - cv)
+        distinct_before = group.distinct
+        distinct_after = distinct_before + 1 if cv == 0 else distinct_before
+        becomes_mixed = distinct_after >= 2
+        if becomes_mixed and distinct_before < 2:
+            self.violating.update(group.all_tids())
+            self.violating.add(tid)
+        elif becomes_mixed:
+            self.violating.add(tid)
+        group.members.setdefault(value, set()).add(tid)
+        group.size = size + 1
+        self.membership[tid] = (key, value)
+        self.context_size += 1
+
+    def update_cell(self, tid: int, values) -> None:
+        """Re-evaluate tuple *tid* whose values are now *values*."""
+        if tid in self.membership:
+            self._remove(tid)
+        if self.matches_lhs(values):
+            self._add(tid, self.key_of(values), values[self._rhs_pos])
+
+    # -- queries ----------------------------------------------------------
+    @property
+    def violating_count(self) -> int:
+        return len(self.violating)
+
+    def vio_tuple(self, tid: int) -> int:
+        entry = self.membership.get(tid)
+        if entry is None:
+            return 0
+        key, value = entry
+        group = self.groups[key]
+        return group.size - group.count(value)
+
+    def is_violating(self, tid: int) -> bool:
+        return tid in self.violating
+
+    def partners(self, tid: int) -> set[int]:
+        """Tuples violating the rule together with *tid*."""
+        entry = self.membership.get(tid)
+        if entry is None:
+            return set()
+        key, value = entry
+        group = self.groups[key]
+        others: set[int] = set()
+        for other_value, bucket in group.members.items():
+            if other_value != value:
+                others.update(bucket)
+        return others
+
+    def group_value_counts(self, tid: int) -> dict[object, int]:
+        """RHS value histogram of *tid*'s partition (empty if out of context)."""
+        entry = self.membership.get(tid)
+        if entry is None:
+            return {}
+        group = self.groups[entry[0]]
+        return {value: len(bucket) for value, bucket in group.members.items()}
+
+    def group_members(self, tid: int) -> set[int]:
+        """All tuples in *tid*'s partition, including *tid* itself."""
+        entry = self.membership.get(tid)
+        if entry is None:
+            return set()
+        return set(self.groups[entry[0]].all_tids())
+
+
+class ViolationDetector:
+    """Incremental CFD-violation tracker over a live database.
+
+    The detector registers itself as a database listener at
+    construction and stays consistent under every subsequent
+    :meth:`~repro.db.database.Database.set_value`.
+
+    Examples
+    --------
+    >>> from repro.db import Database, Schema
+    >>> from repro.constraints import RuleSet, parse_rules
+    >>> db = Database(Schema("r", ["zip", "city"]),
+    ...               [["46360", "Westville"], ["46360", "Michigan City"]])
+    >>> rules = RuleSet(parse_rules("(zip -> city, {46360 || 'Michigan City'})"))
+    >>> det = ViolationDetector(db, rules)
+    >>> det.dirty_tuples()
+    {0}
+    >>> db.set_value(0, "city", "Michigan City")
+    >>> det.dirty_tuples()
+    set()
+    """
+
+    def __init__(self, db: Database, rules: RuleSet) -> None:
+        for rule in rules:
+            rule.validate_schema(db.schema)
+        self.db = db
+        self.rules = rules
+        self._states: list[_ConstantRuleState | _VariableRuleState] = []
+        self._state_by_rule: dict[CFD, _ConstantRuleState | _VariableRuleState] = {}
+        self._states_by_attr: dict[str, list[_ConstantRuleState | _VariableRuleState]] = {}
+        for rule in rules:
+            state: _ConstantRuleState | _VariableRuleState
+            if rule.is_constant:
+                state = _ConstantRuleState(rule, db)
+            else:
+                state = _VariableRuleState(rule, db)
+            self._states.append(state)
+            self._state_by_rule[rule] = state
+            for attr in rule.attributes:
+                self._states_by_attr.setdefault(attr, []).append(state)
+        self.recompute()
+        db.add_listener(self._on_change)
+
+    # ------------------------------------------------------------------
+    def recompute(self) -> None:
+        """Rebuild all statistics from the current database content."""
+        for state in self._states:
+            if isinstance(state, _ConstantRuleState):
+                state.context.clear()
+                state.violating.clear()
+            else:
+                state.groups.clear()
+                state.membership.clear()
+                state.violating.clear()
+                state.total_vio = 0
+                state.context_size = 0
+        for tid in self.db.tids():
+            values = self.db.values_snapshot(tid)
+            for state in self._states:
+                state.update_cell(tid, values)
+
+    def _on_change(self, change: CellChange) -> None:
+        states = self._states_by_attr.get(change.attribute)
+        if not states:
+            return
+        values = self.db.values_snapshot(change.tid)
+        for state in states:
+            state.update_cell(change.tid, values)
+
+    def add_tuple(self, tid: int) -> None:
+        """Start tracking a tuple inserted after construction.
+
+        The paper's online-monitoring scenario (§3): newly entered
+        tuples are folded into the violation statistics immediately, so
+        GDR can suggest updates during data entry.
+        """
+        values = self.db.values_snapshot(tid)
+        for state in self._states:
+            state.update_cell(tid, values)
+
+    def remove_tuple(self, tid: int) -> None:
+        """Stop tracking a tuple that is about to be deleted."""
+        for state in self._states:
+            if isinstance(state, _ConstantRuleState):
+                state.context.discard(tid)
+                state.violating.discard(tid)
+            elif tid in state.membership:
+                state._remove(tid)
+
+    def detach(self) -> None:
+        """Stop tracking database updates."""
+        self.db.remove_listener(self._on_change)
+
+    # ------------------------------------------------------------------
+    # per-tuple queries
+    # ------------------------------------------------------------------
+    def is_dirty(self, tid: int) -> bool:
+        """True when *tid* violates at least one rule."""
+        return any(state.is_violating(tid) for state in self._states)
+
+    def violated_rules(self, tid: int) -> list[CFD]:
+        """The tuple's ``vioRuleList``: all rules it currently violates."""
+        return [state.rule for state in self._states if state.is_violating(tid)]
+
+    def dirty_tuples(self) -> set[int]:
+        """All tuples violating at least one rule."""
+        dirty: set[int] = set()
+        for state in self._states:
+            dirty.update(state.violating)
+        return dirty
+
+    def vio_tuple(self, tid: int, rule: CFD) -> int:
+        """``vio(t, {φ})`` of Definition 1."""
+        return self._state_by_rule[rule].vio_tuple(tid)
+
+    def partners(self, tid: int, rule: CFD) -> set[int]:
+        """Tuples violating variable rule *rule* together with *tid*."""
+        state = self._state_by_rule[rule]
+        if isinstance(state, _VariableRuleState):
+            return state.partners(tid)
+        return set()
+
+    def group_value_counts(self, tid: int, rule: CFD) -> dict[object, int]:
+        """RHS value histogram of *tid*'s partition under a variable rule."""
+        state = self._state_by_rule[rule]
+        if isinstance(state, _VariableRuleState):
+            return state.group_value_counts(tid)
+        return {}
+
+    def group_members(self, tid: int, rule: CFD) -> set[int]:
+        """All tuples sharing *tid*'s LHS partition under a variable rule."""
+        state = self._state_by_rule[rule]
+        if isinstance(state, _VariableRuleState):
+            return state.group_members(tid)
+        return set()
+
+    def violating_tids(self, rule: CFD) -> set[int]:
+        """Tuples currently violating *rule* (copy)."""
+        return set(self._state_by_rule[rule].violating)
+
+    # ------------------------------------------------------------------
+    # per-rule aggregates
+    # ------------------------------------------------------------------
+    def vio_rule(self, rule: CFD) -> int:
+        """``vio(D, {φ}) = Σ_t vio(t, {φ})`` for one rule."""
+        return self._state_by_rule[rule].total_vio
+
+    def vio_total(self) -> int:
+        """``vio(D, Σ)``: total violations over all rules."""
+        return sum(state.total_vio for state in self._states)
+
+    def violating_tuple_count(self, rule: CFD) -> int:
+        """Number of tuples currently violating *rule*."""
+        return self._state_by_rule[rule].violating_count
+
+    def context_size(self, rule: CFD) -> int:
+        """``|D(φ)|``: tuples matching the rule's LHS pattern."""
+        return self._state_by_rule[rule].context_size
+
+    def satisfying_count(self, rule: CFD) -> int:
+        """``|D ⊨ φ|``: context tuples not violating the rule."""
+        state = self._state_by_rule[rule]
+        return state.context_size - state.violating_count
+
+    def weights(self) -> dict[CFD, float]:
+        """Rule weights ``w_i = |D(φ_i)| / |D|`` (paper §4.1)."""
+        n = max(1, len(self.db))
+        return {state.rule: state.context_size / n for state in self._states}
+
+    # ------------------------------------------------------------------
+    # hypothetical updates (Eq. 6 inputs)
+    # ------------------------------------------------------------------
+    def what_if(self, tid: int, attribute: str, value: object) -> dict[CFD, WhatIfOutcome]:
+        """Effect of hypothetically setting ``t[attribute] = value``.
+
+        Only rules touching *attribute* are reported; all other rules
+        are unaffected by a single-cell update. The database itself is
+        not modified.
+        """
+        states = self._states_by_attr.get(attribute)
+        if not states:
+            return {}
+        values = list(self.db.values_snapshot(tid))
+        pos = self.db.schema.position(attribute)
+        old_value = values[pos]
+        if old_value == value:
+            return {
+                state.rule: WhatIfOutcome(
+                    vio_before=state.total_vio,
+                    vio_after=state.total_vio,
+                    satisfying_after=state.context_size - state.violating_count,
+                )
+                for state in states
+            }
+        outcomes: dict[CFD, WhatIfOutcome] = {}
+        values[pos] = value
+        for state in states:
+            vio_before = state.total_vio
+            state.update_cell(tid, values)
+            outcomes[state.rule] = WhatIfOutcome(
+                vio_before=vio_before,
+                vio_after=state.total_vio,
+                satisfying_after=state.context_size - state.violating_count,
+            )
+        # revert: replay the original values through the same path
+        values[pos] = old_value
+        for state in states:
+            state.update_cell(tid, values)
+        return outcomes
+
+    # ------------------------------------------------------------------
+    def verify(self) -> bool:
+        """Cross-check incremental state against a fresh rebuild.
+
+        Intended for tests: returns ``True`` when every maintained
+        statistic matches a from-scratch recomputation.
+        """
+        fresh = ViolationDetector(self.db, self.rules)
+        fresh.detach()
+        try:
+            for rule in self.rules:
+                mine = self._state_by_rule[rule]
+                theirs = fresh._state_by_rule[rule]
+                if mine.total_vio != theirs.total_vio:
+                    return False
+                if mine.violating != theirs.violating:
+                    return False
+                if mine.context_size != theirs.context_size:
+                    return False
+            return True
+        finally:
+            pass
+
+    def __repr__(self) -> str:
+        return (
+            f"ViolationDetector({len(self.rules)} rules, "
+            f"{len(self.dirty_tuples())} dirty tuples, vio={self.vio_total()})"
+        )

@@ -1,0 +1,116 @@
+"""User-effort accounting: budgets, batches and per-group quotas.
+
+Two knobs from the paper:
+
+* the interactive batch size ``n_s`` — how many updates the user labels
+  before the learner is retrained and the display reordered (§4.2);
+* the per-group verification quota (§5.2)::
+
+      d_i = E × (1 − g(c_i) / g_max)
+
+  where ``E`` is the initial number of dirty tuples and ``g`` the VOI
+  benefit — high-benefit groups are mostly correct and need little
+  verification before the learner can take over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+__all__ = ["EffortPolicy", "FeedbackBudget"]
+
+
+class FeedbackBudget:
+    """Counts user labels against an optional hard limit ``F``.
+
+    Examples
+    --------
+    >>> budget = FeedbackBudget(limit=2)
+    >>> budget.consume(); budget.exhausted
+    False
+    >>> budget.consume(); budget.exhausted
+    True
+    """
+
+    def __init__(self, limit: int | None = None) -> None:
+        if limit is not None and limit < 0:
+            raise ConfigError(f"feedback budget must be >= 0, got {limit}")
+        self.limit = limit
+        self.used = 0
+
+    def consume(self, amount: int = 1) -> None:
+        """Record *amount* user labels."""
+        self.used += amount
+
+    @property
+    def remaining(self) -> int | None:
+        """Labels left, or ``None`` when unlimited."""
+        if self.limit is None:
+            return None
+        return max(0, self.limit - self.used)
+
+    @property
+    def exhausted(self) -> bool:
+        """True once the limit (if any) is reached."""
+        return self.limit is not None and self.used >= self.limit
+
+    def __repr__(self) -> str:
+        cap = "∞" if self.limit is None else str(self.limit)
+        return f"FeedbackBudget({self.used}/{cap})"
+
+
+@dataclass(slots=True)
+class EffortPolicy:
+    """How much feedback each group receives before delegation.
+
+    Attributes
+    ----------
+    batch_size:
+        ``n_s``: labels per interactive round before retraining.
+    min_labels:
+        Floor on the per-group quota (the learner needs at least a few
+        labels from a new group to adapt locally).
+    use_benefit_quota:
+        When True, apply the paper's ``d_i = E(1 − g/g_max)`` formula;
+        when False every group gets ``min(group size, fixed_quota)``.
+    fixed_quota:
+        Quota used when *use_benefit_quota* is False (``None`` = the
+        whole group, i.e. no delegation before the group is done).
+    """
+
+    batch_size: int = 10
+    min_labels: int = 2
+    use_benefit_quota: bool = True
+    fixed_quota: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ConfigError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.min_labels < 0:
+            raise ConfigError(f"min_labels must be >= 0, got {self.min_labels}")
+        if self.fixed_quota is not None and self.fixed_quota < 0:
+            raise ConfigError(f"fixed_quota must be >= 0, got {self.fixed_quota}")
+
+    def group_quota(
+        self,
+        group_size: int,
+        benefit: float,
+        max_benefit: float,
+        initial_dirty: int,
+    ) -> int:
+        """Number of labels the user should provide for this group.
+
+        Implements ``d_i = E × (1 − g/g_max)`` clamped into
+        ``[min_labels, group_size]``; groups ranked at ``g_max`` thus
+        receive only the minimum verification.
+        """
+        if not self.use_benefit_quota:
+            quota = group_size if self.fixed_quota is None else self.fixed_quota
+            return max(0, min(group_size, quota))
+        if max_benefit <= 0.0:
+            return group_size
+        ratio = min(1.0, max(0.0, benefit / max_benefit))
+        quota = int(round(initial_dirty * (1.0 - ratio)))
+        return max(min(self.min_labels, group_size), min(group_size, quota))

@@ -1,0 +1,407 @@
+"""The GDR engine: the full guided-repair loop (paper Procedure 1).
+
+Wires every substrate together and exposes the experiment variants of
+§5 through :class:`GDRConfig` presets:
+
+=====================  ========  ==========  ========  ===============
+Variant                ranking   learning    grouping  per-group quota
+=====================  ========  ==========  ========  ===============
+``GDRConfig.gdr()``    VOI       active      yes       d_i = E(1−g/gmax)
+``.s_learning()``      VOI       passive     yes       d_i = E(1−g/gmax)
+``.active_learning()`` —         active      no        whole pool
+``.no_learning()``     VOI       none        yes       whole group
+=====================  ========  ==========  ========  ===============
+
+(The *Automatic-Heuristic* baseline lives in
+:func:`repro.repair.heuristic.batch_repair` — it needs no engine.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.constraints.repository import RuleSet
+from repro.constraints.violations import ViolationDetector
+from repro.core.effort import EffortPolicy, FeedbackBudget
+from repro.core.grouping import group_updates
+from repro.core.learner import FeedbackLearner
+from repro.core.metrics import RepairReport, TrajectoryPoint, evaluate_repair
+from repro.core.quality import QualityEvaluator, quality_improvement
+from repro.core.ranking import GreedyRanking, RandomRanking, RankingStrategy, VOIRanking
+from repro.core.session import InteractiveSession
+from repro.core.user import UserOracle
+from repro.core.voi import VOIEstimator
+from repro.db.database import Database
+from repro.errors import ConfigError
+from repro.repair.candidate import CandidateUpdate
+from repro.repair.consistency import ConsistencyManager
+from repro.repair.feedback import Feedback, UserFeedback
+from repro.repair.generator import UpdateGenerator
+from repro.repair.state import RepairState
+
+__all__ = ["GDRConfig", "GDREngine", "GDRResult"]
+
+_RANKINGS = ("voi", "greedy", "random")
+_LEARNINGS = ("active", "passive", "none")
+
+
+@dataclass(slots=True)
+class GDRConfig:
+    """Tunable knobs of the GDR engine.
+
+    Attributes
+    ----------
+    ranking:
+        Group ranking strategy: ``"voi"``, ``"greedy"`` or ``"random"``.
+    learning:
+        ``"active"`` (uncertainty ordering + delegation), ``"passive"``
+        (random ordering + delegation) or ``"none"``.
+    grouping:
+        When False all updates form one pool (Active-Learning variant).
+    batch_size:
+        ``n_s`` labels between learner retrains.
+    min_labels:
+        Per-group quota floor for the benefit formula.
+    use_benefit_quota:
+        Apply ``d_i = E(1 − g/g_max)``; otherwise label whole groups
+        (bounded by the global budget).
+    n_estimators / max_depth / min_examples:
+        Committee hyper-parameters of the feedback learner.
+    seed:
+        Master seed for every stochastic component.
+    max_iterations:
+        Safety cap on interactive iterations.
+    """
+
+    ranking: str = "voi"
+    learning: str = "active"
+    grouping: bool = True
+    batch_size: int = 10
+    min_labels: int = 2
+    use_benefit_quota: bool = True
+    n_estimators: int = 10
+    max_depth: int | None = 12
+    # A committee trained on a handful of examples can be confidently
+    # wrong; requiring 10 labelled examples per attribute before the
+    # learner may decide prevents small-budget vandalism.
+    min_examples: int = 10
+    # 0.5 admits an 8-of-10 committee majority (vote entropy ≈ 0.46)
+    # and rejects 7-of-10 (≈ 0.56) for the default 10-tree committee.
+    max_decision_uncertainty: float = 0.5
+    # p̃ prior before the learner is trained: "score" uses the update
+    # evaluation score s (the paper's choice); "uniform" uses 0.5 and
+    # exists for the ablation benches.
+    voi_prior: str = "score"
+    seed: int = 0
+    max_iterations: int = 100_000
+
+    def __post_init__(self) -> None:
+        if self.ranking not in _RANKINGS:
+            raise ConfigError(f"ranking must be one of {_RANKINGS}, got {self.ranking!r}")
+        if self.learning not in _LEARNINGS:
+            raise ConfigError(f"learning must be one of {_LEARNINGS}, got {self.learning!r}")
+        if self.voi_prior not in ("score", "uniform"):
+            raise ConfigError(f"voi_prior must be 'score' or 'uniform', got {self.voi_prior!r}")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def gdr(cls, **overrides) -> "GDRConfig":
+        """The full proposed approach (VOI + active learning)."""
+        return cls(**{"ranking": "voi", "learning": "active", **overrides})
+
+    @classmethod
+    def s_learning(cls, **overrides) -> "GDRConfig":
+        """GDR-S-Learning: VOI ranking, passive (random-order) learning."""
+        return cls(**{"ranking": "voi", "learning": "passive", **overrides})
+
+    @classmethod
+    def active_learning(cls, **overrides) -> "GDRConfig":
+        """Plain active learning: no grouping, no VOI, no quota."""
+        return cls(
+            **{
+                "ranking": "random",
+                "learning": "active",
+                "grouping": False,
+                "use_benefit_quota": False,
+                **overrides,
+            }
+        )
+
+    @classmethod
+    def no_learning(cls, **overrides) -> "GDRConfig":
+        """GDR-NoLearning: VOI ranking, user verifies everything."""
+        return cls(**{"ranking": "voi", "learning": "none", "use_benefit_quota": False, **overrides})
+
+
+@dataclass(slots=True)
+class GDRResult:
+    """Outcome of one engine run.
+
+    Attributes
+    ----------
+    feedback_used / learner_decisions / iterations:
+        Effort counters.
+    initial_loss / final_loss:
+        Eq. 3 loss before and after (against the ground truth when an
+        evaluator is available, else the violation-based proxy).
+    trajectory:
+        Loss samples after every user label and learner decision.
+    initial_dirty / remaining_dirty:
+        Dirty-tuple counts before and after.
+    report:
+        Cell-level precision/recall (only when ground truth is known).
+    """
+
+    feedback_used: int = 0
+    learner_decisions: int = 0
+    iterations: int = 0
+    initial_loss: float = 0.0
+    final_loss: float = 0.0
+    trajectory: list[TrajectoryPoint] = field(default_factory=list)
+    initial_dirty: int = 0
+    remaining_dirty: int = 0
+    report: RepairReport | None = None
+
+    @property
+    def improvement(self) -> float:
+        """Final % quality improvement over the initial instance."""
+        return quality_improvement(self.initial_loss, self.final_loss)
+
+
+class GDREngine:
+    """Guided data repair over one database instance.
+
+    Parameters
+    ----------
+    db:
+        The dirty instance; repaired **in place**.
+    rules:
+        The quality rules Σ.
+    oracle:
+        The user (simulated or real).
+    config:
+        Engine knobs; defaults to the full GDR preset.
+    clean_db:
+        Optional ground truth enabling loss-vs-truth trajectories and
+        the precision/recall report.
+
+    Examples
+    --------
+    >>> from repro.db import Database, Schema
+    >>> from repro.constraints import RuleSet, parse_rules
+    >>> from repro.core import GDREngine, GroundTruthOracle
+    >>> schema = Schema("r", ["zip", "city"])
+    >>> dirty = Database(schema, [["46360", "Westville"]])
+    >>> clean = Database(schema, [["46360", "Michigan City"]])
+    >>> rules = RuleSet(parse_rules("(zip -> city, {46360 || 'Michigan City'})"))
+    >>> engine = GDREngine(dirty, rules, GroundTruthOracle(clean), clean_db=clean)
+    >>> result = engine.run()
+    >>> dirty.value(0, "city")
+    'Michigan City'
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        rules: RuleSet,
+        oracle: UserOracle,
+        config: GDRConfig | None = None,
+        clean_db: Database | None = None,
+    ) -> None:
+        self.db = db
+        self.rules = rules
+        self.oracle = oracle
+        self.config = config if config is not None else GDRConfig.gdr()
+        self.clean_db = clean_db
+        self.initial_db = db.snapshot()
+
+        self.detector = ViolationDetector(db, rules)
+        self.state = RepairState()
+        self.generator = UpdateGenerator(db, rules, self.detector, self.state)
+        self.manager = ConsistencyManager(db, rules, self.detector, self.state, self.generator)
+        self.learner: FeedbackLearner | None = None
+        if self.config.learning != "none":
+            self.learner = FeedbackLearner(
+                db.schema,
+                n_estimators=self.config.n_estimators,
+                max_depth=self.config.max_depth,
+                min_examples=self.config.min_examples,
+                seed=self.config.seed,
+            )
+        self.voi = VOIEstimator(self.detector)
+        self.strategy = self._build_strategy()
+        self.policy = EffortPolicy(
+            batch_size=self.config.batch_size,
+            min_labels=self.config.min_labels,
+            use_benefit_quota=self.config.use_benefit_quota,
+        )
+        self.evaluator: QualityEvaluator | None = None
+        if clean_db is not None:
+            self.evaluator = QualityEvaluator(clean_db, rules)
+
+        self.generator.generate_all()
+        self.initial_dirty = len(self.detector.dirty_tuples())
+        # group keys the user has given feedback on; the learner only
+        # ever decides inside these contexts (the paper's grouping
+        # locality: models "adapt locally to the current group")
+        self._visited_groups: set[tuple[str, object]] = set()
+
+    # ------------------------------------------------------------------
+    def _build_strategy(self) -> RankingStrategy:
+        if self.config.ranking == "voi":
+            return VOIRanking(self.voi)
+        if self.config.ranking == "greedy":
+            return GreedyRanking()
+        return RandomRanking(seed=self.config.seed)
+
+    def probability(self, update: CandidateUpdate) -> float:
+        """``p̃``: learner confirm probability, score prior while cold."""
+        prior = update.score if self.config.voi_prior == "score" else 0.5
+        if self.learner is None:
+            return prior
+        row = self.db.values_snapshot(update.tid)
+        prediction = self.learner.predict(update, row)
+        if prediction.feedback is None:
+            return prior
+        return prediction.confirm_probability
+
+    def current_loss(self) -> float:
+        """Eq. 3 loss now (vs ground truth when available)."""
+        if self.evaluator is not None:
+            return self.evaluator.loss(self.detector)
+        # proxy without ground truth: weighted violation mass
+        weights = self.detector.weights()
+        total = 0.0
+        for rule in self.rules:
+            context = max(1, self.detector.context_size(rule))
+            total += weights[rule] * self.detector.violating_tuple_count(rule) / context
+        return total
+
+    # ------------------------------------------------------------------
+    def run(self, feedback_limit: int | None = None) -> GDRResult:
+        """Execute the interactive loop until done or out of budget.
+
+        Parameters
+        ----------
+        feedback_limit:
+            The user's total label budget ``F``; ``None`` means the
+            user is available until no suggestions remain.
+        """
+        budget = FeedbackBudget(feedback_limit)
+        result = GDRResult(
+            initial_loss=self.current_loss(),
+            initial_dirty=self.initial_dirty,
+        )
+        result.trajectory.append(TrajectoryPoint(0, 0, result.initial_loss))
+        learner_decisions = 0
+
+        def on_feedback() -> None:
+            result.trajectory.append(
+                TrajectoryPoint(budget.used, learner_decisions, self.current_loss())
+            )
+
+        def on_learner_decision() -> None:
+            nonlocal learner_decisions
+            learner_decisions += 1
+            result.trajectory.append(
+                TrajectoryPoint(budget.used, learner_decisions, self.current_loss())
+            )
+
+        session = InteractiveSession(
+            self.db,
+            self.state,
+            self.manager,
+            self.oracle,
+            self.learner,
+            ordering="random" if self.config.learning == "passive" else "uncertainty",
+            batch_size=self.config.batch_size,
+            seed=self.config.seed,
+            max_decision_uncertainty=self.config.max_decision_uncertainty,
+        )
+
+        stalled = 0
+        while not budget.exhausted and result.iterations < self.config.max_iterations:
+            self.manager.refresh_suggestions()
+            updates = self.state.updates()
+            if not updates:
+                break
+            groups = group_updates(updates, grouping=self.config.grouping)
+            ranked = self.strategy.rank(groups, self.probability)
+            group, benefit = ranked[0]
+            max_benefit = max(score for __, score in ranked)
+            if self.config.learning == "none" or not self.config.use_benefit_quota:
+                quota = group.size
+            else:
+                quota = self.policy.group_quota(
+                    group.size, benefit, max_benefit, self.initial_dirty
+                )
+            report = session.run(
+                group, quota, budget, on_feedback=on_feedback, on_learner_decision=on_learner_decision
+            )
+            if report.labeled > 0:
+                self._visited_groups.add(group.key)
+            result.iterations += 1
+            if report.labeled == 0 and report.learner_decided == 0:
+                stalled += 1
+                if stalled >= len(groups):
+                    break  # nothing labelable or decidable remains
+            else:
+                stalled = 0
+
+        if self.learner is not None:
+            # the callback increments learner_decisions for every decision
+            self._drain_with_learner(on_learner_decision)
+
+        result.feedback_used = budget.used
+        result.learner_decisions = learner_decisions
+        result.final_loss = self.current_loss()
+        result.remaining_dirty = len(self.detector.dirty_tuples())
+        if self.clean_db is not None:
+            result.report = evaluate_repair(self.initial_db, self.db, self.clean_db)
+        return result
+
+    # ------------------------------------------------------------------
+    def _drain_with_learner(self, on_learner_decision, max_passes: int = 25) -> int:
+        """After the user stops, let the learner decide what remains.
+
+        This is the Figure 5 protocol: the user affords ``F`` labels,
+        then "GDR decides about the rest of the updates automatically".
+        With grouping enabled, decisions stay inside group contexts the
+        user actually inspected — the model has only adapted locally to
+        those (§5.2) and deciding unseen contexts is how a committee
+        becomes confidently wrong. Passes repeat because decisions
+        regenerate suggestions; the drain stops at a fixpoint or after
+        *max_passes*.
+        """
+        decided = 0
+        restrict = self.config.grouping
+        for _pass in range(max_passes):
+            self.manager.refresh_suggestions()
+            updates = self.state.updates()
+            if not updates:
+                break
+            progress = 0
+            for update in updates:
+                if not self.state.contains(update):
+                    continue
+                if restrict and update.group_key not in self._visited_groups:
+                    continue
+                row = self.db.values_snapshot(update.tid)
+                prediction = self.learner.predict(update, row)
+                if not prediction.is_decision:
+                    continue
+                if prediction.uncertainty > self.config.max_decision_uncertainty:
+                    continue
+                if prediction.feedback is Feedback.CONFIRM and not self.learner.is_trusted(
+                    update.attribute
+                ):
+                    continue
+                self.manager.apply_feedback(
+                    update, UserFeedback(prediction.feedback), source="learner"
+                )
+                progress += 1
+                decided += 1
+                on_learner_decision()
+            if progress == 0:
+                break
+        return decided

@@ -1,0 +1,274 @@
+"""The feedback learner: per-attribute random-forest committees (§4.2).
+
+GDR trains one classification model ``M_Ai`` per attribute. Each model
+predicts the expected user feedback (confirm / reject / retain) for a
+suggested update on that attribute and exposes:
+
+* the prediction itself (majority committee vote);
+* the confirm probability ``p̃`` feeding the VOI formula (fraction of
+  committee members voting *confirm*);
+* the committee uncertainty (vote entropy) driving the active-learning
+  ordering inside a group.
+
+Before a model has enough labelled examples (or has seen only one
+class), predictions abstain: ``p̃`` falls back to the update score
+``s_j`` and the uncertainty is maximal — exactly the paper's cold-start
+rule.
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections import deque
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.db.schema import Schema
+from repro.ml.encoding import FEEDBACK_CLASSES, UpdateExampleEncoder, feedback_to_class
+from repro.ml.forest import RandomForestClassifier
+from repro.repair.candidate import CandidateUpdate
+from repro.repair.feedback import Feedback
+from repro.repair.similarity import SimilarityFunction, similarity
+
+__all__ = ["FeedbackLearner", "LearnerPrediction"]
+
+
+@dataclass(frozen=True, slots=True)
+class LearnerPrediction:
+    """One model opinion about a suggested update.
+
+    Attributes
+    ----------
+    feedback:
+        Predicted feedback class, or ``None`` when the model abstains
+        (not enough training data yet).
+    confirm_probability:
+        ``p̃``: committee fraction voting confirm; equals the update's
+        own score while the model abstains.
+    uncertainty:
+        Committee vote entropy in [0, 1]; 1.0 while the model abstains.
+    """
+
+    feedback: Feedback | None
+    confirm_probability: float
+    uncertainty: float
+
+    @property
+    def is_decision(self) -> bool:
+        """True when the learner is ready to decide for the user."""
+        return self.feedback is not None
+
+
+class FeedbackLearner:
+    """Manages the per-attribute committee models and their training data.
+
+    Parameters
+    ----------
+    schema:
+        Relation schema (one model per attribute).
+    sim:
+        Relationship function ``R`` used as a feature.
+    n_estimators, max_depth, min_samples_leaf:
+        Committee hyper-parameters (paper: ``k = 10`` trees).
+    min_examples:
+        Minimum labelled examples (with ≥ 2 classes present) before a
+        model starts making decisions.
+    trust_min_samples / trust_min_accuracy:
+        How much recent user-checked evidence, and how accurate it must
+        be, before :meth:`is_trusted` lets the model decide for the
+        user.
+    seed:
+        Base random seed; attribute models get independent streams.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        sim: SimilarityFunction = similarity,
+        n_estimators: int = 10,
+        max_depth: int | None = 12,
+        min_samples_leaf: int = 1,
+        min_examples: int = 5,
+        trust_min_samples: int = 8,
+        trust_min_accuracy: float = 0.85,
+        seed: int = 0,
+    ) -> None:
+        self.schema = schema
+        self.encoder = UpdateExampleEncoder(schema, sim)
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.min_examples = min_examples
+        self.trust_min_samples = trust_min_samples
+        self.trust_min_accuracy = trust_min_accuracy
+        self._seed = seed
+        self._features: dict[str, list[np.ndarray]] = {a: [] for a in schema.attributes}
+        self._labels: dict[str, list[int]] = {a: [] for a in schema.attributes}
+        self._models: dict[str, RandomForestClassifier | None] = {
+            a: None for a in schema.attributes
+        }
+        self._stale: set[str] = set()
+        # rolling record of "was the model's prediction confirmed by the
+        # user?" — the basis of the paper's is-the-classifier-accurate
+        # judgement that gates delegation
+        self._validation: dict[str, deque[bool]] = {
+            a: deque(maxlen=20) for a in schema.attributes
+        }
+
+    # ------------------------------------------------------------------
+    # training data
+    # ------------------------------------------------------------------
+    def add_example(
+        self,
+        update: CandidateUpdate,
+        row_values: Sequence[object],
+        feedback: Feedback,
+    ) -> None:
+        """Record one labelled example for the update's attribute model.
+
+        Parameters
+        ----------
+        update:
+            The suggestion the feedback was about.
+        row_values:
+            The tuple's values *at suggestion time* (dirty snapshot).
+        feedback:
+            The user's (or oracle's) decision.
+        """
+        attr = update.attribute
+        features = self.encoder.encode(row_values, attr, update.value)
+        self._features[attr].append(features)
+        self._labels[attr].append(feedback_to_class(feedback))
+        self._stale.add(attr)
+
+    def example_count(self, attribute: str) -> int:
+        """Labelled examples accumulated for one attribute."""
+        return len(self._labels[attribute])
+
+    def total_examples(self) -> int:
+        """Labelled examples accumulated across all attributes."""
+        return sum(len(v) for v in self._labels.values())
+
+    # ------------------------------------------------------------------
+    # model lifecycle
+    # ------------------------------------------------------------------
+    def is_ready(self, attribute: str) -> bool:
+        """True when the attribute's model can make decisions."""
+        labels = self._labels[attribute]
+        return len(labels) >= self.min_examples and len(set(labels)) >= 2
+
+    def retrain(self, attribute: str) -> bool:
+        """(Re)fit the attribute model if ready and stale.
+
+        Returns True when a fit actually happened.
+        """
+        if attribute not in self._stale or not self.is_ready(attribute):
+            return False
+        X = np.vstack(self._features[attribute])
+        y = np.array(self._labels[attribute], dtype=np.int64)
+        # zlib.crc32 is stable across processes (unlike hash(), which is
+        # randomised by PYTHONHASHSEED) — runs must reproduce exactly
+        model = RandomForestClassifier(
+            n_estimators=self.n_estimators,
+            max_depth=self.max_depth,
+            min_samples_leaf=self.min_samples_leaf,
+            random_state=self._seed + zlib.crc32(attribute.encode()) % 100_000,
+        )
+        model.fit(X, y, n_classes=len(FEEDBACK_CLASSES))
+        self._models[attribute] = model
+        self._stale.discard(attribute)
+        return True
+
+    def retrain_all(self) -> int:
+        """Refit every stale, ready model; returns the number fitted."""
+        return sum(1 for attr in self.schema.attributes if self.retrain(attr))
+
+    # ------------------------------------------------------------------
+    # prediction
+    # ------------------------------------------------------------------
+    def predict(
+        self, update: CandidateUpdate, row_values: Sequence[object]
+    ) -> LearnerPrediction:
+        """Model opinion for a suggestion; abstains while cold.
+
+        The caller is expected to have invoked :meth:`retrain` after
+        the last batch of labels (the session does this), but a stale
+        model still answers from its previous fit, mirroring the
+        interactive behaviour described in §4.2.
+        """
+        attr = update.attribute
+        model = self._models[attr]
+        if model is None:
+            return LearnerPrediction(
+                feedback=None,
+                confirm_probability=update.score,
+                uncertainty=1.0,
+            )
+        features = self.encoder.encode(row_values, attr, update.value)
+        label, fractions, uncertainty = model.predict_one(features)
+        return LearnerPrediction(
+            feedback=FEEDBACK_CLASSES[label],
+            confirm_probability=float(fractions[feedback_to_class(Feedback.CONFIRM)]),
+            uncertainty=float(uncertainty),
+        )
+
+    def confirm_probability(
+        self, update: CandidateUpdate, row_values: Sequence[object]
+    ) -> float:
+        """``p̃_j`` for the VOI formula (score prior until trained)."""
+        return self.predict(update, row_values).confirm_probability
+
+    # ------------------------------------------------------------------
+    # user validation of model predictions (paper §4.2: "the user is
+    # the one to decide whether the classifiers are accurate")
+    # ------------------------------------------------------------------
+    def record_validation(self, attribute: str, correct: bool) -> None:
+        """Record whether a model prediction agreed with the user."""
+        self._validation[attribute].append(correct)
+
+    def validation_accuracy(self, attribute: str) -> float | None:
+        """Recent fraction of user-confirmed predictions (None if none)."""
+        window = self._validation[attribute]
+        if not window:
+            return None
+        return sum(window) / len(window)
+
+    def is_trusted(
+        self,
+        attribute: str,
+        min_samples: int | None = None,
+        min_accuracy: float | None = None,
+    ) -> bool:
+        """True when the user would delegate decisions on *attribute*.
+
+        Requires at least *min_samples* recent predictions checked by
+        the user, of which a *min_accuracy* fraction were correct
+        (defaults come from the constructor).
+        """
+        if min_samples is None:
+            min_samples = self.trust_min_samples
+        if min_accuracy is None:
+            min_accuracy = self.trust_min_accuracy
+        window = self._validation[attribute]
+        if len(window) < min_samples:
+            return False
+        return sum(window) / len(window) >= min_accuracy
+
+    def feature_importances(self, attribute: str) -> dict[str, float] | None:
+        """Per-feature importances of a fitted attribute model.
+
+        Returns ``None`` while the model is unfitted. Keys are the
+        schema attributes plus ``"suggested_value"`` and
+        ``"similarity"`` — useful to inspect *what* the learner keys
+        its confirm/reject decisions on (e.g. the data-entry source).
+        """
+        model = self._models[attribute]
+        if model is None:
+            return None
+        return dict(zip(self.encoder.feature_names, model.feature_importances_))
+
+    def __repr__(self) -> str:
+        ready = sum(1 for a in self.schema.attributes if self._models[a] is not None)
+        return f"FeedbackLearner({ready}/{len(self.schema)} models fitted, {self.total_examples()} examples)"

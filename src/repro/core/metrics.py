@@ -1,0 +1,151 @@
+"""Repair-accuracy metrics (paper Appendix B.1) and trajectories.
+
+Precision = correctly updated values / all updated values.
+Recall    = correctly updated values / all initially incorrect values.
+
+Both are computed cell-wise against the ground truth, comparing the
+final instance with the original dirty snapshot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.db.database import Database
+
+__all__ = ["RepairReport", "TrajectoryPoint", "evaluate_repair"]
+
+
+@dataclass(frozen=True, slots=True)
+class TrajectoryPoint:
+    """One sample of the repair trajectory.
+
+    Attributes
+    ----------
+    feedback:
+        User labels consumed so far.
+    learner_decisions:
+        Suggestions decided by the learner so far.
+    loss:
+        Eq. 3 quality loss at this point.
+    """
+
+    feedback: int
+    learner_decisions: int
+    loss: float
+
+
+@dataclass(frozen=True, slots=True)
+class RepairReport:
+    """Cell-level accuracy of a finished repair run.
+
+    Attributes
+    ----------
+    changed:
+        Cells whose value differs from the dirty snapshot.
+    correct_changes:
+        Changed cells that now match the ground truth.
+    initial_errors:
+        Cells that were wrong in the dirty snapshot.
+    remaining_errors:
+        Cells still differing from the ground truth.
+    broken:
+        Cells that were correct initially and are now wrong.
+    """
+
+    changed: int
+    correct_changes: int
+    initial_errors: int
+    remaining_errors: int
+    broken: int
+    cells: int = field(default=0)
+
+    @property
+    def precision(self) -> float:
+        """Fraction of performed updates that were correct (1.0 if none)."""
+        if self.changed == 0:
+            return 1.0
+        return self.correct_changes / self.changed
+
+    @property
+    def recall(self) -> float:
+        """Fraction of initial errors that were fixed (1.0 if none)."""
+        if self.initial_errors == 0:
+            return 1.0
+        return self.correct_changes / self.initial_errors
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall."""
+        p, r = self.precision, self.recall
+        if p + r == 0.0:
+            return 0.0
+        return 2.0 * p * r / (p + r)
+
+    @property
+    def cell_accuracy(self) -> float:
+        """Fraction of all cells matching the ground truth."""
+        if self.cells == 0:
+            return 1.0
+        return (self.cells - self.remaining_errors) / self.cells
+
+    def describe(self) -> str:
+        """Human-readable summary line."""
+        return (
+            f"precision={self.precision:.3f} recall={self.recall:.3f} "
+            f"f1={self.f1:.3f} errors {self.initial_errors}->{self.remaining_errors}"
+        )
+
+
+def evaluate_repair(dirty: Database, repaired: Database, clean: Database) -> RepairReport:
+    """Compare a repaired instance with its dirty snapshot and the truth.
+
+    All three instances must share schema and tuple ids. Each cell is
+    classified by (was it changed?, is it now correct?, was it wrong
+    initially?).
+
+    Examples
+    --------
+    >>> from repro.db import Database, Schema
+    >>> schema = Schema("r", ["a"])
+    >>> dirty = Database(schema, [["x"], ["y"]])
+    >>> clean = Database(schema, [["x"], ["z"]])
+    >>> repaired = Database(schema, [["x"], ["z"]])
+    >>> report = evaluate_repair(dirty, repaired, clean)
+    >>> report.precision, report.recall
+    (1.0, 1.0)
+    """
+    changed = 0
+    correct_changes = 0
+    initial_errors = 0
+    remaining_errors = 0
+    broken = 0
+    cells = 0
+    attributes = dirty.schema.attributes
+    for tid in dirty.tids():
+        before = dirty.values_snapshot(tid)
+        after = repaired.values_snapshot(tid)
+        truth = clean.values_snapshot(tid)
+        for pos, _attr in enumerate(attributes):
+            cells += 1
+            was_wrong = before[pos] != truth[pos]
+            is_wrong = after[pos] != truth[pos]
+            did_change = before[pos] != after[pos]
+            if was_wrong:
+                initial_errors += 1
+            if is_wrong:
+                remaining_errors += 1
+            if did_change:
+                changed += 1
+                if not is_wrong:
+                    correct_changes += 1
+            if not was_wrong and is_wrong:
+                broken += 1
+    return RepairReport(
+        changed=changed,
+        correct_changes=correct_changes,
+        initial_errors=initial_errors,
+        remaining_errors=remaining_errors,
+        broken=broken,
+        cells=cells,
+    )

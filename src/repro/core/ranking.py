@@ -1,0 +1,79 @@
+"""Group ranking strategies (paper §5.1: VOI vs Greedy vs Random).
+
+Strategies order the candidate-update groups before each interactive
+session. All strategies return ``(group, score)`` pairs sorted best
+first; scores are strategy-specific (Eq. 6 benefit, group size, or a
+uniform 0) but always usable by the effort policy via normalisation.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.core.grouping import UpdateGroup
+from repro.core.voi import VOIEstimator
+from repro.repair.candidate import CandidateUpdate
+
+__all__ = ["GreedyRanking", "RandomRanking", "RankingStrategy", "VOIRanking"]
+
+ProbabilityFn = Callable[[CandidateUpdate], float]
+
+
+class RankingStrategy(ABC):
+    """Orders update groups for user consultation."""
+
+    #: Short identifier used in experiment reports.
+    name: str = "abstract"
+
+    @abstractmethod
+    def rank(
+        self, groups: list[UpdateGroup], probability: ProbabilityFn
+    ) -> list[tuple[UpdateGroup, float]]:
+        """Return ``(group, score)`` pairs, most promising first."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class VOIRanking(RankingStrategy):
+    """Decision-theoretic ranking by estimated quality gain (Eq. 6)."""
+
+    name = "voi"
+
+    def __init__(self, estimator: VOIEstimator) -> None:
+        self.estimator = estimator
+
+    def rank(
+        self, groups: list[UpdateGroup], probability: ProbabilityFn
+    ) -> list[tuple[UpdateGroup, float]]:
+        return self.estimator.rank_groups(groups, probability)
+
+
+class GreedyRanking(RankingStrategy):
+    """Largest-group-first baseline (paper §5.1 'Greedy')."""
+
+    name = "greedy"
+
+    def rank(
+        self, groups: list[UpdateGroup], probability: ProbabilityFn
+    ) -> list[tuple[UpdateGroup, float]]:
+        ordered = sorted(groups, key=lambda g: (-g.size, g.attribute, str(g.value)))
+        return [(group, float(group.size)) for group in ordered]
+
+
+class RandomRanking(RankingStrategy):
+    """Uniform-random ordering baseline (paper §5.1 'Random')."""
+
+    name = "random"
+
+    def __init__(self, seed: int | None = 0) -> None:
+        self._rng = np.random.default_rng(seed)
+
+    def rank(
+        self, groups: list[UpdateGroup], probability: ProbabilityFn
+    ) -> list[tuple[UpdateGroup, float]]:
+        order = self._rng.permutation(len(groups))
+        return [(groups[int(i)], 0.0) for i in order]

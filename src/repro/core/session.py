@@ -1,0 +1,256 @@
+"""One interactive active-learning session over a group (paper §4.2).
+
+The user picked a group ``c``. The session then alternates:
+
+1. order the group's live updates — by committee uncertainty (GDR) or
+   randomly (GDR-S-Learning / no-learning);
+2. the user labels the next batch of ``n_s`` updates; each label is
+   routed through the consistency manager immediately and added to the
+   learner's training set;
+3. the learner is retrained and the remaining updates reordered.
+
+When the user's per-group quota (or the global budget) is exhausted the
+learner takes over and decides the group's remaining updates — the
+paper's "user delegates the remaining decisions to the learned model".
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.effort import FeedbackBudget
+from repro.core.grouping import UpdateGroup
+from repro.core.learner import FeedbackLearner
+from repro.core.user import UserOracle
+from repro.db.database import Database
+from repro.repair.candidate import CandidateUpdate
+from repro.repair.consistency import ConsistencyManager
+from repro.repair.feedback import Feedback, UserFeedback
+from repro.repair.state import RepairState
+
+__all__ = ["InteractiveSession", "SessionReport"]
+
+ProgressCallback = Callable[[], None]
+
+
+@dataclass(slots=True)
+class SessionReport:
+    """What happened during one group session.
+
+    Attributes
+    ----------
+    group_key:
+        The inspected group's ``(attribute, value)`` key.
+    labeled:
+        User labels consumed.
+    learner_decided:
+        Updates decided by the learner after delegation.
+    user_confirms / user_rejects / user_retains:
+        Breakdown of the user labels.
+    """
+
+    group_key: tuple[str, object]
+    labeled: int = 0
+    learner_decided: int = 0
+    user_confirms: int = 0
+    user_rejects: int = 0
+    user_retains: int = 0
+
+
+class InteractiveSession:
+    """Drives user + learner through one update group.
+
+    Parameters
+    ----------
+    db, state, manager:
+        Shared repair substrate.
+    oracle:
+        The (simulated) user.
+    learner:
+        The feedback learner, or ``None`` for the no-learning variants.
+    ordering:
+        ``"uncertainty"`` (active learning) or ``"random"`` (passive).
+    batch_size:
+        ``n_s``: labels between retrains.
+    seed:
+        Seed for the random ordering variant.
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        state: RepairState,
+        manager: ConsistencyManager,
+        oracle: UserOracle,
+        learner: FeedbackLearner | None,
+        ordering: str = "uncertainty",
+        batch_size: int = 10,
+        seed: int = 0,
+        max_decision_uncertainty: float = 0.5,
+    ) -> None:
+        if ordering not in ("uncertainty", "random"):
+            raise ValueError(f"ordering must be 'uncertainty' or 'random', got {ordering!r}")
+        self.db = db
+        self.state = state
+        self.manager = manager
+        self.oracle = oracle
+        self.learner = learner
+        self.ordering = ordering
+        self.batch_size = batch_size
+        self.max_decision_uncertainty = max_decision_uncertainty
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        group: UpdateGroup,
+        quota: int,
+        budget: FeedbackBudget,
+        on_feedback: ProgressCallback | None = None,
+        on_learner_decision: ProgressCallback | None = None,
+    ) -> SessionReport:
+        """Consume one group: user labels up to *quota*, learner finishes.
+
+        Parameters
+        ----------
+        group:
+            The group chosen from the top of the ranking.
+        quota:
+            Maximum user labels to spend on this group (``d_i``).
+        budget:
+            Global feedback budget shared across sessions.
+        on_feedback / on_learner_decision:
+            Optional hooks fired after each decision (used for
+            trajectory recording).
+        """
+        report = SessionReport(group_key=group.key)
+        while report.labeled < quota and not budget.exhausted:
+            alive = self._alive_updates(group)
+            if not alive:
+                break
+            ordered = self._order(alive)
+            room = quota - report.labeled
+            if budget.remaining is not None:
+                room = min(room, budget.remaining)
+            room = min(self.batch_size, room)
+            if (
+                self.ordering == "uncertainty"
+                and self.learner is not None
+                and room >= 2
+                and len(ordered) > room
+            ):
+                # verification probe: spend one label on the model's
+                # most CONFIDENT prediction. The user sees predictions
+                # alongside the updates (§4.2) and inherently corrects
+                # confident mistakes — without this, the accuracy the
+                # user observes is biased toward the uncertain region
+                # and never validates where delegation will act.
+                batch = ordered[: room - 1] + [ordered[-1]]
+            else:
+                batch = ordered[:room]
+            if not batch:
+                break
+            for update in batch:
+                if not self.state.contains(update):
+                    continue  # invalidated by an earlier apply in this batch
+                self._label_one(update, report)
+                budget.consume()
+                if on_feedback is not None:
+                    on_feedback()
+            if self.learner is not None:
+                if group.attribute == "*":
+                    self.learner.retrain_all()
+                else:
+                    self.learner.retrain(group.attribute)
+        if self.learner is not None:
+            self._delegate(group, report, on_learner_decision)
+        return report
+
+    # ------------------------------------------------------------------
+    def _alive_updates(self, group: UpdateGroup) -> list[CandidateUpdate]:
+        return [u for u in group.updates if self.state.contains(u)]
+
+    def _order(self, updates: list[CandidateUpdate]) -> list[CandidateUpdate]:
+        if self.ordering == "random" or self.learner is None:
+            order = self._rng.permutation(len(updates))
+            return [updates[int(i)] for i in order]
+        # Uncertainty first; ties (e.g. a cold model answering 1.0 for
+        # everything) break toward high repair scores so early labels
+        # land on probable genuine fixes rather than arbitrary cells.
+        scored = []
+        for update in updates:
+            row = self.db.values_snapshot(update.tid)
+            prediction = self.learner.predict(update, row)
+            scored.append((-prediction.uncertainty, -update.score, update.cell, update))
+        scored.sort(key=lambda item: (item[0], item[1], item[2]))
+        return [update for __, __, __, update in scored]
+
+    def _label_one(self, update: CandidateUpdate, report: SessionReport) -> None:
+        current = self.db.value(update.tid, update.attribute)
+        row_snapshot = self.db.values_snapshot(update.tid)
+        prediction = None
+        if self.learner is not None:
+            prediction = self.learner.predict(update, row_snapshot)
+        feedback = self.oracle.review(update, current)
+        if prediction is not None and prediction.is_decision:
+            # the user inherently corrects the learner's mistakes; the
+            # running agreement record is what decides delegation
+            self.learner.record_validation(
+                update.attribute, prediction.feedback is feedback.kind
+            )
+        report.labeled += 1
+        if feedback.kind is Feedback.CONFIRM:
+            report.user_confirms += 1
+        elif feedback.kind is Feedback.REJECT:
+            report.user_rejects += 1
+        else:
+            report.user_retains += 1
+        if self.learner is not None:
+            self.learner.add_example(update, row_snapshot, feedback.kind)
+            if feedback.kind is Feedback.REJECT and feedback.has_correction:
+                corrected = CandidateUpdate(
+                    update.tid, update.attribute, feedback.correction, 1.0
+                )
+                self.learner.add_example(corrected, row_snapshot, Feedback.CONFIRM)
+        self.manager.apply_feedback(update, feedback, source="user")
+
+    def _delegate(
+        self,
+        group: UpdateGroup,
+        report: SessionReport,
+        on_learner_decision: ProgressCallback | None,
+    ) -> None:
+        """Let the learner decide the group's remaining updates.
+
+        A decision requires a committee prediction with uncertainty at
+        most ``max_decision_uncertainty``; a *confirm* decision (the
+        only one that writes the database) additionally requires a
+        *trusted* model — the user has recently checked the model's
+        predictions and found them accurate (paper §4.2: the user
+        decides whether the classifiers are accurate). Retain/reject
+        decisions are reversible bookkeeping and may proceed on
+        confidence alone. Everything else stays in the pool for later
+        rounds or further user feedback.
+        """
+        for update in self._alive_updates(group):
+            if not self.state.contains(update):
+                continue
+            row = self.db.values_snapshot(update.tid)
+            prediction = self.learner.predict(update, row)
+            if not prediction.is_decision:
+                continue
+            if prediction.uncertainty > self.max_decision_uncertainty:
+                continue
+            if prediction.feedback is Feedback.CONFIRM and not self.learner.is_trusted(
+                update.attribute
+            ):
+                continue
+            self.manager.apply_feedback(
+                update, UserFeedback(prediction.feedback), source="learner"
+            )
+            report.learner_decided += 1
+            if on_learner_decision is not None:
+                on_learner_decision()

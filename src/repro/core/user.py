@@ -1,0 +1,117 @@
+"""User models: the simulated domain expert (paper §5).
+
+The paper simulates the user "by providing answers as determined by the
+ground truth". :class:`GroundTruthOracle` reproduces that protocol;
+:class:`NoisyOracle` wraps any oracle with a configurable error rate
+for robustness studies (an extension the paper leaves implicit);
+:class:`CallbackOracle` adapts a plain function — e.g. an interactive
+prompt — to the oracle interface.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import Protocol
+
+import numpy as np
+
+from repro.db.database import Database
+from repro.repair.candidate import CandidateUpdate
+from repro.repair.feedback import Feedback, UserFeedback
+
+__all__ = ["CallbackOracle", "GroundTruthOracle", "NoisyOracle", "UserOracle"]
+
+
+class UserOracle(Protocol):
+    """Anything able to review a suggested update."""
+
+    def review(self, update: CandidateUpdate, current_value: object) -> UserFeedback:
+        """Decide confirm / reject / retain for one suggestion."""
+        ...  # pragma: no cover - protocol
+
+
+class GroundTruthOracle:
+    """Answers feedback queries from the clean reference instance.
+
+    Decision rule for update ``⟨t, A, v⟩`` with current value ``u`` and
+    ground-truth value ``g``:
+
+    * ``u == g``  → **retain** (the cell was never wrong);
+    * ``v == g``  → **confirm**;
+    * otherwise   → **reject**, optionally volunteering ``g`` as the
+      correction (paper §4.2 allows the user to suggest ``v'``).
+
+    Parameters
+    ----------
+    clean_db:
+        Ground-truth instance sharing tids with the dirty one.
+    provide_corrections:
+        When True (default) a reject carries the true value, which the
+        framework applies as a confirmed update ``⟨t, A, v', 1⟩``. With
+        False the oracle only ever answers the three classes, and the
+        repair algorithm must find the right value itself.
+    """
+
+    def __init__(self, clean_db: Database, provide_corrections: bool = True) -> None:
+        self.clean_db = clean_db
+        self.provide_corrections = provide_corrections
+        self.consultations = 0
+
+    def review(self, update: CandidateUpdate, current_value: object) -> UserFeedback:
+        """Apply the ground-truth decision rule to one suggestion."""
+        self.consultations += 1
+        truth = self.clean_db.value(update.tid, update.attribute)
+        if current_value == truth:
+            return UserFeedback.retain()
+        if update.value == truth:
+            return UserFeedback.confirm()
+        if self.provide_corrections:
+            return UserFeedback.reject(correction=truth)
+        return UserFeedback.reject()
+
+
+class NoisyOracle:
+    """Wraps an oracle and corrupts a fraction of its answers.
+
+    With probability *error_rate* the wrapped answer is replaced by a
+    uniformly random different feedback class (corrections are dropped
+    in that case). Used by the robustness ablation bench.
+    """
+
+    def __init__(self, inner: UserOracle, error_rate: float, seed: int | None = 0) -> None:
+        if not 0.0 <= error_rate <= 1.0:
+            raise ValueError(f"error_rate must be in [0, 1], got {error_rate}")
+        self.inner = inner
+        self.error_rate = error_rate
+        self._rng = np.random.default_rng(seed)
+        self.corrupted = 0
+
+    def review(self, update: CandidateUpdate, current_value: object) -> UserFeedback:
+        """Return the inner answer, randomly corrupted."""
+        answer = self.inner.review(update, current_value)
+        if self._rng.random() >= self.error_rate:
+            return answer
+        self.corrupted += 1
+        others = [k for k in Feedback if k is not answer.kind]
+        wrong = others[int(self._rng.integers(0, len(others)))]
+        return UserFeedback(wrong)
+
+
+class CallbackOracle:
+    """Adapts a plain function to the oracle interface.
+
+    Parameters
+    ----------
+    fn:
+        ``fn(update, current_value) -> UserFeedback`` — e.g. a CLI
+        prompt in the interactive example.
+    """
+
+    def __init__(self, fn: Callable[[CandidateUpdate, object], UserFeedback]) -> None:
+        self._fn = fn
+        self.consultations = 0
+
+    def review(self, update: CandidateUpdate, current_value: object) -> UserFeedback:
+        """Delegate the decision to the wrapped callable."""
+        self.consultations += 1
+        return self._fn(update, current_value)

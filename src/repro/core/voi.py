@@ -1,0 +1,129 @@
+"""Value-of-information group benefit (paper Eq. 6).
+
+The estimated data-quality gain of acquiring feedback for a group
+``c = {r_1, ..., r_J}`` is::
+
+    E[g(c)] = Σ_{φ_i} w_i Σ_{r_j ∈ c} p̃_j · (vio(D,{φ_i}) − vio(D^{r_j},{φ_i}))
+                                        / |D^{r_j} ⊨ φ_i|
+
+where ``p̃_j`` approximates the probability that the user confirms
+``r_j`` (the learner's confirm probability once trained, the update
+score ``s_j`` before that), ``vio`` is the Definition 1 violation count
+and ``|D^{r_j} ⊨ φ_i|`` counts context tuples satisfying the rule after
+hypothetically applying the update.
+
+The estimator works against any *stats provider* exposing the
+:class:`~repro.constraints.violations.ViolationDetector` what-if
+interface, which keeps the arithmetic unit-testable against the paper's
+worked example (§4.1, expected benefit 1.05).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+from typing import Protocol
+
+from repro.constraints.cfd import CFD
+from repro.constraints.violations import WhatIfOutcome
+from repro.core.grouping import UpdateGroup
+from repro.repair.candidate import CandidateUpdate
+
+__all__ = ["UpdateStatsProvider", "VOIEstimator"]
+
+#: Maps an update to its confirm probability ``p̃``.
+ProbabilityFn = Callable[[CandidateUpdate], float]
+
+
+class UpdateStatsProvider(Protocol):
+    """What the VOI arithmetic needs from the violation machinery."""
+
+    def what_if(self, tid: int, attribute: str, value: object) -> Mapping[CFD, WhatIfOutcome]:
+        """Hypothetical per-rule effect of one cell update."""
+        ...  # pragma: no cover - protocol
+
+    def weights(self) -> Mapping[CFD, float]:
+        """Current rule weights ``w_i``."""
+        ...  # pragma: no cover - protocol
+
+
+class VOIEstimator:
+    """Computes Eq. 6 group benefits from what-if statistics.
+
+    Parameters
+    ----------
+    stats:
+        A :class:`UpdateStatsProvider` — in production the live
+        :class:`~repro.constraints.violations.ViolationDetector`.
+    weights:
+        Optional fixed rule-weight override; when omitted, weights are
+        read from ``stats.weights()`` at every evaluation (the paper's
+        ``w_i = |D(φ_i)|/|D|`` on the current instance).
+
+    Examples
+    --------
+    See ``tests/core/test_voi.py::test_paper_worked_example`` for the
+    §4.1 reproduction yielding exactly 1.05.
+    """
+
+    def __init__(
+        self,
+        stats: UpdateStatsProvider,
+        weights: Mapping[CFD, float] | None = None,
+    ) -> None:
+        self._stats = stats
+        self._fixed_weights = dict(weights) if weights is not None else None
+
+    def _weights(self) -> Mapping[CFD, float]:
+        if self._fixed_weights is not None:
+            return self._fixed_weights
+        return self._stats.weights()
+
+    def update_benefit(
+        self,
+        update: CandidateUpdate,
+        probability: float,
+        weights: Mapping[CFD, float] | None = None,
+    ) -> float:
+        """The inner Eq. 6 term for a single update ``r_j``."""
+        if weights is None:
+            weights = self._weights()
+        outcomes = self._stats.what_if(update.tid, update.attribute, update.value)
+        benefit = 0.0
+        for rule, outcome in outcomes.items():
+            weight = weights.get(rule, 0.0)
+            if weight == 0.0:
+                continue
+            denominator = max(1, outcome.satisfying_after)
+            benefit += weight * probability * outcome.vio_reduction / denominator
+        return benefit
+
+    def group_benefit(self, group: UpdateGroup, probability: ProbabilityFn) -> float:
+        """``E[g(c)]`` of Eq. 6 for one group.
+
+        Parameters
+        ----------
+        group:
+            The update group ``c``.
+        probability:
+            Callable producing ``p̃_j`` per update (learner confirm
+            probability, falling back to the update score).
+        """
+        weights = self._weights()
+        return sum(
+            self.update_benefit(update, probability(update), weights)
+            for update in group.updates
+        )
+
+    def rank_groups(
+        self,
+        groups: list[UpdateGroup],
+        probability: ProbabilityFn,
+    ) -> list[tuple[UpdateGroup, float]]:
+        """All groups with their benefits, most beneficial first.
+
+        Ties break toward larger groups, then lexicographic key, so the
+        ranking is deterministic.
+        """
+        scored = [(group, self.group_benefit(group, probability)) for group in groups]
+        scored.sort(key=lambda pair: (-pair[1], -pair[0].size, pair[0].attribute, str(pair[0].value)))
+        return scored

@@ -1,0 +1,33 @@
+"""Benchmark datasets: hospital (Dataset 1) and adult census (Dataset 2)."""
+
+from repro.datasets.adult import ADULT_SCHEMA, AdultConfig, generate_adult_dataset
+from repro.datasets.corruption import (
+    CorruptionResult,
+    CorruptionSpec,
+    corrupt_database,
+    perturb_string,
+)
+from repro.datasets.hospital import (
+    HOSPITAL_SCHEMA,
+    HospitalConfig,
+    generate_hospital_dataset,
+    hospital_rules,
+)
+from repro.datasets.loader import DATASET_NAMES, GDRDataset, load_dataset
+
+__all__ = [
+    "ADULT_SCHEMA",
+    "AdultConfig",
+    "CorruptionResult",
+    "CorruptionSpec",
+    "DATASET_NAMES",
+    "GDRDataset",
+    "HOSPITAL_SCHEMA",
+    "HospitalConfig",
+    "corrupt_database",
+    "generate_adult_dataset",
+    "generate_hospital_dataset",
+    "hospital_rules",
+    "load_dataset",
+    "perturb_string",
+]

@@ -1,0 +1,104 @@
+"""Uniform access to the experiment datasets.
+
+:func:`load_dataset` returns a :class:`GDRDataset` bundling the dirty
+instance, its ground truth, the rule set and provenance of the injected
+errors — everything an experiment run needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constraints.repository import RuleSet
+from repro.datasets.adult import AdultConfig, generate_adult_dataset
+from repro.datasets.corruption import CorruptionResult
+from repro.datasets.hospital import HospitalConfig, generate_hospital_dataset
+from repro.db.database import Database
+from repro.errors import ConfigError
+
+__all__ = ["DATASET_NAMES", "GDRDataset", "load_dataset"]
+
+#: Dataset identifiers accepted by :func:`load_dataset`.
+DATASET_NAMES = ("hospital", "adult")
+
+
+@dataclass(slots=True)
+class GDRDataset:
+    """One ready-to-repair benchmark dataset.
+
+    Attributes
+    ----------
+    name:
+        ``"hospital"`` (Dataset 1 analogue) or ``"adult"`` (Dataset 2).
+    dirty:
+        The corrupted instance (this is what GDR repairs).
+    clean:
+        The ground truth ``Dopt``.
+    rules:
+        The quality rules Σ (given for hospital, discovered for adult).
+    corruption:
+        Report of the injected errors.
+    """
+
+    name: str
+    dirty: Database
+    clean: Database
+    rules: RuleSet
+    corruption: CorruptionResult
+
+    @property
+    def dirty_tuple_count(self) -> int:
+        """Number of tuples that received at least one error."""
+        return len(self.corruption.dirty_tuples)
+
+    def fresh_dirty(self) -> Database:
+        """An independent copy of the dirty instance (for repeated runs)."""
+        return self.dirty.snapshot()
+
+    def describe(self) -> str:
+        """Human-readable dataset summary."""
+        return (
+            f"{self.name}: {len(self.dirty)} tuples, "
+            f"{self.dirty_tuple_count} dirty, {len(self.rules)} rules"
+        )
+
+
+def load_dataset(
+    name: str,
+    n: int = 2000,
+    seed: int = 0,
+    dirty_rate: float = 0.3,
+    **overrides,
+) -> GDRDataset:
+    """Generate one of the two benchmark datasets.
+
+    Parameters
+    ----------
+    name:
+        ``"hospital"`` or ``"adult"``.
+    n:
+        Number of tuples (paper scale: 20,000–23,000; the default is
+        laptop-friendly — results scale, see EXPERIMENTS.md).
+    seed:
+        Master seed (generation and corruption).
+    dirty_rate:
+        Fraction of dirty tuples (paper: 0.3).
+    overrides:
+        Extra fields forwarded to :class:`HospitalConfig` /
+        :class:`AdultConfig`.
+
+    Examples
+    --------
+    >>> ds = load_dataset("hospital", n=300, seed=7)
+    >>> ds.name
+    'hospital'
+    """
+    if name == "hospital":
+        config = HospitalConfig(n=n, seed=seed, dirty_rate=dirty_rate, **overrides)
+        dirty, clean, rules, report = generate_hospital_dataset(config)
+    elif name == "adult":
+        config = AdultConfig(n=n, seed=seed, dirty_rate=dirty_rate, **overrides)
+        dirty, clean, rules, report = generate_adult_dataset(config)
+    else:
+        raise ConfigError(f"unknown dataset {name!r}; expected one of {DATASET_NAMES}")
+    return GDRDataset(name=name, dirty=dirty, clean=clean, rules=rules, corruption=report)

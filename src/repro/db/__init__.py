@@ -1,0 +1,23 @@
+"""In-memory relational substrate (schema, tuple store, indexes, audit log).
+
+This package replaces the MySQL backend used in the paper with a pure
+Python tuple store that supports cell-level updates, listener hooks
+(the analogue of database triggers) and equality indexes.
+"""
+
+from repro.db.changelog import CellChange, ChangeLog
+from repro.db.database import Database, Row
+from repro.db.index import HashIndex
+from repro.db.io import load_csv, save_csv
+from repro.db.schema import Schema
+
+__all__ = [
+    "CellChange",
+    "ChangeLog",
+    "Database",
+    "HashIndex",
+    "Row",
+    "Schema",
+    "load_csv",
+    "save_csv",
+]

@@ -1,0 +1,139 @@
+"""Cell-level change records and an audit log with undo support.
+
+GDR applies updates to a live database; the paper's consistency manager
+and our evaluation metrics both need to know exactly which cells changed
+and in what order. :class:`ChangeLog` subscribes to a
+:class:`~repro.db.database.Database` and records every mutation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.db.database import Database
+
+__all__ = ["CellChange", "ChangeLog"]
+
+
+@dataclass(frozen=True, slots=True)
+class CellChange:
+    """One mutation of a single cell.
+
+    Attributes
+    ----------
+    seq:
+        Monotonically increasing sequence number within the log.
+    tid:
+        Tuple id of the modified row.
+    attribute:
+        Name of the modified attribute.
+    old / new:
+        Value before and after the mutation.
+    source:
+        Free-form provenance tag (``"user"``, ``"learner"``,
+        ``"heuristic"``, ...).
+    """
+
+    seq: int
+    tid: int
+    attribute: str
+    old: object
+    new: object
+    source: str
+
+    @property
+    def cell(self) -> tuple[int, str]:
+        """The ``(tid, attribute)`` pair identifying the mutated cell."""
+        return (self.tid, self.attribute)
+
+
+class ChangeLog:
+    """Append-only record of the cell mutations applied to a database.
+
+    The log attaches itself as a listener on construction. Records are
+    :class:`CellChange` values in application order.
+
+    Examples
+    --------
+    >>> from repro.db import Database, Schema
+    >>> db = Database(Schema("r", ["a"]), [["x"]])
+    >>> log = ChangeLog(db)
+    >>> db.set_value(0, "a", "y", source="user")
+    >>> [c.new for c in log]
+    ['y']
+    """
+
+    def __init__(self, db: "Database") -> None:
+        self._db = db
+        self._changes: list[CellChange] = []
+        db.add_listener(self._record)
+
+    def _record(self, change: CellChange) -> None:
+        self._changes.append(change)
+
+    def __len__(self) -> int:
+        return len(self._changes)
+
+    def __iter__(self):
+        return iter(self._changes)
+
+    def __getitem__(self, index: int) -> CellChange:
+        return self._changes[index]
+
+    @property
+    def changes(self) -> tuple[CellChange, ...]:
+        """All recorded changes, oldest first."""
+        return tuple(self._changes)
+
+    def changed_cells(self) -> set[tuple[int, str]]:
+        """Distinct ``(tid, attribute)`` cells touched at least once."""
+        return {c.cell for c in self._changes}
+
+    def by_source(self, source: str) -> list[CellChange]:
+        """All changes whose provenance tag equals *source*."""
+        return [c for c in self._changes if c.source == source]
+
+    def net_effect(self) -> dict[tuple[int, str], tuple[object, object]]:
+        """Map each touched cell to its ``(first old, last new)`` values.
+
+        Cells whose final value equals their original value (changed and
+        then reverted) are excluded.
+        """
+        first_old: dict[tuple[int, str], object] = {}
+        last_new: dict[tuple[int, str], object] = {}
+        for change in self._changes:
+            first_old.setdefault(change.cell, change.old)
+            last_new[change.cell] = change.new
+        return {
+            cell: (first_old[cell], last_new[cell])
+            for cell in first_old
+            if first_old[cell] != last_new[cell]
+        }
+
+    def undo_last(self, count: int = 1) -> int:
+        """Revert the last *count* changes on the attached database.
+
+        The reverting writes are themselves suppressed from the log so
+        undo leaves the log consistent with the database content.
+        Returns the number of changes actually undone.
+        """
+        undone = 0
+        while undone < count and self._changes:
+            change = self._changes.pop()
+            self._db.remove_listener(self._record)
+            try:
+                self._db.set_value(change.tid, change.attribute, change.old, source="undo")
+            finally:
+                self._db.add_listener(self._record)
+            undone += 1
+        return undone
+
+    def clear(self) -> None:
+        """Drop all recorded changes (the database is left untouched)."""
+        self._changes.clear()
+
+    def detach(self) -> None:
+        """Stop recording changes from the attached database."""
+        self._db.remove_listener(self._record)

@@ -1,0 +1,107 @@
+"""Self-maintaining equality (hash) indexes over database attributes.
+
+The update generator and the violation detector repeatedly need "all
+tuples whose attributes ``X`` equal these values" — the relational
+equivalent of a hash index on ``X``. :class:`HashIndex` subscribes to
+the database's cell listeners and stays consistent under updates.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Sequence
+
+from repro.db.changelog import CellChange
+from repro.db.database import Database
+
+__all__ = ["HashIndex"]
+
+
+class HashIndex:
+    """Equality index on one or more attributes of a database.
+
+    Parameters
+    ----------
+    db:
+        The database to index. The index registers itself as a
+        listener and tracks subsequent updates automatically.
+    attributes:
+        Attribute names forming the index key, in key order.
+
+    Notes
+    -----
+    Deletions are not tracked automatically (the GDR pipeline never
+    deletes tuples); call :meth:`refresh` if tuples were removed.
+
+    Examples
+    --------
+    >>> from repro.db import Database, Schema
+    >>> db = Database(Schema("r", ["a", "b"]), [["x", 1], ["x", 2]])
+    >>> idx = HashIndex(db, ["a"])
+    >>> sorted(idx.lookup(("x",)))
+    [0, 1]
+    """
+
+    def __init__(self, db: Database, attributes: Sequence[str]) -> None:
+        db.schema.validate_attributes(attributes)
+        self._db = db
+        self.attributes = tuple(attributes)
+        self._attr_set = set(attributes)
+        self._positions = db.schema.positions(attributes)
+        self._buckets: dict[tuple[object, ...], set[int]] = defaultdict(set)
+        self._keys: dict[int, tuple[object, ...]] = {}
+        self.refresh()
+        db.add_listener(self._on_change)
+
+    # ------------------------------------------------------------------
+    def _key_for(self, tid: int) -> tuple[object, ...]:
+        values = self._db.values_snapshot(tid)
+        return tuple(values[p] for p in self._positions)
+
+    def refresh(self) -> None:
+        """Rebuild the index from scratch from the current database."""
+        self._buckets.clear()
+        self._keys.clear()
+        for tid in self._db.tids():
+            key = self._key_for(tid)
+            self._buckets[key].add(tid)
+            self._keys[tid] = key
+
+    def _on_change(self, change: CellChange) -> None:
+        if change.attribute not in self._attr_set:
+            return
+        tid = change.tid
+        old_key = self._keys.get(tid)
+        if old_key is not None:
+            bucket = self._buckets.get(old_key)
+            if bucket is not None:
+                bucket.discard(tid)
+                if not bucket:
+                    del self._buckets[old_key]
+        new_key = self._key_for(tid)
+        self._buckets[new_key].add(tid)
+        self._keys[tid] = new_key
+
+    # ------------------------------------------------------------------
+    def lookup(self, key: Sequence[object]) -> set[int]:
+        """Tuple ids whose indexed attributes equal *key* (a copy)."""
+        return set(self._buckets.get(tuple(key), ()))
+
+    def lookup_row(self, tid: int) -> set[int]:
+        """Tuple ids sharing tuple *tid*'s key (including *tid* itself)."""
+        return self.lookup(self._key_for(tid))
+
+    def keys(self) -> list[tuple[object, ...]]:
+        """All distinct keys currently present."""
+        return list(self._buckets)
+
+    def bucket_sizes(self) -> dict[tuple[object, ...], int]:
+        """Map each key to the number of tuples carrying it."""
+        return {key: len(tids) for key, tids in self._buckets.items()}
+
+    def detach(self) -> None:
+        """Stop tracking database updates."""
+        self._db.remove_listener(self._on_change)
+
+    def __len__(self) -> int:
+        return len(self._buckets)

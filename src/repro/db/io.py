@@ -1,0 +1,84 @@
+"""CSV import/export for :class:`~repro.db.database.Database`.
+
+Real cleaning sessions start from files; these helpers move tables in
+and out of the in-memory substrate. All values are read as strings
+(CFD semantics compare values by equality; typed parsing is the
+caller's concern).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.db.database import Database
+from repro.db.schema import Schema
+from repro.errors import SchemaError
+
+__all__ = ["load_csv", "save_csv"]
+
+
+def load_csv(
+    path: str | Path,
+    relation_name: str | None = None,
+    delimiter: str = ",",
+) -> Database:
+    """Load a CSV file (header row = attribute names) into a database.
+
+    Parameters
+    ----------
+    path:
+        CSV file location.
+    relation_name:
+        Relation name for the schema (defaults to the file stem).
+    delimiter:
+        Field separator.
+
+    Raises
+    ------
+    SchemaError
+        On an empty file, duplicate header names, or ragged rows.
+
+    Examples
+    --------
+    >>> import tempfile, os
+    >>> fd, name = tempfile.mkstemp(suffix=".csv"); os.close(fd)
+    >>> _ = Path(name).write_text("a,b\\n1,2\\n3,4\\n")
+    >>> db = load_csv(name)
+    >>> (len(db), db.schema.attributes)
+    (2, ('a', 'b'))
+    >>> os.unlink(name)
+    """
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise SchemaError(f"{path} is empty; expected a header row") from None
+        name = relation_name if relation_name is not None else path.stem
+        schema = Schema(name, [column.strip() for column in header])
+        db = Database(schema)
+        for line_number, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            if len(row) != len(schema):
+                raise SchemaError(
+                    f"{path}:{line_number}: expected {len(schema)} fields, got {len(row)}"
+                )
+            db.insert(row)
+    return db
+
+
+def save_csv(db: Database, path: str | Path, delimiter: str = ",") -> None:
+    """Write a database to CSV (header row + one line per tuple).
+
+    Tuples are written in tid order; values are stringified.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle, delimiter=delimiter)
+        writer.writerow(db.schema.attributes)
+        for row in db.rows():
+            writer.writerow([str(value) for value in row.values])

@@ -1,0 +1,90 @@
+"""Relation schemas for the in-memory relational substrate.
+
+The paper operates on a single relation at a time (CFDs are
+single-relation constraints); a :class:`Schema` is therefore an ordered,
+named collection of attribute names with fast position lookup.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+
+from repro.errors import SchemaError, UnknownAttributeError
+
+__all__ = ["Schema"]
+
+
+class Schema:
+    """An ordered set of attribute names for one relation.
+
+    Parameters
+    ----------
+    name:
+        Relation name, e.g. ``"customer"``.
+    attributes:
+        Ordered attribute names. Must be non-empty and free of
+        duplicates.
+
+    Examples
+    --------
+    >>> schema = Schema("customer", ["name", "city", "zip"])
+    >>> schema.position("city")
+    1
+    >>> "zip" in schema
+    True
+    """
+
+    __slots__ = ("name", "attributes", "_positions")
+
+    def __init__(self, name: str, attributes: Sequence[str]) -> None:
+        attrs = tuple(attributes)
+        if not name:
+            raise SchemaError("relation name must be non-empty")
+        if not attrs:
+            raise SchemaError(f"relation {name!r} must have at least one attribute")
+        seen: set[str] = set()
+        for attr in attrs:
+            if not attr:
+                raise SchemaError(f"relation {name!r} has an empty attribute name")
+            if attr in seen:
+                raise SchemaError(f"relation {name!r} has duplicate attribute {attr!r}")
+            seen.add(attr)
+        self.name = name
+        self.attributes = attrs
+        self._positions = {attr: i for i, attr in enumerate(attrs)}
+
+    def position(self, attribute: str) -> int:
+        """Return the 0-based column position of *attribute*."""
+        try:
+            return self._positions[attribute]
+        except KeyError:
+            raise UnknownAttributeError(attribute, self.name) from None
+
+    def positions(self, attributes: Iterable[str]) -> tuple[int, ...]:
+        """Return column positions for several attributes at once."""
+        return tuple(self.position(a) for a in attributes)
+
+    def validate_attributes(self, attributes: Iterable[str]) -> None:
+        """Raise :class:`UnknownAttributeError` for any foreign attribute."""
+        for attr in attributes:
+            self.position(attr)
+
+    def __contains__(self, attribute: object) -> bool:
+        return attribute in self._positions
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.attributes)
+
+    def __len__(self) -> int:
+        return len(self.attributes)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self.name == other.name and self.attributes == other.attributes
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.attributes))
+
+    def __repr__(self) -> str:
+        return f"Schema({self.name!r}, {list(self.attributes)!r})"

@@ -1,0 +1,35 @@
+"""Experiment harness regenerating every figure of the paper's evaluation."""
+
+from repro.experiments.figure3 import figure3_series, run_figure3
+from repro.experiments.figure4 import figure4_series, run_figure4
+from repro.experiments.figure5 import figure5_series, run_figure5
+from repro.experiments.harness import (
+    FIGURE3_STRATEGIES,
+    FIGURE4_APPROACHES,
+    heuristic_improvement,
+    initial_dirty_count,
+    run_heuristic,
+    run_strategy,
+    trajectory_series,
+)
+from repro.experiments.report import Series, interpolate_at, render_table, save_csv
+
+__all__ = [
+    "FIGURE3_STRATEGIES",
+    "FIGURE4_APPROACHES",
+    "Series",
+    "figure3_series",
+    "figure4_series",
+    "figure5_series",
+    "heuristic_improvement",
+    "initial_dirty_count",
+    "interpolate_at",
+    "render_table",
+    "run_figure3",
+    "run_figure4",
+    "run_figure5",
+    "run_heuristic",
+    "run_strategy",
+    "save_csv",
+    "trajectory_series",
+]

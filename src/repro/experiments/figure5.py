@@ -1,0 +1,77 @@
+"""Figure 5: repair accuracy (precision / recall) vs user effort.
+
+The user affords ``F`` verifications (reported as a percentage of the
+initially identified dirty tuples); GDR then decides the remaining
+updates automatically via the learned models. Precision and recall of
+the performed updates are measured against the ground truth.
+
+Headline claims to reproduce: both precision and recall rise with
+effort; the hospital dataset's precision dominates the adult dataset's
+(the learner is more accurate when errors correlate with context).
+
+Run directly::
+
+    python -m repro.experiments.figure5 --dataset hospital --n 1200
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.datasets.loader import GDRDataset, load_dataset
+from repro.experiments.harness import initial_dirty_count, run_strategy
+from repro.experiments.report import Series, render_table
+
+__all__ = ["figure5_series", "main", "run_figure5"]
+
+#: Effort levels as fractions of the initial dirty-tuple count.
+DEFAULT_EFFORTS = (0.1, 0.2, 0.4, 0.6, 0.8, 1.0)
+
+
+def figure5_series(
+    dataset: GDRDataset,
+    seed: int = 0,
+    efforts: tuple[float, ...] = DEFAULT_EFFORTS,
+) -> list[Series]:
+    """One GDR run per effort level; returns precision + recall curves."""
+    base = initial_dirty_count(dataset)
+    precision = Series("Precision")
+    recall = Series("Recall")
+    for effort in efforts:
+        budget = max(1, int(round(effort * base)))
+        result, __ = run_strategy(dataset, "GDR", seed=seed, feedback_limit=budget)
+        assert result.report is not None  # ground truth is always present here
+        x = 100.0 * effort
+        precision.add(x, result.report.precision)
+        recall.add(x, result.report.recall)
+    return [precision, recall]
+
+
+def run_figure5(dataset_name: str, n: int = 1200, seed: int = 0) -> str:
+    """Regenerate one panel of Figure 5 and render it as a table."""
+    dataset = load_dataset(dataset_name, n=n, seed=seed)
+    curves = figure5_series(dataset, seed=seed)
+    title = (
+        f"Figure 5 ({dataset_name}): precision & recall vs feedback "
+        f"(% of initial dirty tuples) — {dataset.describe()}"
+    )
+    xs = [100.0 * e for e in DEFAULT_EFFORTS]
+    return render_table(title, "feedback %", curves, xs, y_format="{:6.3f}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dataset", choices=("hospital", "adult", "both"), default="both")
+    parser.add_argument("--n", type=int, default=1200, help="number of tuples")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    names = ("hospital", "adult") if args.dataset == "both" else (args.dataset,)
+    for name in names:
+        print(run_figure5(name, n=args.n, seed=args.seed))
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

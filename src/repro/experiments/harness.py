@@ -1,0 +1,139 @@
+"""Strategy runners shared by the figure-regeneration experiments.
+
+Each runner takes a :class:`~repro.datasets.loader.GDRDataset`, repairs
+a *fresh copy* of the dirty instance with one configuration, and
+returns the quality-improvement trajectory as a
+:class:`~repro.experiments.report.Series`.
+"""
+
+from __future__ import annotations
+
+from repro.constraints.violations import ViolationDetector
+from repro.core.gdr import GDRConfig, GDREngine, GDRResult
+from repro.core.quality import QualityEvaluator, quality_improvement
+from repro.core.user import GroundTruthOracle
+from repro.datasets.loader import GDRDataset
+from repro.experiments.report import Series
+from repro.repair.heuristic import batch_repair
+
+__all__ = [
+    "FIGURE3_STRATEGIES",
+    "FIGURE4_APPROACHES",
+    "heuristic_improvement",
+    "initial_dirty_count",
+    "run_heuristic",
+    "run_strategy",
+    "trajectory_series",
+]
+
+#: Figure 3 contenders: ranking strategies with the learner disabled.
+FIGURE3_STRATEGIES = ("GDR-NoLearning", "Greedy", "Random")
+
+#: Figure 4 contenders (Automatic-Heuristic is handled separately).
+FIGURE4_APPROACHES = ("GDR", "GDR-S-Learning", "Active-Learning", "GDR-NoLearning")
+
+
+def _config_for(approach: str, seed: int) -> GDRConfig:
+    """Map a paper approach name to an engine configuration."""
+    if approach == "GDR":
+        return GDRConfig.gdr(seed=seed)
+    if approach == "GDR-S-Learning":
+        return GDRConfig.s_learning(seed=seed)
+    if approach == "Active-Learning":
+        return GDRConfig.active_learning(seed=seed)
+    if approach == "GDR-NoLearning":
+        return GDRConfig.no_learning(seed=seed)
+    if approach == "Greedy":
+        return GDRConfig(ranking="greedy", learning="none", use_benefit_quota=False, seed=seed)
+    if approach == "Random":
+        return GDRConfig(ranking="random", learning="none", use_benefit_quota=False, seed=seed)
+    raise ValueError(f"unknown approach {approach!r}")
+
+
+def run_strategy(
+    dataset: GDRDataset,
+    approach: str,
+    seed: int = 0,
+    feedback_limit: int | None = None,
+) -> tuple[GDRResult, GDREngine]:
+    """Repair a fresh copy of the dataset with one approach."""
+    dirty = dataset.fresh_dirty()
+    oracle = GroundTruthOracle(dataset.clean)
+    engine = GDREngine(
+        dirty,
+        dataset.rules,
+        oracle,
+        config=_config_for(approach, seed),
+        clean_db=dataset.clean,
+    )
+    result = engine.run(feedback_limit=feedback_limit)
+    return result, engine
+
+
+def trajectory_series(
+    label: str,
+    result: GDRResult,
+    x_mode: str = "percent_of_own_total",
+    denominator: int | None = None,
+) -> Series:
+    """Convert a result's trajectory into an improvement curve.
+
+    Parameters
+    ----------
+    label:
+        Curve label.
+    result:
+        The engine result carrying loss samples per feedback unit.
+    x_mode:
+        ``"percent_of_own_total"`` — Figure 3 convention: x is the
+        percentage of the total feedback *this* run required;
+        ``"percent_of_denominator"`` — Figure 4/5 convention: x is the
+        percentage of *denominator* (the initial dirty-tuple count).
+    denominator:
+        Required for ``percent_of_denominator``.
+    """
+    series = Series(label)
+    if x_mode == "percent_of_own_total":
+        total = max(1, result.feedback_used)
+    elif x_mode == "percent_of_denominator":
+        if denominator is None or denominator <= 0:
+            raise ValueError("percent_of_denominator requires a positive denominator")
+        total = denominator
+    else:
+        raise ValueError(f"unknown x_mode {x_mode!r}")
+    last_feedback = -1
+    for point in result.trajectory:
+        improvement = quality_improvement(result.initial_loss, point.loss)
+        x = 100.0 * point.feedback / total
+        if point.feedback == last_feedback and series.points:
+            # keep the latest sample per feedback count (learner
+            # decisions between labels update y at the same x)
+            series.points[-1] = (x, improvement)
+        else:
+            series.add(x, improvement)
+        last_feedback = point.feedback
+    return series
+
+
+def run_heuristic(dataset: GDRDataset) -> float:
+    """Run the automatic baseline; returns its % quality improvement."""
+    dirty = dataset.fresh_dirty()
+    evaluator = QualityEvaluator(dataset.clean, dataset.rules)
+    initial_loss = evaluator.loss_of(dirty)
+    batch_repair(dirty, dataset.rules)
+    final_loss = evaluator.loss_of(dirty)
+    return quality_improvement(initial_loss, final_loss)
+
+
+def heuristic_improvement(dataset: GDRDataset) -> Series:
+    """The Automatic-Heuristic constant line of Figure 4."""
+    improvement = run_heuristic(dataset)
+    return Series("Heuristic", [(0.0, improvement), (100.0, improvement)])
+
+
+def initial_dirty_count(dataset: GDRDataset) -> int:
+    """Initially identified dirty tuples (the Figure 4/5 denominator)."""
+    detector = ViolationDetector(dataset.dirty, dataset.rules)
+    count = len(detector.dirty_tuples())
+    detector.detach()
+    return count

@@ -1,0 +1,126 @@
+"""Series containers and plain-text rendering for experiment output.
+
+The benchmark harness prints the same rows/series the paper plots:
+quality improvement (%) against user feedback (%), one column per
+approach. Everything renders as monospace tables so results are
+readable in CI logs and can be diffed across runs.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["Series", "interpolate_at", "render_table", "save_csv"]
+
+
+@dataclass(slots=True)
+class Series:
+    """One labelled curve: monotone x positions with y values.
+
+    Attributes
+    ----------
+    label:
+        Curve name (e.g. ``"GDR"``, ``"Greedy"``).
+    points:
+        ``(x, y)`` samples in ascending-x order.
+    """
+
+    label: str
+    points: list[tuple[float, float]] = field(default_factory=list)
+
+    def add(self, x: float, y: float) -> None:
+        """Append one sample (x must be >= the previous sample's x)."""
+        self.points.append((x, y))
+
+    @property
+    def xs(self) -> list[float]:
+        """The x positions."""
+        return [x for x, __ in self.points]
+
+    @property
+    def ys(self) -> list[float]:
+        """The y values."""
+        return [y for __, y in self.points]
+
+    def final(self) -> float:
+        """The last y value (0.0 when empty)."""
+        return self.points[-1][1] if self.points else 0.0
+
+    def x_at_y(self, target: float) -> float | None:
+        """Smallest x whose y reaches *target* (None if never reached)."""
+        for x, y in self.points:
+            if y >= target:
+                return x
+        return None
+
+
+def interpolate_at(series: Series, xs: list[float]) -> list[float]:
+    """Sample a series at arbitrary x positions (linear, clamped).
+
+    Positions before the first sample return the first y; positions
+    after the last return the last y.
+
+    Examples
+    --------
+    >>> s = Series("a", [(0.0, 0.0), (10.0, 100.0)])
+    >>> interpolate_at(s, [5.0])
+    [50.0]
+    """
+    if not series.points:
+        return [0.0 for __ in xs]
+    output: list[float] = []
+    points = series.points
+    for x in xs:
+        if x <= points[0][0]:
+            output.append(points[0][1])
+            continue
+        if x >= points[-1][0]:
+            output.append(points[-1][1])
+            continue
+        for (x0, y0), (x1, y1) in zip(points, points[1:]):
+            if x0 <= x <= x1:
+                if x1 == x0:
+                    output.append(y1)
+                else:
+                    output.append(y0 + (y1 - y0) * (x - x0) / (x1 - x0))
+                break
+    return output
+
+
+def render_table(
+    title: str,
+    x_label: str,
+    series_list: list[Series],
+    xs: list[float],
+    y_format: str = "{:6.1f}",
+) -> str:
+    """Render curves as a monospace table sampled at *xs*.
+
+    Examples
+    --------
+    >>> s = Series("A", [(0, 0), (100, 90)])
+    >>> print(render_table("demo", "x%", [s], [0, 50, 100]))  # doctest: +ELLIPSIS
+    demo
+    ...
+    """
+    header = [x_label.rjust(10)] + [s.label.rjust(18) for s in series_list]
+    lines = [title, "-" * (12 + 19 * len(series_list)), " | ".join(header)]
+    columns = [interpolate_at(s, xs) for s in series_list]
+    for i, x in enumerate(xs):
+        row = [f"{x:10.0f}"] + [y_format.format(col[i]).rjust(18) for col in columns]
+        lines.append(" | ".join(row))
+    return "\n".join(lines)
+
+
+def save_csv(path: str | Path, series_list: list[Series], xs: list[float], x_label: str = "x") -> None:
+    """Write the sampled curves to a CSV file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    columns = [interpolate_at(s, xs) for s in series_list]
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([x_label] + [s.label for s in series_list])
+        for i, x in enumerate(xs):
+            writer.writerow([x] + [f"{col[i]:.4f}" for col in columns])

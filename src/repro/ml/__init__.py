@@ -1,0 +1,24 @@
+"""From-scratch learning substrate: encoders, CART trees, random forests."""
+
+from repro.ml.encoding import (
+    FEEDBACK_CLASSES,
+    CategoricalEncoder,
+    UpdateExampleEncoder,
+    feedback_to_class,
+)
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.metrics import accuracy_score, confusion_matrix, entropy, vote_entropy
+from repro.ml.tree import DecisionTreeClassifier
+
+__all__ = [
+    "FEEDBACK_CLASSES",
+    "CategoricalEncoder",
+    "DecisionTreeClassifier",
+    "RandomForestClassifier",
+    "UpdateExampleEncoder",
+    "accuracy_score",
+    "confusion_matrix",
+    "entropy",
+    "feedback_to_class",
+    "vote_entropy",
+]

@@ -1,0 +1,135 @@
+"""Feature encoding for the feedback learner.
+
+A training example for model ``M_Ai`` (paper §4.2) is::
+
+    ⟨t[A1], ..., t[An], v, R(t[Ai], v), F⟩
+
+— the original (dirty) tuple values, the suggested value, a similarity
+feature relating the current and suggested values, and the feedback
+label. All categorical values are mapped to integer codes by
+:class:`CategoricalEncoder`; the encoder grows its vocabulary on the
+fly because active learning sees new values incrementally.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.db.schema import Schema
+from repro.repair.feedback import Feedback
+from repro.repair.similarity import SimilarityFunction, similarity
+
+__all__ = ["FEEDBACK_CLASSES", "CategoricalEncoder", "UpdateExampleEncoder", "feedback_to_class"]
+
+#: Fixed class ordering for feedback labels.
+FEEDBACK_CLASSES: tuple[Feedback, ...] = (Feedback.CONFIRM, Feedback.REJECT, Feedback.RETAIN)
+
+_CLASS_OF = {fb: i for i, fb in enumerate(FEEDBACK_CLASSES)}
+
+
+def feedback_to_class(feedback: Feedback) -> int:
+    """Map a feedback kind to its fixed class index (0/1/2)."""
+    return _CLASS_OF[feedback]
+
+
+class CategoricalEncoder:
+    """Incremental value-to-code mapping for one categorical column.
+
+    Codes start at 0 and grow as new values appear; encoding never
+    fails on unseen values, which is essential for active learning.
+
+    Examples
+    --------
+    >>> enc = CategoricalEncoder()
+    >>> enc.encode("a"), enc.encode("b"), enc.encode("a")
+    (0, 1, 0)
+    >>> enc.decode(1)
+    'b'
+    """
+
+    def __init__(self) -> None:
+        self._codes: dict[object, int] = {}
+        self._values: list[object] = []
+
+    def encode(self, value: object) -> int:
+        """The integer code of *value*, assigning a new one if unseen."""
+        code = self._codes.get(value)
+        if code is None:
+            code = len(self._values)
+            self._codes[value] = code
+            self._values.append(value)
+        return code
+
+    def decode(self, code: int) -> object:
+        """The value carrying *code* (inverse of :meth:`encode`)."""
+        return self._values[code]
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __contains__(self, value: object) -> bool:
+        return value in self._codes
+
+
+class UpdateExampleEncoder:
+    """Builds numeric feature vectors for suggested-update examples.
+
+    The layout is ``[code(A1=t[A1]), ..., code(An=t[An]), code(Ai=v),
+    R(t[Ai], v)]`` — one column per schema attribute, one for the
+    suggested value (sharing the target attribute's vocabulary), and
+    one continuous similarity feature.
+
+    Parameters
+    ----------
+    schema:
+        Relation schema of the repaired table.
+    sim:
+        Relationship function ``R`` (defaults to Eq. 7 similarity).
+    """
+
+    def __init__(self, schema: Schema, sim: SimilarityFunction = similarity) -> None:
+        self.schema = schema
+        self.sim = sim
+        self._encoders = {attr: CategoricalEncoder() for attr in schema.attributes}
+
+    @property
+    def n_features(self) -> int:
+        """Width of the produced feature vectors."""
+        return len(self.schema) + 2
+
+    @property
+    def feature_names(self) -> tuple[str, ...]:
+        """Column labels of the produced feature vectors."""
+        return self.schema.attributes + ("suggested_value", "similarity")
+
+    def encode(
+        self,
+        row_values: Sequence[object],
+        attribute: str,
+        suggested_value: object,
+    ) -> np.ndarray:
+        """Encode one example for model ``M_attribute``.
+
+        Parameters
+        ----------
+        row_values:
+            The tuple's values in schema order, *as they were when the
+            update was suggested* (the dirty snapshot).
+        attribute:
+            The target attribute ``Ai``.
+        suggested_value:
+            The suggested replacement ``v``.
+        """
+        features = np.empty(self.n_features, dtype=np.float64)
+        for i, attr in enumerate(self.schema.attributes):
+            features[i] = self._encoders[attr].encode(row_values[i])
+        features[len(self.schema)] = self._encoders[attribute].encode(suggested_value)
+        current = row_values[self.schema.position(attribute)]
+        features[len(self.schema) + 1] = float(self.sim(current, suggested_value))
+        return features
+
+    def encoder_for(self, attribute: str) -> CategoricalEncoder:
+        """The vocabulary encoder of one attribute (shared with ``v``)."""
+        return self._encoders[attribute]

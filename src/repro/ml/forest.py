@@ -1,0 +1,140 @@
+"""Random-forest committee classifier (Breiman 2001, paper §4.2).
+
+The paper builds, per attribute, a WEKA random forest of ``k = 10``
+trees: each tree is grown on a bootstrap sample and restricts every
+split to a random feature subset. The committee's *vote fractions*
+drive both the prediction (majority vote) and the active-learning
+uncertainty score (entropy of the fractions, base #classes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError, NotFittedError
+from repro.ml.metrics import vote_entropy
+from repro.ml.tree import DecisionTreeClassifier
+
+__all__ = ["RandomForestClassifier"]
+
+
+class RandomForestClassifier:
+    """Bagged committee of :class:`DecisionTreeClassifier` trees.
+
+    Parameters
+    ----------
+    n_estimators:
+        Committee size ``k`` (paper default 10).
+    max_depth, min_samples_leaf:
+        Per-tree growth limits.
+    max_features:
+        Features sampled per split (default ``"sqrt"``).
+    bootstrap_fraction:
+        Bootstrap sample size as a fraction of ``n`` (sampled with
+        replacement; the paper's ``N' < N``).
+    random_state:
+        Seed or generator; trees receive independent child seeds.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> X = np.array([[0.0], [0.2], [2.0], [2.2]] * 5)
+    >>> y = np.array([0, 0, 1, 1] * 5)
+    >>> forest = RandomForestClassifier(n_estimators=5, random_state=7).fit(X, y)
+    >>> forest.predict(np.array([[0.1], [2.1]])).tolist()
+    [0, 1]
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 10,
+        max_depth: int | None = None,
+        min_samples_leaf: int = 1,
+        max_features="sqrt",
+        bootstrap_fraction: float = 1.0,
+        random_state=None,
+    ) -> None:
+        if n_estimators < 1:
+            raise ConfigError(f"n_estimators must be >= 1, got {n_estimators}")
+        if not 0.0 < bootstrap_fraction <= 1.0:
+            raise ConfigError(f"bootstrap_fraction must be in (0, 1], got {bootstrap_fraction}")
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.bootstrap_fraction = bootstrap_fraction
+        self._rng = np.random.default_rng(random_state)
+        self._trees: list[DecisionTreeClassifier] = []
+        self._fitted = False
+
+    # ------------------------------------------------------------------
+    def fit(self, X: np.ndarray, y: np.ndarray, n_classes: int | None = None):
+        """Grow the committee; returns ``self``."""
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        if X.ndim != 2 or X.shape[0] == 0:
+            raise ConfigError(f"X must be a non-empty 2-D array, got shape {X.shape}")
+        if y.shape != (X.shape[0],):
+            raise ConfigError(f"y shape {y.shape} incompatible with X shape {X.shape}")
+        self.n_classes_ = n_classes if n_classes is not None else int(y.max()) + 1
+        n = X.shape[0]
+        sample_size = max(1, int(round(self.bootstrap_fraction * n)))
+        self._trees = []
+        for _ in range(self.n_estimators):
+            sample = self._rng.integers(0, n, size=sample_size)
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                random_state=self._rng.integers(0, 2**32 - 1),
+            )
+            tree.fit(X[sample], y[sample], n_classes=self.n_classes_)
+            self._trees.append(tree)
+        self._fitted = True
+        return self
+
+    # ------------------------------------------------------------------
+    def vote_fractions(self, X: np.ndarray) -> np.ndarray:
+        """Fraction of committee members voting each class, ``(n, C)``."""
+        if not self._fitted:
+            raise NotFittedError("RandomForestClassifier used before fit")
+        X = np.asarray(X, dtype=np.float64)
+        votes = np.zeros((X.shape[0], self.n_classes_), dtype=np.float64)
+        for tree in self._trees:
+            predictions = tree.predict(X)
+            votes[np.arange(X.shape[0]), predictions] += 1.0
+        return votes / len(self._trees)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Majority-vote class labels, shape ``(n,)``."""
+        return np.argmax(self.vote_fractions(X), axis=1)
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Alias of :meth:`vote_fractions` (hard-vote probabilities)."""
+        return self.vote_fractions(X)
+
+    def uncertainty(self, X: np.ndarray) -> np.ndarray:
+        """Committee disagreement per sample: vote entropy in [0, 1]."""
+        fractions = self.vote_fractions(X)
+        return np.array([vote_entropy(row, self.n_classes_) for row in fractions])
+
+    def predict_one(self, features: np.ndarray) -> tuple[int, np.ndarray, float]:
+        """Classify one sample: ``(label, vote fractions, uncertainty)``."""
+        fractions = self.vote_fractions(features.reshape(1, -1))[0]
+        label = int(np.argmax(fractions))
+        return label, fractions, vote_entropy(fractions, self.n_classes_)
+
+    @property
+    def feature_importances_(self) -> np.ndarray:
+        """Mean normalised impurity-decrease importance per feature."""
+        if not self._fitted:
+            raise NotFittedError("RandomForestClassifier used before fit")
+        stacked = np.vstack([tree.feature_importances_ for tree in self._trees])
+        return stacked.mean(axis=0)
+
+    @property
+    def trees(self) -> list[DecisionTreeClassifier]:
+        """The fitted committee members."""
+        if not self._fitted:
+            raise NotFittedError("RandomForestClassifier used before fit")
+        return list(self._trees)

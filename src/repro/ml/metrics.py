@@ -1,0 +1,80 @@
+"""Small metric utilities shared by the learning components.
+
+The committee-uncertainty measure reproduces the paper's §4.2 worked
+example: vote fractions ``(3/5, 1/5, 1/5)`` over three classes give an
+entropy (base 3) of ≈0.86 and ``(1/5, 4/5)`` gives ≈0.45.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = ["accuracy_score", "confusion_matrix", "entropy", "vote_entropy"]
+
+
+def entropy(fractions: Sequence[float], base: float | None = None) -> float:
+    """Shannon entropy of a distribution, optionally rebased.
+
+    Parameters
+    ----------
+    fractions:
+        Probabilities (zeros allowed; they contribute nothing). They
+        are not renormalised — callers pass proper distributions.
+    base:
+        Logarithm base; defaults to ``e``.
+
+    Examples
+    --------
+    >>> round(entropy([0.5, 0.5], base=2), 6)
+    1.0
+    >>> entropy([1.0, 0.0])
+    0.0
+    """
+    total = 0.0
+    for p in fractions:
+        if p > 0.0:
+            total -= p * math.log(p)
+    if base is not None and total > 0.0:
+        total /= math.log(base)
+    return total
+
+
+def vote_entropy(fractions: Sequence[float], n_classes: int | None = None) -> float:
+    """Committee disagreement: entropy of vote fractions, base #classes.
+
+    With the base set to the number of classes the score lies in
+    ``[0, 1]``; 0 means unanimous, 1 means maximally split.
+
+    Examples
+    --------
+    >>> round(vote_entropy([3 / 5, 1 / 5, 1 / 5]), 2)
+    0.86
+    >>> round(vote_entropy([1 / 5, 4 / 5, 0.0]), 2)
+    0.45
+    """
+    k = n_classes if n_classes is not None else len(fractions)
+    if k <= 1:
+        return 0.0
+    return entropy(fractions, base=k)
+
+
+def accuracy_score(y_true: Sequence[int], y_pred: Sequence[int]) -> float:
+    """Fraction of matching labels (1.0 on empty input)."""
+    true_arr = np.asarray(y_true)
+    pred_arr = np.asarray(y_pred)
+    if true_arr.shape != pred_arr.shape:
+        raise ValueError(f"shape mismatch: {true_arr.shape} vs {pred_arr.shape}")
+    if true_arr.size == 0:
+        return 1.0
+    return float(np.mean(true_arr == pred_arr))
+
+
+def confusion_matrix(y_true: Sequence[int], y_pred: Sequence[int], n_classes: int) -> np.ndarray:
+    """``(n_classes, n_classes)`` matrix with true labels on rows."""
+    matrix = np.zeros((n_classes, n_classes), dtype=np.int64)
+    for t, p in zip(y_true, y_pred, strict=True):
+        matrix[int(t), int(p)] += 1
+    return matrix

@@ -1,0 +1,266 @@
+"""CART decision-tree classifier (gini impurity, threshold splits).
+
+A from-scratch replacement for the WEKA trees the paper uses inside its
+random forest. Feature subsampling at every split (``max_features``)
+provides the extra randomisation Breiman's forest requires.
+
+The implementation is array-based: nodes live in parallel numpy arrays
+and prediction walks them iteratively, so deep trees cannot hit Python
+recursion limits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError, NotFittedError
+
+__all__ = ["DecisionTreeClassifier"]
+
+_LEAF = -1
+
+
+def _resolve_max_features(max_features, n_features: int) -> int:
+    if max_features is None:
+        return n_features
+    if max_features == "sqrt":
+        return max(1, int(np.sqrt(n_features)))
+    if max_features == "log2":
+        return max(1, int(np.log2(n_features))) if n_features > 1 else 1
+    if isinstance(max_features, float):
+        if not 0.0 < max_features <= 1.0:
+            raise ConfigError(f"max_features fraction must be in (0, 1], got {max_features}")
+        return max(1, int(max_features * n_features))
+    if isinstance(max_features, int):
+        if max_features < 1:
+            raise ConfigError(f"max_features must be >= 1, got {max_features}")
+        return min(max_features, n_features)
+    raise ConfigError(f"unsupported max_features: {max_features!r}")
+
+
+class DecisionTreeClassifier:
+    """Binary-split classification tree.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum tree depth (``None`` = unbounded).
+    min_samples_split:
+        Smallest node that may still be split.
+    min_samples_leaf:
+        Smallest admissible child size.
+    max_features:
+        Features considered per split: ``None`` (all), ``"sqrt"``,
+        ``"log2"``, an int, or a float fraction.
+    random_state:
+        Seed or :class:`numpy.random.Generator` controlling feature
+        subsampling.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> X = np.array([[0.0], [1.0], [2.0], [3.0]])
+    >>> y = np.array([0, 0, 1, 1])
+    >>> tree = DecisionTreeClassifier().fit(X, y)
+    >>> tree.predict(np.array([[0.5], [2.5]])).tolist()
+    [0, 1]
+    """
+
+    def __init__(
+        self,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features=None,
+        random_state=None,
+    ) -> None:
+        if min_samples_split < 2:
+            raise ConfigError(f"min_samples_split must be >= 2, got {min_samples_split}")
+        if min_samples_leaf < 1:
+            raise ConfigError(f"min_samples_leaf must be >= 1, got {min_samples_leaf}")
+        if max_depth is not None and max_depth < 1:
+            raise ConfigError(f"max_depth must be >= 1, got {max_depth}")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self._rng = np.random.default_rng(random_state)
+        self._fitted = False
+
+    # ------------------------------------------------------------------
+    def fit(self, X: np.ndarray, y: np.ndarray, n_classes: int | None = None):
+        """Grow the tree on ``X (n, m)`` and integer labels ``y (n,)``.
+
+        Returns ``self`` for chaining. ``n_classes`` fixes the width of
+        probability outputs (defaults to ``max(y) + 1``).
+        """
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        if X.ndim != 2:
+            raise ConfigError(f"X must be 2-D, got shape {X.shape}")
+        if y.ndim != 1 or y.shape[0] != X.shape[0]:
+            raise ConfigError(f"y shape {y.shape} incompatible with X shape {X.shape}")
+        if X.shape[0] == 0:
+            raise ConfigError("cannot fit on an empty dataset")
+        self.n_features_ = X.shape[1]
+        self.n_classes_ = n_classes if n_classes is not None else int(y.max()) + 1
+        k = _resolve_max_features(self.max_features, self.n_features_)
+
+        features: list[int] = []
+        thresholds: list[float] = []
+        lefts: list[int] = []
+        rights: list[int] = []
+        counts: list[np.ndarray] = []
+
+        def new_node(class_counts: np.ndarray) -> int:
+            features.append(_LEAF)
+            thresholds.append(0.0)
+            lefts.append(_LEAF)
+            rights.append(_LEAF)
+            counts.append(class_counts)
+            return len(features) - 1
+
+        n_total = X.shape[0]
+        importances = np.zeros(self.n_features_, dtype=np.float64)
+        root_counts = np.bincount(y, minlength=self.n_classes_)
+        stack: list[tuple[int, np.ndarray, int]] = [(new_node(root_counts), np.arange(len(y)), 0)]
+        while stack:
+            node, idx, depth = stack.pop()
+            node_counts = counts[node]
+            if (
+                len(idx) < self.min_samples_split
+                or (self.max_depth is not None and depth >= self.max_depth)
+                or int(np.count_nonzero(node_counts)) <= 1
+            ):
+                continue
+            split = self._best_split(X, y, idx, k)
+            if split is None:
+                continue
+            feature, threshold, left_idx, right_idx, gain = split
+            importances[feature] += gain * len(idx) / n_total
+            features[node] = feature
+            thresholds[node] = threshold
+            left_counts = np.bincount(y[left_idx], minlength=self.n_classes_)
+            right_counts = node_counts - left_counts
+            left = new_node(left_counts)
+            right = new_node(right_counts)
+            lefts[node] = left
+            rights[node] = right
+            stack.append((left, left_idx, depth + 1))
+            stack.append((right, right_idx, depth + 1))
+
+        self._feature = np.array(features, dtype=np.int64)
+        self._threshold = np.array(thresholds, dtype=np.float64)
+        self._left = np.array(lefts, dtype=np.int64)
+        self._right = np.array(rights, dtype=np.int64)
+        count_matrix = np.vstack(counts).astype(np.float64)
+        totals = count_matrix.sum(axis=1, keepdims=True)
+        totals[totals == 0.0] = 1.0
+        self._proba = count_matrix / totals
+        total_importance = importances.sum()
+        if total_importance > 0.0:
+            importances /= total_importance
+        self._importances = importances
+        self._fitted = True
+        return self
+
+    def _best_split(self, X, y, idx, k):
+        """Best gini split over a random subsample of k features."""
+        n = len(idx)
+        parent_counts = np.bincount(y[idx], minlength=self.n_classes_)
+        parent_gini = 1.0 - np.sum((parent_counts / n) ** 2)
+        if parent_gini <= 0.0:
+            return None
+        best_gain = 1e-12
+        best = None
+        n_feat = self.n_features_
+        candidates = (
+            self._rng.permutation(n_feat)[:k] if k < n_feat else np.arange(n_feat)
+        )
+        one_hot = np.zeros((n, self.n_classes_), dtype=np.float64)
+        one_hot[np.arange(n), y[idx]] = 1.0
+        for feature in candidates:
+            column = X[idx, feature]
+            order = np.argsort(column, kind="stable")
+            sorted_vals = column[order]
+            boundaries = np.nonzero(sorted_vals[1:] != sorted_vals[:-1])[0]
+            if boundaries.size == 0:
+                continue
+            cum = np.cumsum(one_hot[order], axis=0)
+            left_sizes = boundaries + 1
+            valid = (left_sizes >= self.min_samples_leaf) & (
+                n - left_sizes >= self.min_samples_leaf
+            )
+            if not np.any(valid):
+                continue
+            boundaries = boundaries[valid]
+            left_sizes = left_sizes[valid]
+            left_counts = cum[boundaries]
+            right_counts = parent_counts - left_counts
+            right_sizes = n - left_sizes
+            gini_left = 1.0 - np.sum((left_counts / left_sizes[:, None]) ** 2, axis=1)
+            gini_right = 1.0 - np.sum((right_counts / right_sizes[:, None]) ** 2, axis=1)
+            weighted = (left_sizes * gini_left + right_sizes * gini_right) / n
+            gains = parent_gini - weighted
+            best_pos = int(np.argmax(gains))
+            if gains[best_pos] > best_gain:
+                boundary = boundaries[best_pos]
+                threshold = 0.5 * (sorted_vals[boundary] + sorted_vals[boundary + 1])
+                left_idx = idx[order[: boundary + 1]]
+                right_idx = idx[order[boundary + 1 :]]
+                best_gain = gains[best_pos]
+                best = (int(feature), float(threshold), left_idx, right_idx, float(best_gain))
+        return best
+
+    # ------------------------------------------------------------------
+    def _leaf_of(self, X: np.ndarray) -> np.ndarray:
+        if not self._fitted:
+            raise NotFittedError("DecisionTreeClassifier.predict called before fit")
+        X = np.asarray(X, dtype=np.float64)
+        nodes = np.zeros(X.shape[0], dtype=np.int64)
+        active = self._feature[nodes] != _LEAF
+        while np.any(active):
+            current = nodes[active]
+            feats = self._feature[current]
+            go_left = X[active, feats] <= self._threshold[current]
+            nodes[active] = np.where(go_left, self._left[current], self._right[current])
+            active = self._feature[nodes] != _LEAF
+        return nodes
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Per-class leaf frequencies, shape ``(n, n_classes)``."""
+        if not self._fitted:
+            raise NotFittedError("DecisionTreeClassifier.predict_proba called before fit")
+        return self._proba[self._leaf_of(X)]
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Most frequent class of the reached leaf, shape ``(n,)``."""
+        return np.argmax(self.predict_proba(X), axis=1)
+
+    @property
+    def feature_importances_(self) -> np.ndarray:
+        """Normalised impurity-decrease importance per feature."""
+        if not self._fitted:
+            raise NotFittedError("tree not fitted")
+        return self._importances.copy()
+
+    @property
+    def node_count(self) -> int:
+        """Number of nodes in the grown tree."""
+        if not self._fitted:
+            raise NotFittedError("tree not fitted")
+        return len(self._feature)
+
+    @property
+    def depth(self) -> int:
+        """Depth of the grown tree (0 = single leaf)."""
+        if not self._fitted:
+            raise NotFittedError("tree not fitted")
+        depths = np.zeros(len(self._feature), dtype=np.int64)
+        best = 0
+        for node in range(len(self._feature)):
+            if self._feature[node] != _LEAF:
+                for child in (self._left[node], self._right[node]):
+                    depths[child] = depths[node] + 1
+                    best = max(best, int(depths[child]))
+        return best

@@ -1,0 +1,32 @@
+"""Update generation, consistency management and the automatic baseline."""
+
+from repro.repair.candidate import CandidateUpdate
+from repro.repair.consistency import AppliedFeedback, ConsistencyManager
+from repro.repair.feedback import Feedback, UserFeedback
+from repro.repair.generator import UpdateGenerator
+from repro.repair.heuristic import HeuristicRepairResult, batch_repair
+from repro.repair.similarity import (
+    EditDistanceSimilarity,
+    SimilarityFunction,
+    levenshtein,
+    similarity,
+    token_jaccard,
+)
+from repro.repair.state import RepairState
+
+__all__ = [
+    "AppliedFeedback",
+    "CandidateUpdate",
+    "ConsistencyManager",
+    "EditDistanceSimilarity",
+    "Feedback",
+    "HeuristicRepairResult",
+    "RepairState",
+    "SimilarityFunction",
+    "UpdateGenerator",
+    "UserFeedback",
+    "batch_repair",
+    "levenshtein",
+    "similarity",
+    "token_jaccard",
+]

@@ -1,0 +1,56 @@
+"""Candidate updates: the ⟨t, A, v, s⟩ tuples of the paper.
+
+A :class:`CandidateUpdate` proposes replacing the value of attribute
+``A`` in tuple ``t`` by ``v``; ``s ∈ [0, 1]`` is the repair-evaluation
+score (Eq. 7) expressing the repairing algorithm's certainty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["CandidateUpdate"]
+
+
+@dataclass(frozen=True, slots=True)
+class CandidateUpdate:
+    """One suggested update ``r = ⟨t, A, v, s⟩``.
+
+    Attributes
+    ----------
+    tid:
+        Target tuple id.
+    attribute:
+        Target attribute ``A``.
+    value:
+        Suggested replacement value ``v``.
+    score:
+        Update-evaluation score ``s`` in ``[0, 1]``.
+    """
+
+    tid: int
+    attribute: str
+    value: object
+    score: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.score <= 1.0:
+            raise ValueError(f"update score must be in [0, 1], got {self.score}")
+
+    @property
+    def cell(self) -> tuple[int, str]:
+        """The targeted ``(tid, attribute)`` cell."""
+        return (self.tid, self.attribute)
+
+    @property
+    def group_key(self) -> tuple[str, object]:
+        """Grouping key used by GDR: same attribute, same suggested value."""
+        return (self.attribute, self.value)
+
+    def with_score(self, score: float) -> "CandidateUpdate":
+        """A copy of this update carrying a different score."""
+        return replace(self, score=score)
+
+    def describe(self) -> str:
+        """Human-readable one-liner for logs and interactive display."""
+        return f"t{self.tid}.{self.attribute} -> {self.value!r} (s={self.score:.2f})"

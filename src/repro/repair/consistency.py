@@ -1,0 +1,245 @@
+"""The updates consistency manager (paper §3 and Appendix A.5).
+
+Once an update is confirmed — by the user or by the learner — it is
+applied to the database immediately. The manager then restores the two
+invariants of Appendix A.5:
+
+(i)  every tuple violating some rule is (again) known to be dirty and
+     has candidate updates where derivable;
+(ii) no live suggestion depends on cell values that the applied update
+     changed — such suggestions are regenerated against the new
+     instance.
+
+Because :class:`~repro.constraints.violations.ViolationDetector`
+maintains violations incrementally via database listeners, invariant
+(i) reduces to regenerating updates for the tuples whose violation
+status the write could have altered: the written tuple itself and the
+tuples that shared (before or after the write) a variable-CFD partition
+with it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.constraints.repository import RuleSet
+from repro.constraints.violations import ViolationDetector
+from repro.db.changelog import CellChange
+from repro.db.database import Database
+from repro.repair.candidate import CandidateUpdate
+from repro.repair.feedback import Feedback, UserFeedback
+from repro.repair.generator import UpdateGenerator
+from repro.repair.state import RepairState
+
+__all__ = ["AppliedFeedback", "ConsistencyManager"]
+
+
+@dataclass(frozen=True, slots=True)
+class AppliedFeedback:
+    """Outcome of routing one feedback decision through the manager.
+
+    Attributes
+    ----------
+    update:
+        The suggestion the feedback was about.
+    feedback:
+        The decision that was applied.
+    applied_value:
+        Value actually written to the database (``None`` when nothing
+        was written — reject without correction, or retain).
+    revisited_cells:
+        Cells whose suggestions were invalidated and regenerated.
+    replacement:
+        The new suggestion generated for the same cell after a plain
+        reject, if any.
+    """
+
+    update: CandidateUpdate
+    feedback: UserFeedback
+    applied_value: object | None = None
+    revisited_cells: tuple[tuple[int, str], ...] = field(default_factory=tuple)
+    replacement: CandidateUpdate | None = None
+
+    @property
+    def wrote_database(self) -> bool:
+        """True when the decision modified the database."""
+        return self.applied_value is not None
+
+
+class ConsistencyManager:
+    """Applies feedback decisions and keeps PossibleUpdates consistent."""
+
+    def __init__(
+        self,
+        db: Database,
+        rules: RuleSet,
+        detector: ViolationDetector,
+        state: RepairState,
+        generator: UpdateGenerator,
+    ) -> None:
+        self.db = db
+        self.rules = rules
+        self.detector = detector
+        self.state = state
+        self.generator = generator
+        # trigger hook (paper §3): out-of-band edits — data entry, other
+        # tools — must also keep PossibleUpdates consistent. Writes the
+        # manager itself performs are handled by the feedback path and
+        # suppressed here.
+        self._suspend_trigger = False
+        db.add_listener(self._on_external_change)
+
+    def detach(self) -> None:
+        """Stop watching out-of-band database edits."""
+        self.db.remove_listener(self._on_external_change)
+
+    def _on_external_change(self, change: CellChange) -> None:
+        if self._suspend_trigger:
+            return
+        # our listener may run before the generator's index listeners;
+        # sync them so regeneration sees the post-write instance
+        self.generator.sync_indexes(change)
+        self._revisit_after_write(change.tid, change.attribute, exclude=None)
+
+    # ------------------------------------------------------------------
+    def apply_feedback(
+        self, update: CandidateUpdate, feedback: UserFeedback, source: str = "user"
+    ) -> AppliedFeedback:
+        """Route one decision about *update* (Appendix A.5 steps 1-6).
+
+        Parameters
+        ----------
+        update:
+            The suggestion being decided.
+        feedback:
+            The decision; a reject carrying a correction is treated as
+            a confirm of the corrected value (paper §4.2).
+        source:
+            Provenance tag recorded in the database change log
+            (``"user"``, ``"learner"``, ...).
+        """
+        cell = update.cell
+        kind = feedback.kind
+
+        if kind is Feedback.RETAIN:
+            # Step 1: current value is correct; stop suggesting.
+            self.state.freeze(cell)
+            return AppliedFeedback(update, feedback)
+
+        if kind is Feedback.REJECT and not feedback.has_correction:
+            # Step 2: the value is wrong; prevent it and look again.
+            self.state.prevent(cell, update.value)
+            self.state.remove(cell)
+            replacement = self.generator.generate_for_cell(*cell)
+            return AppliedFeedback(update, feedback, replacement=replacement)
+
+        # Confirm (possibly via a reject carrying the corrected value).
+        value = feedback.correction if feedback.has_correction else update.value
+        return self._apply_confirmed(update, feedback, value, source)
+
+    def _apply_confirmed(
+        self,
+        update: CandidateUpdate,
+        feedback: UserFeedback,
+        value: object,
+        source: str,
+    ) -> AppliedFeedback:
+        """Step 3: write the cell and restore both invariants."""
+        tid, attribute = update.cell
+
+        # Tuples whose partitions the write leaves (computed pre-write).
+        before: set[int] = set()
+        for rule in self.rules.rules_touching(attribute):
+            if rule.is_variable:
+                before.update(self.detector.partners(tid, rule))
+
+        self._suspend_trigger = True
+        try:
+            self.db.set_value(tid, attribute, value, source=source)
+        finally:
+            self._suspend_trigger = False
+        self.state.freeze(update.cell)
+
+        revisited = self._revisit_after_write(
+            tid, attribute, exclude=update.cell, extra_tuples=before
+        )
+        return AppliedFeedback(
+            update,
+            feedback,
+            applied_value=value,
+            revisited_cells=tuple(revisited),
+        )
+
+    def _revisit_after_write(
+        self,
+        tid: int,
+        attribute: str,
+        exclude: tuple[int, str] | None,
+        extra_tuples: set[int] | None = None,
+    ) -> list[tuple[int, str]]:
+        """Steps 4-5: drop stale suggestions and regenerate.
+
+        Covers the written tuple, the tuples sharing its (post-write)
+        variable-rule partitions and any *extra_tuples* the caller knows
+        were affected (e.g. pre-write partners).
+        """
+        affected: set[int] = {tid}
+        if extra_tuples:
+            affected.update(extra_tuples)
+        revisit_attrs: set[str] = set()
+        for rule in self.rules.rules_touching(attribute):
+            revisit_attrs.update(rule.attributes)
+            if rule.is_variable:
+                affected.update(self.detector.partners(tid, rule))
+        revisited: list[tuple[int, str]] = []
+        for other_tid in sorted(affected):
+            for other_attr in sorted(revisit_attrs):
+                other_cell = (other_tid, other_attr)
+                if exclude is not None and other_cell == exclude:
+                    continue
+                if not self.state.is_changeable(other_cell):
+                    continue
+                had_update = self.state.get(other_cell) is not None
+                regenerated = self.generator.generate_for_cell(other_tid, other_attr)
+                if had_update or regenerated is not None:
+                    revisited.append(other_cell)
+        return revisited
+
+    # ------------------------------------------------------------------
+    def refresh_suggestions(self) -> int:
+        """Step 9 of the GDR process: cover newly dirty tuples.
+
+        Generates suggestions for every dirty tuple that currently has
+        no live suggestion on any changeable cell, and prunes
+        suggestions for tuples that became clean. Returns the number of
+        suggestions generated.
+        """
+        produced = 0
+        dirty = self.detector.dirty_tuples()
+        # prune suggestions whose tuples are now clean or out of date
+        for update in self.state.updates():
+            if update.tid not in dirty:
+                self.state.remove(update.cell)
+            elif update.value == self.db.value(*update.cell):
+                self.state.remove(update.cell)
+        covered = {u.tid for u in self.state.updates()}
+        for tid in sorted(dirty - covered):
+            produced += len(self.generator.generate_for_tuple(tid))
+        return produced
+
+    def check_invariants(self) -> list[str]:
+        """Diagnostics for tests: returns human-readable violations.
+
+        Checks that no live suggestion targets a frozen cell, proposes
+        the cell's current value, or proposes a prevented value.
+        """
+        problems: list[str] = []
+        for update in self.state.updates():
+            cell = update.cell
+            if not self.state.is_changeable(cell):
+                problems.append(f"suggestion on frozen cell {cell}")
+            if update.value == self.db.value(*cell):
+                problems.append(f"suggestion equals current value at {cell}")
+            if self.state.is_prevented(cell, update.value):
+                problems.append(f"suggestion proposes prevented value at {cell}")
+        return problems

@@ -1,0 +1,69 @@
+"""Feedback vocabulary shared by the user, the learner and the manager.
+
+For a suggested update ``r = ⟨t, A, v, s⟩`` the paper defines three
+possible decisions (§4.2):
+
+* **confirm** — ``t[A]`` should indeed become ``v``;
+* **reject** — ``v`` is not a valid value for ``t[A]``; another update
+  must be found;
+* **retain** — the current value of ``t[A]`` is correct, stop
+  suggesting updates for the cell.
+
+A user may additionally volunteer the correct value ``v'`` when
+rejecting; GDR treats that as a confirm of ``⟨t, A, v', 1⟩``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = ["Feedback", "UserFeedback"]
+
+
+class Feedback(Enum):
+    """The three feedback classes of the paper."""
+
+    CONFIRM = "confirm"
+    REJECT = "reject"
+    RETAIN = "retain"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True, slots=True)
+class UserFeedback:
+    """One feedback decision, optionally carrying a corrected value.
+
+    Attributes
+    ----------
+    kind:
+        The feedback class.
+    correction:
+        When *kind* is ``REJECT`` the user may supply the true value
+        ``v'``; GDR then applies ``⟨t, A, v', 1⟩`` as if confirmed.
+    """
+
+    kind: Feedback
+    correction: object | None = None
+
+    @property
+    def has_correction(self) -> bool:
+        """True when the user volunteered the correct value."""
+        return self.correction is not None
+
+    @classmethod
+    def confirm(cls) -> "UserFeedback":
+        """Shorthand for a plain confirm decision."""
+        return cls(Feedback.CONFIRM)
+
+    @classmethod
+    def reject(cls, correction: object | None = None) -> "UserFeedback":
+        """Shorthand for a reject, optionally with the true value."""
+        return cls(Feedback.REJECT, correction)
+
+    @classmethod
+    def retain(cls) -> "UserFeedback":
+        """Shorthand for a retain decision."""
+        return cls(Feedback.RETAIN)

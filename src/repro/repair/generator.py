@@ -1,0 +1,220 @@
+"""On-demand candidate-update generation (paper Algorithm 1).
+
+``UpdateAttributeTuple(t, B)`` searches the best replacement value for
+cell ``t[B]`` across three scenarios:
+
+1. ``B`` is the RHS of a violated *constant* CFD — suggest the pattern
+   constant ``tp[A]``;
+2. ``B`` is the RHS of a violated *variable* CFD — suggest a partner
+   tuple's RHS value (``getValueForRHS``);
+3. ``B`` appears on the LHS of a violated CFD — suggest the value
+   maximising Eq. 7 similarity, searching first the constants that the
+   rules assign to ``B`` and then the values of ``B`` among tuples that
+   agree with ``t`` on the rule's remaining attributes
+   (``getValueForLHS``).
+
+The best-scoring value that is neither the current value nor in the
+cell's prevented list becomes the cell's live suggestion.
+"""
+
+from __future__ import annotations
+
+from repro.constraints.repository import RuleSet
+from repro.constraints.violations import ViolationDetector
+from repro.db.database import Database
+from repro.db.index import HashIndex
+from repro.repair.candidate import CandidateUpdate
+from repro.repair.similarity import SimilarityFunction, similarity
+from repro.repair.state import RepairState
+
+__all__ = ["UpdateGenerator"]
+
+
+class UpdateGenerator:
+    """Generates candidate updates for dirty cells on demand.
+
+    Parameters
+    ----------
+    db, rules, detector, state:
+        The shared repair substrate. The generator writes its
+        suggestions into *state* (one live suggestion per cell).
+    sim:
+        Update-evaluation function (defaults to Eq. 7 edit-distance
+        similarity).
+
+    Examples
+    --------
+    >>> from repro.db import Database, Schema
+    >>> from repro.constraints import RuleSet, ViolationDetector, parse_rules
+    >>> from repro.repair import RepairState
+    >>> db = Database(Schema("r", ["zip", "city"]), [["46360", "Westvile"]])
+    >>> rules = RuleSet(parse_rules("(zip -> city, {46360 || 'Michigan City'})"))
+    >>> det = ViolationDetector(db, rules)
+    >>> gen = UpdateGenerator(db, rules, det, RepairState())
+    >>> update = gen.generate_for_cell(0, "city")
+    >>> update.value
+    'Michigan City'
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        rules: RuleSet,
+        detector: ViolationDetector,
+        state: RepairState,
+        sim: SimilarityFunction = similarity,
+    ) -> None:
+        self.db = db
+        self.rules = rules
+        self.detector = detector
+        self.state = state
+        self.sim = sim
+        self._indexes: dict[tuple[str, ...], HashIndex] = {}
+
+    # ------------------------------------------------------------------
+    def generate_all(self) -> list[CandidateUpdate]:
+        """Initial pass: suggest updates for every dirty tuple's cells.
+
+        Following the paper, every attribute of a dirty tuple is
+        initially assumed potentially incorrect; attributes not involved
+        in any violated rule simply yield no suggestion.
+        """
+        produced: list[CandidateUpdate] = []
+        for tid in sorted(self.detector.dirty_tuples()):
+            produced.extend(self.generate_for_tuple(tid))
+        return produced
+
+    def generate_for_tuple(self, tid: int) -> list[CandidateUpdate]:
+        """Run ``UpdateAttributeTuple`` for every attribute of tuple *tid*."""
+        produced: list[CandidateUpdate] = []
+        violated = self.detector.violated_rules(tid)
+        if not violated:
+            return produced
+        attrs: list[str] = []
+        seen: set[str] = set()
+        for rule in violated:
+            for attr in rule.attributes:
+                if attr not in seen:
+                    seen.add(attr)
+                    attrs.append(attr)
+        for attr in attrs:
+            update = self.generate_for_cell(tid, attr)
+            if update is not None:
+                produced.append(update)
+        return produced
+
+    def generate_for_cell(self, tid: int, attribute: str) -> CandidateUpdate | None:
+        """``UpdateAttributeTuple(t, B)`` — Algorithm 1.
+
+        Returns the new live suggestion for the cell, or ``None`` when
+        the cell is frozen, the tuple is clean, or no admissible value
+        exists. Any previous suggestion for the cell is replaced.
+        """
+        cell = (tid, attribute)
+        if not self.state.is_changeable(cell):
+            return None
+        violated = self.detector.violated_rules(tid)
+        if not violated:
+            self.state.remove(cell)
+            return None
+        current = self.db.value(tid, attribute)
+        prevented = self.state.prevented(cell)
+        # A zero-similarity value is still admissible (the paper's own
+        # example suggests 'Michigan City' for 'Westville'); it simply
+        # carries the lowest possible certainty score.
+        best_score = -1.0
+        best_value: object | None = None
+
+        def consider(value: object) -> None:
+            nonlocal best_score, best_value
+            if value == current or value in prevented or value is None:
+                return
+            score = self.sim(current, value)
+            if (
+                best_value is None
+                or score > best_score
+                or (score == best_score and str(value) < str(best_value))
+            ):
+                best_score = score
+                best_value = value
+
+        saw_lhs_rule = False
+        for rule in violated:
+            if rule.rhs == attribute:
+                if rule.is_constant:
+                    consider(rule.rhs_constant)  # scenario 1
+                else:
+                    for value in self._values_for_rhs(tid, rule):  # scenario 2
+                        consider(value)
+            if attribute in rule.lhs:
+                saw_lhs_rule = True
+        if saw_lhs_rule:
+            for value in self._values_for_lhs(tid, attribute, violated):  # scenario 3
+                consider(value)
+
+        if best_value is None:
+            self.state.remove(cell)
+            return None
+        update = CandidateUpdate(tid, attribute, best_value, best_score)
+        self.state.put(update)
+        return update
+
+    # ------------------------------------------------------------------
+    def _values_for_rhs(self, tid: int, rule) -> list[object]:
+        """``getValueForRHS``: partner RHS values, most frequent first."""
+        counts = self.detector.group_value_counts(tid, rule)
+        current = self.db.value(tid, rule.rhs)
+        candidates = [(count, value) for value, count in counts.items() if value != current]
+        candidates.sort(key=lambda pair: (-pair[0], str(pair[1])))
+        return [value for __, value in candidates]
+
+    def _values_for_lhs(self, tid: int, attribute: str, violated) -> set[object]:
+        """``getValueForLHS``: rule constants plus context-agreeing values.
+
+        Algorithm 1 operates entirely on ``t.vioRuleList``, so the
+        "values in the CFDs" pool is drawn from the *violated* rules'
+        patterns only — pooling constants from all of Σ would funnel
+        unrelated constants into every dirty tuple's suggestions.
+        """
+        pool: set[object] = set()
+        row = self.db.row(tid)
+        for rule in violated:
+            if attribute not in rule.lhs:
+                continue
+            entry = rule.pattern.get(attribute)
+            if entry is not None and rule.pattern.is_constant_on(attribute):
+                pool.add(entry)
+            witness_attrs = tuple(a for a in rule.attributes if a != attribute)
+            if not witness_attrs:
+                continue
+            index = self._index_for(witness_attrs)
+            key = tuple(row[a] for a in witness_attrs)
+            for other_tid in index.lookup(key):
+                if other_tid != tid:
+                    pool.add(self.db.value(other_tid, attribute))
+        return pool
+
+    def _index_for(self, attributes: tuple[str, ...]) -> HashIndex:
+        index = self._indexes.get(attributes)
+        if index is None:
+            index = HashIndex(self.db, attributes)
+            self._indexes[attributes] = index
+        return index
+
+    def sync_indexes(self, change) -> None:
+        """Fold a cell change into the witness indexes immediately.
+
+        Database listeners fire in registration order; a consumer whose
+        listener runs *before* the indexes' own listeners (such as the
+        consistency manager's trigger) calls this first so scenario-3
+        lookups see the new value. The index handler is idempotent, so
+        the later regular notification is harmless.
+        """
+        for index in self._indexes.values():
+            index._on_change(change)
+
+    def detach(self) -> None:
+        """Release the generator's auto-maintained indexes."""
+        for index in self._indexes.values():
+            index.detach()
+        self._indexes.clear()

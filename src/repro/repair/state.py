@@ -1,0 +1,114 @@
+"""Mutable repair bookkeeping: PossibleUpdates, preventedList, Changeable.
+
+The paper keeps three pieces of state per cell ``⟨t, B⟩``:
+
+* at most one live suggestion in the ``PossibleUpdates`` list;
+* ``⟨t, B⟩.preventedList`` — values confirmed wrong for the cell;
+* ``⟨t, B⟩.Changeable`` — cleared once the cell's value is confirmed
+  correct (retain feedback) or has been repaired (confirm feedback).
+
+:class:`RepairState` centralises that bookkeeping for the generator,
+the consistency manager and the GDR engine.
+"""
+
+from __future__ import annotations
+
+from repro.repair.candidate import CandidateUpdate
+
+__all__ = ["RepairState"]
+
+Cell = tuple[int, str]
+
+
+class RepairState:
+    """Per-cell repair flags plus the live candidate-update pool."""
+
+    def __init__(self) -> None:
+        self._prevented: dict[Cell, set[object]] = {}
+        self._frozen: set[Cell] = set()
+        self._possible: dict[Cell, CandidateUpdate] = {}
+
+    # ------------------------------------------------------------------
+    # changeable flag
+    # ------------------------------------------------------------------
+    def is_changeable(self, cell: Cell) -> bool:
+        """True unless the cell's value has been confirmed/repaired."""
+        return cell not in self._frozen
+
+    def freeze(self, cell: Cell) -> None:
+        """Mark the cell unchangeable and drop any live suggestion."""
+        self._frozen.add(cell)
+        self._possible.pop(cell, None)
+
+    def frozen_cells(self) -> set[Cell]:
+        """All cells whose values are confirmed (copy)."""
+        return set(self._frozen)
+
+    # ------------------------------------------------------------------
+    # prevented values
+    # ------------------------------------------------------------------
+    def prevent(self, cell: Cell, value: object) -> None:
+        """Record that *value* was rejected for *cell*."""
+        self._prevented.setdefault(cell, set()).add(value)
+
+    def prevented(self, cell: Cell) -> set[object]:
+        """Values confirmed wrong for *cell* (copy)."""
+        return set(self._prevented.get(cell, ()))
+
+    def is_prevented(self, cell: Cell, value: object) -> bool:
+        """True when *value* was already rejected for *cell*."""
+        return value in self._prevented.get(cell, ())
+
+    # ------------------------------------------------------------------
+    # possible updates (at most one live suggestion per cell)
+    # ------------------------------------------------------------------
+    def put(self, update: CandidateUpdate) -> None:
+        """Insert or replace the live suggestion for the update's cell."""
+        self._possible[update.cell] = update
+
+    def get(self, cell: Cell) -> CandidateUpdate | None:
+        """The live suggestion for *cell*, if any."""
+        return self._possible.get(cell)
+
+    def remove(self, cell: Cell) -> CandidateUpdate | None:
+        """Drop and return the live suggestion for *cell*, if any."""
+        return self._possible.pop(cell, None)
+
+    def discard(self, update: CandidateUpdate) -> bool:
+        """Remove *update* only if it is still the live suggestion."""
+        if self._possible.get(update.cell) == update:
+            del self._possible[update.cell]
+            return True
+        return False
+
+    def contains(self, update: CandidateUpdate) -> bool:
+        """True when *update* is still the live suggestion for its cell."""
+        return self._possible.get(update.cell) == update
+
+    def updates(self) -> list[CandidateUpdate]:
+        """All live suggestions, ordered by (tid, attribute)."""
+        return [self._possible[cell] for cell in sorted(self._possible)]
+
+    def updates_for_tuple(self, tid: int) -> list[CandidateUpdate]:
+        """Live suggestions targeting tuple *tid*."""
+        return [u for cell, u in sorted(self._possible.items()) if cell[0] == tid]
+
+    def __len__(self) -> int:
+        return len(self._possible)
+
+    def clear_updates(self) -> None:
+        """Drop every live suggestion (flags are kept)."""
+        self._possible.clear()
+
+    def reset(self) -> None:
+        """Forget everything: suggestions, prevented values and flags."""
+        self._possible.clear()
+        self._prevented.clear()
+        self._frozen.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"RepairState({len(self._possible)} updates, "
+            f"{len(self._frozen)} frozen cells, "
+            f"{sum(len(v) for v in self._prevented.values())} prevented values)"
+        )

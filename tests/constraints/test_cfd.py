@@ -1,0 +1,119 @@
+"""Tests for :mod:`repro.constraints.cfd`."""
+
+import pytest
+
+from repro.constraints import ANY, CFD, normalize
+from repro.db import Schema
+from repro.errors import RuleError
+
+
+class TestCFDConstruction:
+    def test_constant_rule(self):
+        rule = CFD(["zip"], "city", {"zip": "46360", "city": "Michigan City"})
+        assert rule.is_constant
+        assert not rule.is_variable
+        assert rule.rhs_constant == "Michigan City"
+
+    def test_variable_rule(self):
+        rule = CFD(["street", "city"], "zip", {"street": ANY, "city": ANY, "zip": ANY})
+        assert rule.is_variable
+        with pytest.raises(RuleError):
+            __ = rule.rhs_constant
+
+    def test_attributes_property(self):
+        rule = CFD(["a", "b"], "c", {"a": ANY, "b": ANY, "c": ANY})
+        assert rule.attributes == ("a", "b", "c")
+
+    def test_empty_lhs_rejected(self):
+        with pytest.raises(RuleError):
+            CFD([], "c", {"c": ANY})
+
+    def test_duplicate_lhs_rejected(self):
+        with pytest.raises(RuleError):
+            CFD(["a", "a"], "c", {"a": ANY, "c": ANY})
+
+    def test_rhs_in_lhs_rejected(self):
+        with pytest.raises(RuleError):
+            CFD(["a"], "a", {"a": ANY})
+
+    def test_pattern_must_cover_exactly_attrs(self):
+        with pytest.raises(RuleError):
+            CFD(["a"], "b", {"a": ANY})  # missing b
+        with pytest.raises(RuleError):
+            CFD(["a"], "b", {"a": ANY, "b": ANY, "c": ANY})  # extra c
+
+    def test_lhs_constants(self):
+        rule = CFD(["a", "b"], "c", {"a": "1", "b": ANY, "c": "ok"})
+        assert rule.lhs_constants() == {"a": "1"}
+
+    def test_mixed_constant_lhs_variable_rhs(self):
+        rule = CFD(["city"], "zip", {"city": "Fort Wayne", "zip": ANY})
+        assert rule.is_variable
+        assert rule.lhs_constants() == {"city": "Fort Wayne"}
+
+
+class TestCFDMatching:
+    def test_matches_lhs(self):
+        rule = CFD(["zip"], "city", {"zip": "46360", "city": "Michigan City"})
+        assert rule.matches_lhs({"zip": "46360", "city": "x"}.__getitem__)
+        assert not rule.matches_lhs({"zip": "99999", "city": "x"}.__getitem__)
+
+    def test_matches_rhs(self):
+        rule = CFD(["zip"], "city", {"zip": "46360", "city": "Michigan City"})
+        assert rule.matches_rhs({"city": "Michigan City"}.__getitem__)
+        assert not rule.matches_rhs({"city": "Westville"}.__getitem__)
+
+    def test_validate_schema(self):
+        rule = CFD(["a"], "b", {"a": ANY, "b": ANY})
+        rule.validate_schema(Schema("r", ["a", "b"]))
+        with pytest.raises(KeyError):
+            rule.validate_schema(Schema("r", ["a", "c"]))
+
+
+class TestCFDEquality:
+    def test_equal_rules(self):
+        a = CFD(["x"], "y", {"x": "1", "y": "2"})
+        b = CFD(["x"], "y", {"x": "1", "y": "2"})
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_name_not_part_of_identity(self):
+        a = CFD(["x"], "y", {"x": "1", "y": "2"}, name="n1")
+        b = CFD(["x"], "y", {"x": "1", "y": "2"}, name="n2")
+        assert a == b
+
+    def test_different_patterns_unequal(self):
+        a = CFD(["x"], "y", {"x": "1", "y": "2"})
+        b = CFD(["x"], "y", {"x": "1", "y": "3"})
+        assert a != b
+
+    def test_repr_contains_fd(self):
+        rule = CFD(["x"], "y", {"x": "1", "y": ANY}, name="r")
+        assert "x -> y" in repr(rule)
+
+
+class TestNormalize:
+    def test_single_rhs_keeps_name(self):
+        rules = normalize(["a"], ["b"], {"a": "1", "b": "2"}, name="phi")
+        assert len(rules) == 1
+        assert rules[0].name == "phi"
+
+    def test_multi_rhs_splits(self):
+        rules = normalize(
+            ["zip"], ["city", "state"],
+            {"zip": "46360", "city": "Michigan City", "state": "IN"},
+            name="phi1",
+        )
+        assert [r.rhs for r in rules] == ["city", "state"]
+        assert [r.name for r in rules] == ["phi1.1", "phi1.2"]
+        for rule in rules:
+            assert rule.lhs == ("zip",)
+            assert set(rule.pattern.attributes) == {"zip", rule.rhs}
+
+    def test_empty_rhs_rejected(self):
+        with pytest.raises(RuleError):
+            normalize(["a"], [], {"a": "1"})
+
+    def test_unnamed_multi_rhs(self):
+        rules = normalize(["a"], ["b", "c"], {"a": ANY, "b": ANY, "c": ANY})
+        assert [r.name for r in rules] == ["", ""]

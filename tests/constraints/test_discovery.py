@@ -1,0 +1,145 @@
+"""Tests for :mod:`repro.constraints.discovery`."""
+
+import pytest
+
+from repro.constraints import (
+    discover_rules,
+    discover_variable_cfds,
+    fd_violation_rate,
+    mine_constant_cfds,
+)
+from repro.db import Database, Schema
+from repro.errors import ConfigError
+
+
+@pytest.fixture()
+def functional_db():
+    """zip -> city holds exactly; city -> zip does not (Fort Wayne has 2)."""
+    schema = Schema("r", ["zip", "city", "noise"])
+    rows = []
+    for i in range(30):
+        rows.append(["46360", "Michigan City", f"n{i}"])
+    for i in range(30):
+        rows.append(["46825", "Fort Wayne", f"n{i}"])
+    for i in range(30):
+        rows.append(["46802", "Fort Wayne", f"n{i}"])
+    return Database(schema, rows)
+
+
+class TestMineConstantCfds:
+    def test_finds_planted_rules(self, functional_db):
+        rules = mine_constant_cfds(functional_db, support=0.2, confidence=1.0, max_lhs=1)
+        found = {
+            (r.lhs, r.pattern.value(r.lhs[0]), r.rhs, r.rhs_constant) for r in rules
+        }
+        assert (("zip",), "46360", "city", "Michigan City") in found
+        assert (("zip",), "46825", "city", "Fort Wayne") in found
+
+    def test_support_threshold_prunes(self, functional_db):
+        rules = mine_constant_cfds(functional_db, support=0.5, confidence=1.0, max_lhs=1)
+        lhs_values = {r.pattern.value(r.lhs[0]) for r in rules if r.lhs == ("zip",)}
+        assert "46360" not in lhs_values  # 30/90 < 0.5
+
+    def test_confidence_tolerates_dirt(self, functional_db):
+        functional_db.set_value(0, "city", "TYPO")
+        strict = mine_constant_cfds(functional_db, support=0.2, confidence=1.0, max_lhs=1)
+        tolerant = mine_constant_cfds(functional_db, support=0.2, confidence=0.9, max_lhs=1)
+        strict_zip_rules = [r for r in strict if r.lhs == ("zip",) and r.rhs == "city"]
+        tolerant_zip_rules = [r for r in tolerant if r.lhs == ("zip",) and r.rhs == "city"]
+        assert len(tolerant_zip_rules) > len(strict_zip_rules)
+
+    def test_minimality_prunes_supersets(self, functional_db):
+        rules = mine_constant_cfds(functional_db, support=0.2, confidence=1.0, max_lhs=2)
+        # no rule should have a redundant LHS extension of zip -> city
+        for rule in rules:
+            if rule.rhs == "city" and "zip" in rule.lhs:
+                assert rule.lhs == ("zip",)
+
+    def test_max_rules_cap(self, functional_db):
+        rules = mine_constant_cfds(functional_db, support=0.1, confidence=0.9, max_rules=2)
+        assert len(rules) <= 2
+
+    def test_empty_database(self):
+        db = Database(Schema("r", ["a", "b"]))
+        assert mine_constant_cfds(db) == []
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"support": 0.0}, {"support": 1.5}, {"confidence": 0.0}, {"max_lhs": 0}],
+    )
+    def test_invalid_params(self, functional_db, kwargs):
+        with pytest.raises(ConfigError):
+            mine_constant_cfds(functional_db, **kwargs)
+
+    def test_deterministic(self, functional_db):
+        a = mine_constant_cfds(functional_db, support=0.2, confidence=0.95)
+        b = mine_constant_cfds(functional_db, support=0.2, confidence=0.95)
+        assert a == b
+
+
+class TestFdViolationRate:
+    def test_perfect_fd(self, functional_db):
+        assert fd_violation_rate(functional_db, ["zip"], "city") == 0.0
+
+    def test_minority_fraction(self):
+        schema = Schema("r", ["a", "b"])
+        db = Database(schema, [["k", "x"], ["k", "x"], ["k", "y"], ["k", "x"]])
+        assert fd_violation_rate(db, ["a"], "b") == pytest.approx(0.25)
+
+    def test_empty(self):
+        db = Database(Schema("r", ["a", "b"]))
+        assert fd_violation_rate(db, ["a"], "b") == 0.0
+
+    def test_non_fd_is_high(self, functional_db):
+        # noise attribute is nearly a key; city -> noise deviates a lot
+        assert fd_violation_rate(functional_db, ["city"], "noise") > 0.5
+
+
+class TestDiscoverVariableCfds:
+    def test_finds_true_fd(self, functional_db):
+        rules = discover_variable_cfds(functional_db, max_violation_rate=0.05)
+        pairs = {(r.lhs, r.rhs) for r in rules}
+        assert (("zip",), "city") in pairs
+
+    def test_rejects_non_fd(self, functional_db):
+        rules = discover_variable_cfds(functional_db, max_violation_rate=0.05)
+        pairs = {(r.lhs, r.rhs) for r in rules}
+        assert (("city",), "zip") not in pairs  # Fort Wayne has two zips
+
+    def test_skips_key_like_lhs(self, functional_db):
+        rules = discover_variable_cfds(functional_db, max_violation_rate=0.5)
+        assert all(r.lhs != ("noise",) for r in rules)
+
+    def test_reduction_filter_rejects_skewed_independent_column(self):
+        schema = Schema("r", ["group", "skewed"])
+        rows = []
+        for i in range(100):
+            rows.append([f"g{i % 4}", "common" if i % 10 else "rare"])
+        db = Database(schema, rows)
+        rules = discover_variable_cfds(db, max_violation_rate=0.3, min_reduction=0.5)
+        assert all(r.rhs != "skewed" for r in rules)
+
+    def test_explicit_candidates(self, functional_db):
+        rules = discover_variable_cfds(
+            functional_db, candidates=[(["zip"], "city")], max_violation_rate=0.05
+        )
+        assert len(rules) == 1
+        assert rules[0].is_variable
+
+
+class TestDiscoverRules:
+    def test_combined(self, functional_db):
+        rules = discover_rules(functional_db, support=0.2, confidence=0.95, max_lhs=1)
+        assert len(rules.constant_rules) > 0
+        assert len(rules.variable_rules) > 0
+
+    def test_constants_only(self, functional_db):
+        rules = discover_rules(
+            functional_db, support=0.2, confidence=0.95, include_variable=False
+        )
+        assert rules.variable_rules == []
+
+    def test_validates_schema(self, functional_db):
+        rules = discover_rules(functional_db, support=0.2)
+        for rule in rules:
+            rule.validate_schema(functional_db.schema)

@@ -1,0 +1,79 @@
+"""Tests for :mod:`repro.constraints.explain`."""
+
+import pytest
+
+from repro.constraints import RuleSet, ViolationDetector, explain_tuple, parse_rules
+from repro.db import Database, Schema
+
+
+@pytest.fixture()
+def setting():
+    schema = Schema("r", ["zip", "city", "street"])
+    db = Database(
+        schema,
+        [
+            ["46360", "Westvile", "Main St"],
+            ["46360", "Michigan City", "Main St"],
+            ["46825", "Fort Wayne", "Oak Ave"],
+            ["46825", "Fort Wayne", "Oak Ave"],
+        ],
+    )
+    rules = RuleSet(
+        parse_rules(
+            """
+            phi1: (zip -> city, {46360 || 'Michigan City'})
+            phi5: (street -> zip, {- || -})
+            """
+        )
+    )
+    detector = ViolationDetector(db, rules)
+    return db, rules, detector
+
+
+class TestExplainTuple:
+    def test_clean_tuple(self, setting):
+        __, __r, detector = setting
+        explanation = explain_tuple(detector, 2)
+        assert not explanation.is_dirty
+        assert "clean" in explanation.describe()
+
+    def test_constant_violation(self, setting):
+        __, __r, detector = setting
+        explanation = explain_tuple(detector, 0)
+        assert explanation.is_dirty
+        kinds = {v.kind for v in explanation.violations}
+        assert "constant" in kinds
+        constant = next(v for v in explanation.violations if v.kind == "constant")
+        assert constant.expected == "Michigan City"
+        assert constant.actual == "Westvile"
+
+    def test_variable_violation_lists_partners(self, setting):
+        db, __r, detector = setting
+        db.set_value(0, "zip", "99999")  # Main St group now conflicted
+        explanation = explain_tuple(detector, 1)
+        variable = next(v for v in explanation.violations if v.kind == "variable")
+        assert variable.partners == (0,)
+        assert "t0" in variable.describe()
+
+    def test_describe_mentions_rule_text(self, setting):
+        __, __r, detector = setting
+        text = explain_tuple(detector, 0).describe()
+        assert "zip -> city" in text
+        assert "Michigan City" in text
+
+    def test_values_snapshot_included(self, setting):
+        __, __r, detector = setting
+        explanation = explain_tuple(detector, 0)
+        assert explanation.values["city"] == "Westvile"
+
+    def test_partner_overflow_ellipsis(self):
+        schema = Schema("r", ["street", "zip"])
+        rows = [["Main St", "1"]] + [["Main St", "2"]] * 8
+        db = Database(schema, rows)
+        rules = RuleSet(parse_rules("(street -> zip, {- || -})"))
+        detector = ViolationDetector(db, rules)
+        explanation = explain_tuple(detector, 1)
+        text = explanation.describe()
+        assert "..." not in text  # only 1 partner for tid=1 (tid 0)
+        explanation = explain_tuple(detector, 0)
+        assert "..." in explanation.describe()  # 8 partners, 5 shown

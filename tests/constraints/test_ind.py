@@ -1,0 +1,98 @@
+"""Tests for :mod:`repro.constraints.ind` (the §7 CIND extension)."""
+
+import pytest
+
+from repro.constraints import ANY
+from repro.constraints.ind import IND, check_ind
+from repro.db import Database, Schema
+from repro.errors import RuleError, UnknownAttributeError
+
+
+@pytest.fixture()
+def relations():
+    visits = Database(
+        Schema("visits", ["hospital", "zip", "state"]),
+        [
+            ["H1", "46360", "IN"],
+            ["H2", "99999", "IN"],
+            ["H3", "46825", "IN"],
+            ["H4", "10001", "NY"],
+        ],
+    )
+    gazetteer = Database(
+        Schema("gazetteer", ["zip_code", "st"]),
+        [["46360", "IN"], ["46825", "IN"], ["10001", "NY"]],
+    )
+    return visits, gazetteer
+
+
+class TestINDConstruction:
+    def test_basic(self):
+        ind = IND(["zip"], ["zip_code"])
+        assert ind.arity == 1
+        assert not ind.is_conditional
+
+    def test_multi_attribute(self):
+        ind = IND(["zip", "state"], ["zip_code", "st"])
+        assert ind.arity == 2
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(RuleError):
+            IND(["zip", "state"], ["zip_code"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(RuleError):
+            IND([], [])
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(RuleError):
+            IND(["zip", "zip"], ["a", "b"])
+
+    def test_conditional_flag(self):
+        ind = IND(["zip"], ["zip_code"], child_pattern={"state": "IN"})
+        assert ind.is_conditional
+
+    def test_repr(self):
+        ind = IND(["zip"], ["zip_code"], name="fk")
+        assert "fk" in repr(ind)
+
+
+class TestCheckInd:
+    def test_unconditional_violations(self, relations):
+        visits, gazetteer = relations
+        ind = IND(["zip"], ["zip_code"])
+        assert check_ind(visits, gazetteer, ind) == {1}
+
+    def test_multi_attribute_correspondence(self, relations):
+        visits, gazetteer = relations
+        ind = IND(["zip", "state"], ["zip_code", "st"])
+        assert check_ind(visits, gazetteer, ind) == {1}
+
+    def test_child_pattern_restricts_scope(self, relations):
+        visits, gazetteer = relations
+        gazetteer.delete(2)  # remove the NY entry: t3 now dangling...
+        ind = IND(["zip"], ["zip_code"], child_pattern={"state": "IN"})
+        # ...but the condition only covers IN tuples, so t3 is exempt
+        assert check_ind(visits, gazetteer, ind) == {1}
+
+    def test_parent_pattern_restricts_targets(self, relations):
+        visits, gazetteer = relations
+        ind = IND(["zip"], ["zip_code"], parent_pattern={"st": "IN"})
+        # the NY parent entry no longer counts as a target
+        assert check_ind(visits, gazetteer, ind) == {1, 3}
+
+    def test_satisfied_ind(self, relations):
+        visits, gazetteer = relations
+        visits.set_value(1, "zip", "46825")
+        ind = IND(["zip"], ["zip_code"])
+        assert check_ind(visits, gazetteer, ind) == set()
+
+    def test_unknown_attribute_raises(self, relations):
+        visits, gazetteer = relations
+        with pytest.raises(UnknownAttributeError):
+            check_ind(visits, gazetteer, IND(["nope"], ["zip_code"]))
+
+    def test_wildcard_pattern_entries(self, relations):
+        visits, gazetteer = relations
+        ind = IND(["zip"], ["zip_code"], child_pattern={"state": ANY})
+        assert check_ind(visits, gazetteer, ind) == {1}

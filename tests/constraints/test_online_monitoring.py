@@ -1,0 +1,85 @@
+"""Tests for the online-monitoring hooks (paper §3 data-entry scenario)."""
+
+import pytest
+
+from repro.constraints import RuleSet, ViolationDetector, parse_rules
+from repro.db import Database, Schema
+
+
+@pytest.fixture()
+def setting():
+    schema = Schema("r", ["zip", "city", "street"])
+    db = Database(
+        schema,
+        [
+            ["46360", "Michigan City", "Main St"],
+            ["46825", "Fort Wayne", "Oak Ave"],
+        ],
+    )
+    rules = RuleSet(
+        parse_rules(
+            """
+            phi1: (zip -> city, {46360 || 'Michigan City'})
+            phi5: (street -> zip, {- || -})
+            """
+        )
+    )
+    return db, ViolationDetector(db, rules)
+
+
+class TestAddTuple:
+    def test_clean_insert(self, setting):
+        db, detector = setting
+        tid = db.insert(["46360", "Michigan City", "Elm St"])
+        detector.add_tuple(tid)
+        assert not detector.is_dirty(tid)
+        assert detector.verify()
+
+    def test_dirty_insert_detected_immediately(self, setting):
+        db, detector = setting
+        tid = db.insert(["46360", "Westvile", "Elm St"])
+        detector.add_tuple(tid)
+        assert detector.is_dirty(tid)
+        assert detector.verify()
+
+    def test_insert_creating_pair_violation(self, setting):
+        db, detector = setting
+        tid = db.insert(["99999", "Anywhere", "Main St"])  # conflicts with t0's zip
+        detector.add_tuple(tid)
+        assert detector.is_dirty(tid)
+        assert detector.is_dirty(0)
+        assert detector.verify()
+
+    def test_subsequent_updates_tracked(self, setting):
+        db, detector = setting
+        tid = db.insert(["46360", "Westvile", "Elm St"])
+        detector.add_tuple(tid)
+        db.set_value(tid, "city", "Michigan City")
+        assert not detector.is_dirty(tid)
+        assert detector.verify()
+
+
+class TestRemoveTuple:
+    def test_remove_clears_violations(self, setting):
+        db, detector = setting
+        tid = db.insert(["99999", "Anywhere", "Main St"])
+        detector.add_tuple(tid)
+        assert detector.is_dirty(0)
+        detector.remove_tuple(tid)
+        db.delete(tid)
+        assert not detector.is_dirty(0)
+        assert detector.verify()
+
+    def test_remove_constant_violator(self, setting):
+        db, detector = setting
+        tid = db.insert(["46360", "Wrong", "Elm St"])
+        detector.add_tuple(tid)
+        detector.remove_tuple(tid)
+        db.delete(tid)
+        assert detector.dirty_tuples() == set()
+        assert detector.verify()
+
+    def test_remove_untracked_tuple_is_noop(self, setting):
+        db, detector = setting
+        detector.remove_tuple(12345)  # never added
+        assert detector.verify()

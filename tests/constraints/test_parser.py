@@ -1,0 +1,131 @@
+"""Tests for :mod:`repro.constraints.parser`."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.constraints import ANY, CFD, format_cfd, parse_cfd, parse_rules
+from repro.errors import RuleParseError
+
+
+class TestParseBasics:
+    def test_constant_rule(self):
+        rules = parse_cfd("(zip -> city, {46360 || 'Michigan City'})")
+        assert len(rules) == 1
+        rule = rules[0]
+        assert rule.lhs == ("zip",)
+        assert rule.rhs == "city"
+        assert rule.pattern.value("zip") == "46360"
+        assert rule.rhs_constant == "Michigan City"
+
+    def test_named_rule(self):
+        rules = parse_cfd("phi9: (a -> b, {1 || 2})")
+        assert rules[0].name == "phi9"
+
+    def test_variable_rule_with_wildcards(self):
+        rules = parse_cfd("(street, city -> zip, {-, 'Fort Wayne' || -})")
+        rule = rules[0]
+        assert rule.is_variable
+        assert rule.pattern.value("street") is ANY
+        assert rule.pattern.value("city") == "Fort Wayne"
+
+    def test_multi_rhs_normalized(self):
+        rules = parse_cfd("phi1: (zip -> city, state, {46360 || 'Michigan City', IN})")
+        assert len(rules) == 2
+        assert [r.name for r in rules] == ["phi1.1", "phi1.2"]
+        assert rules[1].rhs_constant == "IN"
+
+    def test_paper_unicode_separator(self):
+        rules = parse_cfd("(zip -> city, {46360 ‖ 'Michigan City'})")
+        assert rules[0].rhs_constant == "Michigan City"
+
+    def test_underscore_wildcard(self):
+        rules = parse_cfd("(a -> b, {_ || _})")
+        assert rules[0].is_variable
+
+    def test_empty_token_is_wildcard(self):
+        rules = parse_cfd("(street, city -> zip, { , 'Fort Wayne' ||  })")
+        assert rules[0].pattern.value("street") is ANY
+        assert rules[0].pattern.value("zip") is ANY
+
+    def test_double_quoted_values(self):
+        rules = parse_cfd('(a -> b, {"x, y" || z})')
+        assert rules[0].pattern.value("a") == "x, y"
+
+    def test_single_wildcard_broadcasts_over_multi_lhs(self):
+        rules = parse_cfd("(a, b -> c, {- || -})")
+        assert rules[0].pattern.value("a") is ANY
+        assert rules[0].pattern.value("b") is ANY
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "no parens at all",
+            "(a -> b, no braces)",
+            "(a b, {1 || 2})",  # missing ->
+            "(a -> b, {1, 2 || 3})",  # arity mismatch
+            "(a -> b, {1 || 2, 3})",  # rhs arity mismatch
+            "(a -> b, {1, 2})",  # missing separator
+            "( -> b, {|| 2})",  # empty lhs
+            "(a -> , {1 || })",  # empty rhs
+            "(a -> a, {1 || 2})",  # rhs equals lhs
+        ],
+    )
+    def test_malformed_inputs(self, text):
+        with pytest.raises(RuleParseError):
+            parse_cfd(text)
+
+    def test_error_carries_text(self):
+        with pytest.raises(RuleParseError) as err:
+            parse_cfd("garbage")
+        assert "garbage" in str(err.value)
+
+
+class TestParseRules:
+    def test_multiline_with_comments(self):
+        rules = parse_rules(
+            """
+            # comment line
+            phi1: (zip -> city, {46360 || 'Michigan City'})
+
+            phi5: (street, city -> zip, {-, - || -})
+            """
+        )
+        assert [r.name for r in rules] == ["phi1", "phi5"]
+
+    def test_empty_block(self):
+        assert parse_rules("\n# only a comment\n") == []
+
+
+class TestFormatRoundTrip:
+    def test_format_constant(self):
+        rule = parse_cfd("phi1: (zip -> city, {46360 || 'Michigan City'})")[0]
+        text = format_cfd(rule)
+        assert "phi1" in text
+        reparsed = parse_cfd(text)[0]
+        assert reparsed == rule
+
+    def test_format_variable(self):
+        rule = parse_cfd("(street, city -> zip, {-, 'Fort Wayne' || -})")[0]
+        assert parse_cfd(format_cfd(rule))[0] == rule
+
+    @given(
+        lhs_const=st.text(
+            alphabet=st.characters(whitelist_categories=("Lu", "Ll", "Nd")),
+            min_size=1,
+            max_size=10,
+        ),
+        rhs_const=st.text(
+            alphabet=st.characters(whitelist_categories=("Lu", "Ll", "Nd")),
+            min_size=1,
+            max_size=10,
+        ),
+    )
+    def test_roundtrip_property(self, lhs_const, rhs_const):
+        """format -> parse is the identity for simple constant rules."""
+        rule = CFD(["a"], "b", {"a": lhs_const, "b": rhs_const}, name="p")
+        reparsed = parse_cfd(format_cfd(rule))[0]
+        assert reparsed == rule

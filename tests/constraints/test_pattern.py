@@ -1,0 +1,77 @@
+"""Tests for :mod:`repro.constraints.pattern`."""
+
+from repro.constraints import ANY, PatternTuple
+from repro.constraints.pattern import Wildcard
+
+
+class TestWildcard:
+    def test_singleton(self):
+        assert Wildcard() is ANY
+        assert Wildcard() is Wildcard()
+
+    def test_repr(self):
+        assert repr(ANY) == "ANY"
+
+    def test_pickle_roundtrip(self):
+        import pickle
+
+        assert pickle.loads(pickle.dumps(ANY)) is ANY
+
+
+class TestPatternTuple:
+    def test_attributes_order_preserved(self):
+        tp = PatternTuple({"b": "1", "a": ANY})
+        assert tp.attributes == ("b", "a")
+
+    def test_value_and_get(self):
+        tp = PatternTuple({"a": "x"})
+        assert tp.value("a") == "x"
+        assert tp.get("missing") is None
+        assert tp.get("missing", "d") == "d"
+
+    def test_is_constant_on(self):
+        tp = PatternTuple({"a": "x", "b": ANY})
+        assert tp.is_constant_on("a")
+        assert not tp.is_constant_on("b")
+
+    def test_constants(self):
+        tp = PatternTuple({"a": "x", "b": ANY, "c": 3})
+        assert tp.constants() == {"a": "x", "c": 3}
+
+    def test_matches_constant(self):
+        tp = PatternTuple({"a": "x", "b": ANY})
+        assert tp.matches({"a": "x", "b": "whatever"}.__getitem__)
+        assert not tp.matches({"a": "y", "b": "whatever"}.__getitem__)
+
+    def test_matches_wildcard_always(self):
+        tp = PatternTuple({"a": ANY})
+        assert tp.matches({"a": object()}.__getitem__)
+
+    def test_matches_subset_of_attributes(self):
+        tp = PatternTuple({"a": "x", "b": "y"})
+        getter = {"a": "x", "b": "zzz"}.__getitem__
+        assert tp.matches(getter, ("a",))
+        assert not tp.matches(getter, ("b",))
+
+    def test_restrict(self):
+        tp = PatternTuple({"a": "x", "b": ANY})
+        restricted = tp.restrict(("a",))
+        assert restricted.attributes == ("a",)
+        assert restricted.value("a") == "x"
+
+    def test_contains_and_len(self):
+        tp = PatternTuple({"a": "x", "b": ANY})
+        assert "a" in tp and "z" not in tp
+        assert len(tp) == 2
+
+    def test_equality_and_hash(self):
+        assert PatternTuple({"a": "x"}) == PatternTuple({"a": "x"})
+        assert PatternTuple({"a": "x"}) != PatternTuple({"a": "y"})
+        assert len({PatternTuple({"a": ANY}), PatternTuple({"a": ANY})}) == 1
+
+    def test_repr_wildcard_rendered_as_dash(self):
+        assert "-" in repr(PatternTuple({"a": ANY}))
+
+    def test_items(self):
+        tp = PatternTuple({"a": "x"})
+        assert list(tp.items()) == [("a", "x")]

@@ -1,0 +1,109 @@
+"""Tests for :mod:`repro.constraints.repository`."""
+
+import pytest
+
+from repro.constraints import ANY, CFD, RuleSet, parse_rules
+from repro.db import Schema
+from repro.errors import RuleError
+
+
+def _rules():
+    return parse_rules(
+        """
+        phi1: (zip -> city, {46360 || 'Michigan City'})
+        phi2: (zip -> state, {46360 || IN})
+        phi5: (street, city -> zip, {-, - || -})
+        """
+    )
+
+
+class TestRuleSetConstruction:
+    def test_len_and_iteration(self):
+        rs = RuleSet(_rules())
+        assert len(rs) == 3
+        assert [r.name for r in rs] == ["phi1", "phi2", "phi5"]
+
+    def test_indexing(self):
+        rs = RuleSet(_rules())
+        assert rs[0].name == "phi1"
+
+    def test_unnamed_rules_get_names(self):
+        rs = RuleSet([CFD(["a"], "b", {"a": "1", "b": "2"})])
+        assert rs[0].name == "phi1"
+
+    def test_duplicate_rule_rejected(self):
+        rule = CFD(["a"], "b", {"a": "1", "b": "2"})
+        clone = CFD(["a"], "b", {"a": "1", "b": "2"})
+        with pytest.raises(RuleError):
+            RuleSet([rule, clone])
+
+    def test_duplicate_name_rejected(self):
+        a = CFD(["a"], "b", {"a": "1", "b": "2"}, name="x")
+        b = CFD(["a"], "b", {"a": "1", "b": "3"}, name="x")
+        with pytest.raises(RuleError):
+            RuleSet([a, b])
+
+    def test_schema_validation(self):
+        with pytest.raises(KeyError):
+            RuleSet(_rules(), schema=Schema("r", ["zip", "city"]))
+
+    def test_contains(self):
+        rules = _rules()
+        rs = RuleSet(rules)
+        assert rules[0] in rs
+
+
+class TestRuleSetRouting:
+    def test_rules_with_rhs(self):
+        rs = RuleSet(_rules())
+        assert [r.name for r in rs.rules_with_rhs("city")] == ["phi1"]
+        assert rs.rules_with_rhs("nothing") == []
+
+    def test_rules_touching(self):
+        rs = RuleSet(_rules())
+        names = {r.name for r in rs.rules_touching("zip")}
+        assert names == {"phi1", "phi2", "phi5"}
+
+    def test_rules_with_lhs_attr(self):
+        rs = RuleSet(_rules())
+        assert [r.name for r in rs.rules_with_lhs_attr("street")] == ["phi5"]
+        assert [r.name for r in rs.rules_with_lhs_attr("city")] == ["phi5"]
+
+    def test_by_name(self):
+        rs = RuleSet(_rules())
+        assert rs.by_name("phi2").rhs == "state"
+        with pytest.raises(RuleError):
+            rs.by_name("nope")
+
+    def test_constant_and_variable_partitions(self):
+        rs = RuleSet(_rules())
+        assert [r.name for r in rs.constant_rules] == ["phi1", "phi2"]
+        assert [r.name for r in rs.variable_rules] == ["phi5"]
+
+    def test_attributes(self):
+        rs = RuleSet(_rules())
+        assert rs.attributes() == {"zip", "city", "state", "street"}
+
+    def test_constants_for_attribute(self):
+        rs = RuleSet(_rules())
+        assert rs.constants_for_attribute("city") == {"Michigan City"}
+        assert rs.constants_for_attribute("zip") == {"46360"}
+        assert rs.constants_for_attribute("street") == set()
+
+    def test_routing_returns_copies(self):
+        rs = RuleSet(_rules())
+        rs.rules_with_rhs("city").clear()
+        assert len(rs.rules_with_rhs("city")) == 1
+
+    def test_repr(self):
+        rs = RuleSet(_rules())
+        assert "2 constant" in repr(rs)
+        assert "1 variable" in repr(rs)
+
+
+class TestRuleSetWithAny:
+    def test_wildcard_lhs_constant_rhs(self):
+        rule = CFD(["a"], "b", {"a": ANY, "b": "k"})
+        rs = RuleSet([rule])
+        assert rs.constant_rules == [rule]
+        assert rs.constants_for_attribute("b") == {"k"}

@@ -1,0 +1,36 @@
+"""Tests for rule-file round-trips (save_rules / load_rules)."""
+
+from repro.constraints import RuleSet, load_rules, parse_rules, save_rules
+
+
+class TestRuleFileRoundTrip:
+    def test_roundtrip(self, tmp_path):
+        rules = parse_rules(
+            """
+            phi1: (zip -> city, {46360 || 'Michigan City'})
+            phi5: (street, city -> zip, {-, 'Fort Wayne' || -})
+            """
+        )
+        path = tmp_path / "rules.txt"
+        save_rules(rules, path)
+        loaded = load_rules(path)
+        assert loaded == rules
+
+    def test_ruleset_roundtrip(self, tmp_path, figure1_rules):
+        path = tmp_path / "rules.txt"
+        save_rules(list(figure1_rules), path)
+        loaded = RuleSet(load_rules(path))
+        assert len(loaded) == len(figure1_rules)
+        for original, reparsed in zip(figure1_rules, loaded):
+            assert original == reparsed
+
+    def test_file_contains_comments_ok(self, tmp_path):
+        path = tmp_path / "rules.txt"
+        path.write_text("# my rules\nphi1: (a -> b, {1 || 2})\n")
+        assert len(load_rules(path)) == 1
+
+    def test_values_with_spaces_quoted(self, tmp_path):
+        rules = parse_rules("(zip -> city, {46360 || 'Michigan City'})")
+        path = tmp_path / "rules.txt"
+        save_rules(rules, path)
+        assert "'Michigan City'" in path.read_text()

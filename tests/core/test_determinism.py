@@ -1,0 +1,40 @@
+"""Determinism guarantees: same seed, same everything."""
+
+from repro.core import GDRConfig, GDREngine, GroundTruthOracle
+from repro.datasets import load_dataset
+
+
+def _run(name: str, seed: int, config_seed: int, budget: int):
+    ds = load_dataset(name, n=150, seed=seed)
+    db = ds.fresh_dirty()
+    engine = GDREngine(
+        db,
+        ds.rules,
+        GroundTruthOracle(ds.clean),
+        config=GDRConfig.gdr(seed=config_seed),
+        clean_db=ds.clean,
+    )
+    result = engine.run(feedback_limit=budget)
+    return db, result
+
+
+class TestDeterminism:
+    def test_same_seed_same_final_instance(self):
+        db_a, result_a = _run("hospital", seed=7, config_seed=3, budget=30)
+        db_b, result_b = _run("hospital", seed=7, config_seed=3, budget=30)
+        assert db_a.equals_data(db_b)
+        assert result_a.feedback_used == result_b.feedback_used
+        assert result_a.learner_decisions == result_b.learner_decisions
+        assert result_a.final_loss == result_b.final_loss
+        assert [p.loss for p in result_a.trajectory] == [p.loss for p in result_b.trajectory]
+
+    def test_different_engine_seed_may_diverge_without_error(self):
+        __, result_a = _run("hospital", seed=7, config_seed=1, budget=30)
+        __, result_b = _run("hospital", seed=7, config_seed=2, budget=30)
+        assert result_a.feedback_used > 0 and result_b.feedback_used > 0
+
+    def test_adult_deterministic_too(self):
+        db_a, result_a = _run("adult", seed=5, config_seed=0, budget=25)
+        db_b, result_b = _run("adult", seed=5, config_seed=0, budget=25)
+        assert db_a.equals_data(db_b)
+        assert result_a.improvement == result_b.improvement

@@ -1,0 +1,97 @@
+"""Tests for :mod:`repro.core.effort` (budget + d_i quota formula)."""
+
+import pytest
+
+from repro.core import EffortPolicy, FeedbackBudget
+from repro.errors import ConfigError
+
+
+class TestFeedbackBudget:
+    def test_unlimited(self):
+        budget = FeedbackBudget()
+        budget.consume(1000)
+        assert not budget.exhausted
+        assert budget.remaining is None
+
+    def test_limited(self):
+        budget = FeedbackBudget(limit=3)
+        assert budget.remaining == 3
+        budget.consume(2)
+        assert budget.remaining == 1
+        assert not budget.exhausted
+        budget.consume()
+        assert budget.exhausted
+        assert budget.remaining == 0
+
+    def test_overconsumption_clamps_remaining(self):
+        budget = FeedbackBudget(limit=1)
+        budget.consume(5)
+        assert budget.remaining == 0
+
+    def test_zero_budget_immediately_exhausted(self):
+        assert FeedbackBudget(limit=0).exhausted
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(ConfigError):
+            FeedbackBudget(limit=-1)
+
+    def test_repr(self):
+        assert "0/3" in repr(FeedbackBudget(limit=3))
+        assert "∞" in repr(FeedbackBudget())
+
+
+class TestEffortPolicyValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"batch_size": 0}, {"min_labels": -1}, {"fixed_quota": -2}],
+    )
+    def test_invalid_params(self, kwargs):
+        with pytest.raises(ConfigError):
+            EffortPolicy(**kwargs)
+
+
+class TestBenefitQuota:
+    """d_i = E x (1 - g/gmax), clamped into [min_labels, group size]."""
+
+    def test_top_group_gets_minimum(self):
+        policy = EffortPolicy(min_labels=2)
+        assert policy.group_quota(group_size=50, benefit=1.0, max_benefit=1.0, initial_dirty=100) == 2
+
+    def test_zero_benefit_group_gets_full_quota(self):
+        policy = EffortPolicy(min_labels=2)
+        quota = policy.group_quota(group_size=50, benefit=0.0, max_benefit=1.0, initial_dirty=100)
+        assert quota == 50  # E(1-0) = 100, clamped to group size
+
+    def test_intermediate_benefit(self):
+        policy = EffortPolicy(min_labels=2)
+        quota = policy.group_quota(group_size=100, benefit=0.5, max_benefit=1.0, initial_dirty=60)
+        assert quota == 30  # 60 * (1 - 0.5)
+
+    def test_small_group_clamped(self):
+        policy = EffortPolicy(min_labels=5)
+        quota = policy.group_quota(group_size=3, benefit=1.0, max_benefit=1.0, initial_dirty=100)
+        assert quota == 3  # min_labels clamped to group size
+
+    def test_negative_benefit_treated_as_zero_ratio(self):
+        policy = EffortPolicy(min_labels=1)
+        quota = policy.group_quota(group_size=10, benefit=-5.0, max_benefit=2.0, initial_dirty=10)
+        assert quota == 10
+
+    def test_nonpositive_max_benefit_verifies_whole_group(self):
+        policy = EffortPolicy()
+        assert policy.group_quota(10, 0.0, 0.0, 100) == 10
+        assert policy.group_quota(10, -1.0, -0.5, 100) == 10
+
+
+class TestFixedQuota:
+    def test_fixed_quota(self):
+        policy = EffortPolicy(use_benefit_quota=False, fixed_quota=4)
+        assert policy.group_quota(10, 1.0, 1.0, 100) == 4
+
+    def test_fixed_quota_clamped_to_group(self):
+        policy = EffortPolicy(use_benefit_quota=False, fixed_quota=15)
+        assert policy.group_quota(10, 1.0, 1.0, 100) == 10
+
+    def test_none_quota_means_whole_group(self):
+        policy = EffortPolicy(use_benefit_quota=False, fixed_quota=None)
+        assert policy.group_quota(10, 1.0, 1.0, 100) == 10

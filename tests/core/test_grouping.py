@@ -1,0 +1,63 @@
+"""Tests for :mod:`repro.core.grouping`."""
+
+from repro.core import UpdateGroup, group_updates
+from repro.repair import CandidateUpdate
+
+
+def _u(tid, attr="city", value="Fort Wayne", score=0.5):
+    return CandidateUpdate(tid, attr, value, score)
+
+
+class TestGroupUpdates:
+    def test_groups_by_attribute_and_value(self):
+        groups = group_updates(
+            [_u(1), _u(2), _u(3, value="New Haven"), _u(4, attr="zip", value="1")]
+        )
+        keys = [g.key for g in groups]
+        assert ("city", "Fort Wayne") in keys
+        assert ("city", "New Haven") in keys
+        assert ("zip", "1") in keys
+        assert len(groups) == 3
+
+    def test_members_sorted_by_cell(self):
+        groups = group_updates([_u(5), _u(2), _u(9)])
+        assert [u.tid for u in groups[0].updates] == [2, 5, 9]
+
+    def test_groups_sorted_by_key(self):
+        groups = group_updates([_u(1, attr="zip", value="2"), _u(2, attr="city")])
+        assert [g.attribute for g in groups] == ["city", "zip"]
+
+    def test_empty_input(self):
+        assert group_updates([]) == []
+
+    def test_grouping_disabled_puts_all_in_one_pool(self):
+        groups = group_updates([_u(1), _u(2, attr="zip", value="9")], grouping=False)
+        assert len(groups) == 1
+        assert groups[0].size == 2
+        assert groups[0].attribute == "*"
+
+    def test_deterministic_given_same_input(self):
+        updates = [_u(3), _u(1), _u(2, value="New Haven")]
+        assert [g.key for g in group_updates(updates)] == [
+            g.key for g in group_updates(list(reversed(updates)))
+        ]
+
+
+class TestUpdateGroup:
+    def test_properties(self):
+        group = UpdateGroup(("city", "Fort Wayne"), [_u(1), _u(2)])
+        assert group.attribute == "city"
+        assert group.value == "Fort Wayne"
+        assert group.size == 2
+
+    def test_mean_score(self):
+        group = UpdateGroup(("city", "x"), [_u(1, score=0.2), _u(2, score=0.8)])
+        assert group.mean_score() == 0.5
+
+    def test_mean_score_empty(self):
+        assert UpdateGroup(("city", "x")).mean_score() == 0.0
+
+    def test_describe(self):
+        group = UpdateGroup(("city", "Fort Wayne"), [_u(1)])
+        assert "Fort Wayne" in group.describe()
+        assert "1" in group.describe()

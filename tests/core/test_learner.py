@@ -1,0 +1,113 @@
+"""Tests for :mod:`repro.core.learner` (per-attribute feedback models)."""
+
+import pytest
+
+from repro.core import FeedbackLearner
+from repro.db import Schema
+from repro.repair import CandidateUpdate, Feedback
+
+
+@pytest.fixture()
+def schema():
+    return Schema("r", ["src", "city", "zip"])
+
+
+def _teach_pattern(learner, n=12):
+    """Source H2 updates are confirmable; source H9 ones must be rejected."""
+    for i in range(n):
+        confirm = CandidateUpdate(i, "city", "Fort Wayne", 0.8)
+        learner.add_example(confirm, ("H2", "FT Wayne", "46825"), Feedback.CONFIRM)
+        reject = CandidateUpdate(100 + i, "city", "Garbage", 0.2)
+        learner.add_example(reject, ("H9", "Fort Wayne", "46825"), Feedback.REJECT)
+    learner.retrain("city")
+
+
+class TestColdStart:
+    def test_abstains_without_examples(self, schema):
+        learner = FeedbackLearner(schema, seed=0)
+        update = CandidateUpdate(0, "city", "Fort Wayne", 0.7)
+        prediction = learner.predict(update, ("H2", "FT Wayne", "46825"))
+        assert prediction.feedback is None
+        assert not prediction.is_decision
+        assert prediction.confirm_probability == pytest.approx(0.7)  # falls back to s
+        assert prediction.uncertainty == 1.0
+
+    def test_not_ready_below_min_examples(self, schema):
+        learner = FeedbackLearner(schema, min_examples=5, seed=0)
+        update = CandidateUpdate(0, "city", "v", 0.5)
+        learner.add_example(update, ("H2", "a", "b"), Feedback.CONFIRM)
+        learner.add_example(update, ("H2", "a", "b"), Feedback.REJECT)
+        assert not learner.is_ready("city")
+        assert learner.retrain("city") is False
+
+    def test_not_ready_with_single_class(self, schema):
+        learner = FeedbackLearner(schema, min_examples=2, seed=0)
+        update = CandidateUpdate(0, "city", "v", 0.5)
+        for __ in range(10):
+            learner.add_example(update, ("H2", "a", "b"), Feedback.CONFIRM)
+        assert not learner.is_ready("city")
+
+
+class TestTrainedModel:
+    def test_learns_source_correlation(self, schema):
+        learner = FeedbackLearner(schema, min_examples=5, seed=0)
+        _teach_pattern(learner)
+        good = CandidateUpdate(999, "city", "Fort Wayne", 0.8)
+        prediction = learner.predict(good, ("H2", "FT Wayne", "46825"))
+        assert prediction.feedback is Feedback.CONFIRM
+        bad = CandidateUpdate(998, "city", "Garbage", 0.2)
+        prediction = learner.predict(bad, ("H9", "Fort Wayne", "46825"))
+        assert prediction.feedback is Feedback.REJECT
+
+    def test_confirm_probability_from_votes(self, schema):
+        learner = FeedbackLearner(schema, min_examples=5, seed=0)
+        _teach_pattern(learner)
+        good = CandidateUpdate(999, "city", "Fort Wayne", 0.8)
+        prediction = learner.predict(good, ("H2", "FT Wayne", "46825"))
+        assert prediction.confirm_probability > 0.5
+
+    def test_uncertainty_in_unit_range(self, schema):
+        learner = FeedbackLearner(schema, min_examples=5, seed=0)
+        _teach_pattern(learner)
+        update = CandidateUpdate(0, "city", "Fort Wayne", 0.5)
+        prediction = learner.predict(update, ("H5", "unseen", "unseen"))
+        assert 0.0 <= prediction.uncertainty <= 1.0
+
+    def test_retrain_only_when_stale(self, schema):
+        learner = FeedbackLearner(schema, min_examples=5, seed=0)
+        _teach_pattern(learner)
+        assert learner.retrain("city") is False  # not stale anymore
+        update = CandidateUpdate(0, "city", "v", 0.5)
+        learner.add_example(update, ("H2", "a", "b"), Feedback.RETAIN)
+        assert learner.retrain("city") is True
+
+    def test_models_are_per_attribute(self, schema):
+        learner = FeedbackLearner(schema, min_examples=5, seed=0)
+        _teach_pattern(learner)
+        zip_update = CandidateUpdate(0, "zip", "46825", 0.4)
+        prediction = learner.predict(zip_update, ("H2", "Fort Wayne", "46391"))
+        assert prediction.feedback is None  # zip model never trained
+
+    def test_retrain_all(self, schema):
+        learner = FeedbackLearner(schema, min_examples=2, seed=0)
+        update_city = CandidateUpdate(0, "city", "v", 0.5)
+        update_zip = CandidateUpdate(0, "zip", "z", 0.5)
+        for fb in (Feedback.CONFIRM, Feedback.REJECT):
+            learner.add_example(update_city, ("H1", "a", "b"), fb)
+            learner.add_example(update_zip, ("H1", "a", "b"), fb)
+        assert learner.retrain_all() == 2
+
+    def test_example_counts(self, schema):
+        learner = FeedbackLearner(schema, seed=0)
+        _teach_pattern(learner, n=3)
+        assert learner.example_count("city") == 6
+        assert learner.total_examples() == 6
+
+    def test_confirm_probability_shortcut(self, schema):
+        learner = FeedbackLearner(schema, seed=0)
+        update = CandidateUpdate(0, "city", "v", 0.33)
+        assert learner.confirm_probability(update, ("a", "b", "c")) == pytest.approx(0.33)
+
+    def test_repr(self, schema):
+        learner = FeedbackLearner(schema, seed=0)
+        assert "models fitted" in repr(learner)

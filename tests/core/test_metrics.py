@@ -1,0 +1,104 @@
+"""Tests for :mod:`repro.core.metrics` (precision/recall of Appendix B.1)."""
+
+import pytest
+
+from repro.core import RepairReport, TrajectoryPoint, evaluate_repair
+from repro.db import Database, Schema
+
+
+def _db(rows):
+    return Database(Schema("r", ["a", "b"]), rows)
+
+
+class TestEvaluateRepair:
+    def test_perfect_repair(self):
+        dirty = _db([["bad", "y"]])
+        clean = _db([["x", "y"]])
+        repaired = _db([["x", "y"]])
+        report = evaluate_repair(dirty, repaired, clean)
+        assert report.precision == 1.0
+        assert report.recall == 1.0
+        assert report.f1 == 1.0
+        assert report.remaining_errors == 0
+
+    def test_no_repair(self):
+        dirty = _db([["bad", "y"]])
+        clean = _db([["x", "y"]])
+        report = evaluate_repair(dirty, dirty.snapshot(), clean)
+        assert report.changed == 0
+        assert report.precision == 1.0  # vacuous
+        assert report.recall == 0.0
+        assert report.remaining_errors == 1
+
+    def test_wrong_change_hurts_precision(self):
+        dirty = _db([["bad", "y"]])
+        clean = _db([["x", "y"]])
+        repaired = _db([["worse", "y"]])
+        report = evaluate_repair(dirty, repaired, clean)
+        assert report.precision == 0.0
+        assert report.recall == 0.0
+
+    def test_breaking_a_correct_cell(self):
+        dirty = _db([["x", "y"]])
+        clean = _db([["x", "y"]])
+        repaired = _db([["x", "broken"]])
+        report = evaluate_repair(dirty, repaired, clean)
+        assert report.broken == 1
+        assert report.precision == 0.0
+
+    def test_mixed(self):
+        dirty = _db([["bad1", "bad2"], ["x", "y"]])
+        clean = _db([["good1", "good2"], ["x", "y"]])
+        repaired = _db([["good1", "bad2"], ["x", "wrong"]])
+        report = evaluate_repair(dirty, repaired, clean)
+        assert report.changed == 2
+        assert report.correct_changes == 1
+        assert report.initial_errors == 2
+        assert report.remaining_errors == 2  # bad2 remains, wrong introduced
+        assert report.precision == 0.5
+        assert report.recall == 0.5
+
+    def test_cell_accuracy(self):
+        dirty = _db([["bad", "y"]])
+        clean = _db([["x", "y"]])
+        report = evaluate_repair(dirty, dirty.snapshot(), clean)
+        assert report.cell_accuracy == 0.5
+
+    def test_clean_database_all_perfect(self):
+        clean = _db([["x", "y"]])
+        report = evaluate_repair(clean, clean.snapshot(), clean)
+        assert report.recall == 1.0  # vacuous
+        assert report.cell_accuracy == 1.0
+
+
+class TestRepairReport:
+    def test_f1_zero_when_both_zero(self):
+        report = RepairReport(
+            changed=1, correct_changes=0, initial_errors=1, remaining_errors=1, broken=0
+        )
+        assert report.f1 == 0.0
+
+    def test_describe(self):
+        report = RepairReport(
+            changed=2, correct_changes=1, initial_errors=2, remaining_errors=1, broken=0
+        )
+        text = report.describe()
+        assert "precision=0.500" in text
+        assert "recall=0.500" in text
+
+    def test_cell_accuracy_no_cells(self):
+        report = RepairReport(0, 0, 0, 0, 0, cells=0)
+        assert report.cell_accuracy == 1.0
+
+
+class TestTrajectoryPoint:
+    def test_fields(self):
+        point = TrajectoryPoint(feedback=5, learner_decisions=2, loss=0.3)
+        assert point.feedback == 5
+        assert point.learner_decisions == 2
+        assert point.loss == pytest.approx(0.3)
+
+    def test_frozen(self):
+        point = TrajectoryPoint(0, 0, 0.0)
+        with pytest.raises(AttributeError):
+            point.loss = 1.0

@@ -1,0 +1,104 @@
+"""Tests for :mod:`repro.core.quality` (Eq. 2 / Eq. 3)."""
+
+import pytest
+
+from repro.constraints import RuleSet, ViolationDetector, parse_rules
+from repro.core import QualityEvaluator, quality_improvement
+from repro.db import Database, Schema
+
+
+@pytest.fixture()
+def setting():
+    schema = Schema("r", ["zip", "city"])
+    clean = Database(
+        schema,
+        [["46360", "Michigan City"]] * 4 + [["46825", "Fort Wayne"]] * 4,
+    )
+    rules = RuleSet(
+        parse_rules(
+            """
+            phi1: (zip -> city, {46360 || 'Michigan City'})
+            phi3: (zip -> city, {46825 || 'Fort Wayne'})
+            """
+        )
+    )
+    return schema, clean, rules
+
+
+class TestQualityImprovement:
+    def test_full_recovery(self):
+        assert quality_improvement(0.8, 0.0) == 100.0
+
+    def test_partial(self):
+        assert quality_improvement(0.8, 0.4) == pytest.approx(50.0)
+
+    def test_no_initial_loss(self):
+        assert quality_improvement(0.0, 0.0) == 100.0
+
+    def test_regression_is_negative(self):
+        assert quality_improvement(0.5, 0.75) == pytest.approx(-50.0)
+
+
+class TestQualityEvaluator:
+    def test_clean_instance_has_zero_loss(self, setting):
+        __, clean, rules = setting
+        evaluator = QualityEvaluator(clean, rules)
+        assert evaluator.loss_of(clean) == 0.0
+        assert evaluator.ground_truth_violations == 0
+
+    def test_loss_grows_with_errors(self, setting):
+        __, clean, rules = setting
+        evaluator = QualityEvaluator(clean, rules)
+        one_bad = clean.snapshot()
+        one_bad.set_value(0, "city", "Wrong")
+        two_bad = one_bad.snapshot()
+        two_bad.set_value(1, "city", "Wrong")
+        assert 0 < evaluator.loss_of(one_bad) < evaluator.loss_of(two_bad)
+
+    def test_eq3_weighted_sum(self, setting):
+        __, clean, rules = setting
+        evaluator = QualityEvaluator(clean, rules)
+        dirty = clean.snapshot()
+        dirty.set_value(0, "city", "Wrong")
+        # phi1: w = 4/8, ql = (4 - 3)/4; phi3 untouched
+        assert evaluator.loss_of(dirty) == pytest.approx(0.5 * 0.25)
+
+    def test_context_escape_still_counts_as_loss(self, setting):
+        """An error hiding a tuple from its context lowers |D |= phi|."""
+        __, clean, rules = setting
+        evaluator = QualityEvaluator(clean, rules)
+        dirty = clean.snapshot()
+        dirty.set_value(0, "zip", "99999")  # leaves phi1's context
+        assert evaluator.loss_of(dirty) > 0
+
+    def test_loss_via_live_detector(self, setting):
+        __, clean, rules = setting
+        evaluator = QualityEvaluator(clean, rules)
+        dirty = clean.snapshot()
+        dirty.set_value(0, "city", "Wrong")
+        detector = ViolationDetector(dirty, rules)
+        assert evaluator.loss(detector) == pytest.approx(evaluator.loss_of(dirty))
+        dirty.set_value(0, "city", "Michigan City")
+        assert evaluator.loss(detector) == 0.0
+
+    def test_rule_loss_clamped(self, setting):
+        __, clean, rules = setting
+        evaluator = QualityEvaluator(clean, rules)
+        detector = ViolationDetector(clean, rules)
+        for rule in rules:
+            assert 0.0 <= evaluator.rule_loss(detector, rule) <= 1.0
+
+    def test_weights_fixed_from_ground_truth(self, setting):
+        __, clean, rules = setting
+        evaluator = QualityEvaluator(clean, rules)
+        weights = evaluator.weights()
+        assert weights[rules[0]] == pytest.approx(0.5)
+        assert weights[rules[1]] == pytest.approx(0.5)
+
+    def test_loss_bounded_by_total_weight(self, setting):
+        __, clean, rules = setting
+        evaluator = QualityEvaluator(clean, rules)
+        worst = clean.snapshot()
+        for tid in worst.tids():
+            worst.set_value(tid, "city", "Garbage")
+        assert evaluator.loss_of(worst) <= sum(evaluator.weights().values()) + 1e-9

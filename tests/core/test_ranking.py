@@ -1,0 +1,84 @@
+"""Tests for :mod:`repro.core.ranking`."""
+
+from repro.constraints import CFD
+from repro.constraints.violations import WhatIfOutcome
+from repro.core import GreedyRanking, RandomRanking, UpdateGroup, VOIEstimator, VOIRanking
+from repro.repair import CandidateUpdate
+
+
+def _groups():
+    small = UpdateGroup(("city", "A"), [CandidateUpdate(0, "city", "A", 0.9)])
+    medium = UpdateGroup(
+        ("city", "B"),
+        [CandidateUpdate(1, "city", "B", 0.5), CandidateUpdate(2, "city", "B", 0.5)],
+    )
+    large = UpdateGroup(
+        ("zip", "C"),
+        [CandidateUpdate(i, "zip", "C", 0.1) for i in range(3, 7)],
+    )
+    return [small, medium, large]
+
+
+class TestGreedyRanking:
+    def test_largest_first(self):
+        ranked = GreedyRanking().rank(_groups(), lambda u: u.score)
+        assert [g.size for g, __ in ranked] == [4, 2, 1]
+
+    def test_scores_are_sizes(self):
+        ranked = GreedyRanking().rank(_groups(), lambda u: u.score)
+        assert [score for __, score in ranked] == [4.0, 2.0, 1.0]
+
+    def test_ties_broken_deterministically(self):
+        a = UpdateGroup(("a", "x"), [CandidateUpdate(0, "a", "x", 0.5)])
+        b = UpdateGroup(("b", "y"), [CandidateUpdate(1, "b", "y", 0.5)])
+        ranked = GreedyRanking().rank([b, a], lambda u: u.score)
+        assert ranked[0][0] is a  # attribute name tie-break
+
+    def test_name(self):
+        assert GreedyRanking.name == "greedy"
+
+
+class TestRandomRanking:
+    def test_is_permutation(self):
+        groups = _groups()
+        ranked = RandomRanking(seed=1).rank(groups, lambda u: u.score)
+        assert sorted(id(g) for g, __ in ranked) == sorted(id(g) for g in groups)
+
+    def test_deterministic_given_seed(self):
+        groups = _groups()
+        first = [g.key for g, __ in RandomRanking(seed=5).rank(groups, lambda u: u.score)]
+        second = [g.key for g, __ in RandomRanking(seed=5).rank(groups, lambda u: u.score)]
+        assert first == second
+
+    def test_different_seeds_differ_eventually(self):
+        groups = _groups()
+        orders = {
+            tuple(g.key for g, __ in RandomRanking(seed=s).rank(groups, lambda u: u.score))
+            for s in range(10)
+        }
+        assert len(orders) > 1
+
+    def test_scores_zero(self):
+        ranked = RandomRanking(seed=0).rank(_groups(), lambda u: u.score)
+        assert all(score == 0.0 for __, score in ranked)
+
+
+class TestVOIRanking:
+    def test_delegates_to_estimator(self):
+        rule = CFD(["a"], "b", {"a": "1", "b": "2"}, name="r")
+
+        class Stats:
+            def what_if(self, tid, attribute, value):
+                # tuple 0's update helps, others do nothing
+                if tid == 0:
+                    return {rule: WhatIfOutcome(4, 1, 1)}
+                return {rule: WhatIfOutcome(4, 4, 1)}
+
+            def weights(self):
+                return {rule: 1.0}
+
+        strategy = VOIRanking(VOIEstimator(Stats()))
+        groups = _groups()
+        ranked = strategy.rank(groups, lambda u: u.score)
+        assert ranked[0][0].key == ("city", "A")
+        assert strategy.name == "voi"

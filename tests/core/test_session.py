@@ -1,0 +1,123 @@
+"""Tests for :mod:`repro.core.session` (the interactive group session)."""
+
+import pytest
+
+from repro.constraints import ViolationDetector
+from repro.core import FeedbackLearner, GroundTruthOracle, UpdateGroup, group_updates
+from repro.core.effort import FeedbackBudget
+from repro.core.session import InteractiveSession
+from repro.repair import ConsistencyManager, RepairState, UpdateGenerator
+
+
+@pytest.fixture()
+def setting(figure1_dirty, figure1_clean, figure1_rules):
+    detector = ViolationDetector(figure1_dirty, figure1_rules)
+    state = RepairState()
+    generator = UpdateGenerator(figure1_dirty, figure1_rules, detector, state)
+    manager = ConsistencyManager(figure1_dirty, figure1_rules, detector, state, generator)
+    generator.generate_all()
+    oracle = GroundTruthOracle(figure1_clean)
+    return figure1_dirty, detector, state, manager, oracle
+
+
+def _session(setting, learner=None, ordering="uncertainty", batch_size=10):
+    db, __, state, manager, oracle = setting
+    return InteractiveSession(
+        db, state, manager, oracle, learner, ordering=ordering, batch_size=batch_size, seed=0
+    )
+
+
+class TestSessionBasics:
+    def test_invalid_ordering_rejected(self, setting):
+        db, __, state, manager, oracle = setting
+        with pytest.raises(ValueError):
+            InteractiveSession(db, state, manager, oracle, None, ordering="bogus")
+
+    def test_labels_up_to_quota(self, setting):
+        db, __, state, __m, __o = setting
+        session = _session(setting)
+        groups = group_updates(state.updates())
+        group = max(groups, key=lambda g: g.size)
+        report = session.run(group, quota=1, budget=FeedbackBudget())
+        assert report.labeled == 1
+
+    def test_respects_global_budget(self, setting):
+        db, __, state, __m, __o = setting
+        session = _session(setting)
+        groups = group_updates(state.updates())
+        group = max(groups, key=lambda g: g.size)
+        budget = FeedbackBudget(limit=0)
+        report = session.run(group, quota=10, budget=budget)
+        assert report.labeled == 0
+
+    def test_feedback_counts_by_kind(self, setting):
+        db, __, state, __m, __o = setting
+        session = _session(setting)
+        for group in group_updates(state.updates()):
+            report = session.run(group, quota=group.size, budget=FeedbackBudget())
+            assert report.labeled == (
+                report.user_confirms + report.user_rejects + report.user_retains
+            )
+
+    def test_callbacks_fired_per_label(self, setting):
+        db, __, state, __m, __o = setting
+        session = _session(setting)
+        groups = group_updates(state.updates())
+        group = max(groups, key=lambda g: g.size)
+        ticks = []
+        session.run(
+            group, quota=2, budget=FeedbackBudget(), on_feedback=lambda: ticks.append(1)
+        )
+        assert len(ticks) == 2
+
+    def test_empty_group_no_labels(self, setting):
+        session = _session(setting)
+        report = session.run(UpdateGroup(("city", "zzz")), quota=5, budget=FeedbackBudget())
+        assert report.labeled == 0
+
+
+class TestOrdering:
+    def test_random_ordering_used_without_learner(self, setting):
+        session = _session(setting, ordering="random")
+        db, __, state, __m, __o = setting
+        group = group_updates(state.updates())[0]
+        report = session.run(group, quota=group.size, budget=FeedbackBudget())
+        assert report.labeled > 0
+
+    def test_uncertainty_ordering_with_cold_learner_uses_scores(self, setting):
+        db, __, state, __m, __o = setting
+        learner = FeedbackLearner(db.schema, seed=0)
+        session = _session(setting, learner=learner)
+        updates = state.updates()
+        ordered = session._order(updates)
+        scores = [u.score for u in ordered]
+        assert scores == sorted(scores, reverse=True)
+
+
+class TestLearnerIntegration:
+    def test_labels_become_training_examples(self, setting):
+        db, __, state, __m, __o = setting
+        learner = FeedbackLearner(db.schema, min_examples=3, seed=0)
+        session = _session(setting, learner=learner)
+        group = max(group_updates(state.updates()), key=lambda g: g.size)
+        session.run(group, quota=group.size, budget=FeedbackBudget())
+        assert learner.total_examples() > 0
+
+    def test_correction_adds_confirm_example(self, setting):
+        db, __, state, __m, oracle = setting
+        learner = FeedbackLearner(db.schema, min_examples=99, seed=0)
+        session = _session(setting, learner=learner)
+        # run everything; rejects with corrections add extra examples
+        total_labels = 0
+        for group in group_updates(state.updates()):
+            report = session.run(group, quota=group.size, budget=FeedbackBudget())
+            total_labels += report.labeled
+        assert learner.total_examples() >= total_labels
+
+    def test_delegation_requires_confidence(self, setting):
+        db, __, state, __m, __o = setting
+        learner = FeedbackLearner(db.schema, min_examples=10_000, seed=0)
+        session = _session(setting, learner=learner)
+        group = max(group_updates(state.updates()), key=lambda g: g.size)
+        report = session.run(group, quota=1, budget=FeedbackBudget())
+        assert report.learner_decided == 0  # model never ready -> no decisions

@@ -1,0 +1,69 @@
+"""Tests for the session's batch composition (verification probes)."""
+
+import pytest
+
+from repro.constraints import ViolationDetector
+from repro.core import FeedbackLearner, GroundTruthOracle, group_updates
+from repro.core.effort import FeedbackBudget
+from repro.core.session import InteractiveSession
+from repro.repair import ConsistencyManager, RepairState, UpdateGenerator
+
+
+@pytest.fixture()
+def setting(hospital_dataset):
+    db = hospital_dataset.fresh_dirty()
+    detector = ViolationDetector(db, hospital_dataset.rules)
+    state = RepairState()
+    generator = UpdateGenerator(db, hospital_dataset.rules, detector, state)
+    manager = ConsistencyManager(db, hospital_dataset.rules, detector, state, generator)
+    generator.generate_all()
+    oracle = GroundTruthOracle(hospital_dataset.clean)
+    return db, state, manager, oracle
+
+
+class TestProbeComposition:
+    def test_probe_requires_learner_and_room(self, setting):
+        db, state, manager, oracle = setting
+        learner = FeedbackLearner(db.schema, min_examples=4, seed=0)
+        session = InteractiveSession(
+            db, state, manager, oracle, learner, batch_size=5, seed=0
+        )
+        groups = group_updates(state.updates())
+        group = max(groups, key=lambda g: g.size)
+        report = session.run(group, quota=5, budget=FeedbackBudget())
+        assert report.labeled == 5
+
+    def test_no_probe_in_random_ordering(self, setting):
+        db, state, manager, oracle = setting
+        learner = FeedbackLearner(db.schema, min_examples=4, seed=0)
+        session = InteractiveSession(
+            db, state, manager, oracle, learner, ordering="random", batch_size=5, seed=0
+        )
+        groups = group_updates(state.updates())
+        group = max(groups, key=lambda g: g.size)
+        report = session.run(group, quota=4, budget=FeedbackBudget())
+        assert report.labeled == 4
+
+    def test_small_group_no_probe_needed(self, setting):
+        db, state, manager, oracle = setting
+        learner = FeedbackLearner(db.schema, min_examples=4, seed=0)
+        session = InteractiveSession(
+            db, state, manager, oracle, learner, batch_size=10, seed=0
+        )
+        groups = group_updates(state.updates())
+        group = min(groups, key=lambda g: g.size)
+        report = session.run(group, quota=group.size, budget=FeedbackBudget())
+        assert report.labeled <= group.size
+
+    def test_budget_of_one_still_labels(self, setting):
+        db, state, manager, oracle = setting
+        learner = FeedbackLearner(db.schema, min_examples=4, seed=0)
+        session = InteractiveSession(
+            db, state, manager, oracle, learner, batch_size=10, seed=0
+        )
+        groups = group_updates(state.updates())
+        group = max(groups, key=lambda g: g.size)
+        budget = FeedbackBudget(limit=1)
+        report = session.run(group, quota=10, budget=budget)
+        assert report.labeled == 1
+        assert budget.exhausted

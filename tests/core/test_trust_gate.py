@@ -1,0 +1,129 @@
+"""Tests for the learner-trust machinery (validation window, probes)."""
+
+import pytest
+
+from repro.core import FeedbackLearner
+from repro.core.effort import FeedbackBudget
+from repro.core.session import InteractiveSession
+from repro.db import Schema
+from repro.repair import CandidateUpdate, Feedback
+
+
+@pytest.fixture()
+def learner():
+    return FeedbackLearner(Schema("r", ["src", "city"]), min_examples=4, seed=0)
+
+
+class TestValidationWindow:
+    def test_no_accuracy_without_records(self, learner):
+        assert learner.validation_accuracy("city") is None
+        assert not learner.is_trusted("city")
+
+    def test_accuracy_computed(self, learner):
+        for correct in (True, True, False, True):
+            learner.record_validation("city", correct)
+        assert learner.validation_accuracy("city") == pytest.approx(0.75)
+
+    def test_trust_requires_min_samples(self, learner):
+        for __ in range(7):
+            learner.record_validation("city", True)
+        assert not learner.is_trusted("city")  # default needs 8
+        learner.record_validation("city", True)
+        assert learner.is_trusted("city")
+
+    def test_trust_requires_min_accuracy(self, learner):
+        for i in range(20):
+            learner.record_validation("city", i % 2 == 0)  # 50% accuracy
+        assert not learner.is_trusted("city")
+
+    def test_window_is_rolling(self, learner):
+        for __ in range(20):
+            learner.record_validation("city", False)
+        for __ in range(20):
+            learner.record_validation("city", True)
+        assert learner.is_trusted("city")
+
+    def test_thresholds_overridable(self, learner):
+        for __ in range(3):
+            learner.record_validation("city", True)
+        assert learner.is_trusted("city", min_samples=3, min_accuracy=0.9)
+
+    def test_per_attribute_isolation(self, learner):
+        for __ in range(10):
+            learner.record_validation("city", True)
+        assert learner.is_trusted("city")
+        assert not learner.is_trusted("src")
+
+
+class TestSessionValidationIntegration:
+    """The session must score model predictions against user answers."""
+
+    def _make_session(self, figure1_dirty, figure1_clean, figure1_rules, learner):
+        from repro.constraints import ViolationDetector
+        from repro.core import GroundTruthOracle
+        from repro.repair import ConsistencyManager, RepairState, UpdateGenerator
+
+        detector = ViolationDetector(figure1_dirty, figure1_rules)
+        state = RepairState()
+        generator = UpdateGenerator(figure1_dirty, figure1_rules, detector, state)
+        manager = ConsistencyManager(
+            figure1_dirty, figure1_rules, detector, state, generator
+        )
+        generator.generate_all()
+        oracle = GroundTruthOracle(figure1_clean)
+        session = InteractiveSession(
+            figure1_dirty, state, manager, oracle, learner, batch_size=4, seed=0
+        )
+        return session, state
+
+    def test_validations_recorded_once_model_ready(
+        self, figure1_dirty, figure1_clean, figure1_rules
+    ):
+        from repro.core import group_updates
+
+        learner = FeedbackLearner(figure1_dirty.schema, min_examples=2, seed=0)
+        # pre-train the city model so it predicts from the first label
+        for i in range(6):
+            update = CandidateUpdate(100 + i, "city", "Somewhere", 0.5)
+            label = Feedback.CONFIRM if i % 2 else Feedback.REJECT
+            learner.add_example(update, ("x",) * len(figure1_dirty.schema), label)
+        learner.retrain("city")
+        session, state = self._make_session(
+            figure1_dirty, figure1_clean, figure1_rules, learner
+        )
+        for group in group_updates(state.updates()):
+            if group.attribute == "city":
+                session.run(group, quota=group.size, budget=FeedbackBudget())
+        assert len(learner._validation["city"]) > 0
+
+    def test_cold_model_records_nothing(
+        self, figure1_dirty, figure1_clean, figure1_rules
+    ):
+        from repro.core import group_updates
+
+        learner = FeedbackLearner(figure1_dirty.schema, min_examples=10_000, seed=0)
+        session, state = self._make_session(
+            figure1_dirty, figure1_clean, figure1_rules, learner
+        )
+        for group in group_updates(state.updates()):
+            session.run(group, quota=group.size, budget=FeedbackBudget())
+        for attr in figure1_dirty.schema:
+            assert len(learner._validation[attr]) == 0
+
+
+class TestConfirmGate:
+    def test_untrusted_model_cannot_confirm(self):
+        """Delegation must skip confirms for untrusted attributes."""
+        schema = Schema("r", ["src", "city"])
+        learner = FeedbackLearner(schema, min_examples=4, seed=0)
+        # train a unanimous-confirm model but never validate it
+        for i in range(12):
+            update = CandidateUpdate(i, "city", "Fort Wayne", 0.8)
+            label = Feedback.CONFIRM if i % 4 else Feedback.REJECT
+            learner.add_example(update, ("H2", "FT Wayne"), label)
+        learner.retrain("city")
+        assert not learner.is_trusted("city")
+        # a trusted window flips the gate
+        for __ in range(8):
+            learner.record_validation("city", True)
+        assert learner.is_trusted("city")

@@ -1,0 +1,95 @@
+"""Tests for :mod:`repro.core.user` (simulated oracles)."""
+
+import pytest
+
+from repro.core import CallbackOracle, GroundTruthOracle, NoisyOracle
+from repro.db import Database, Schema
+from repro.repair import CandidateUpdate, Feedback, UserFeedback
+
+
+@pytest.fixture()
+def clean():
+    return Database(Schema("r", ["a", "b"]), [["x", "y"], ["p", "q"]])
+
+
+class TestGroundTruthOracle:
+    def test_retain_when_current_correct(self, clean):
+        oracle = GroundTruthOracle(clean)
+        update = CandidateUpdate(0, "a", "whatever", 0.5)
+        feedback = oracle.review(update, current_value="x")
+        assert feedback.kind is Feedback.RETAIN
+
+    def test_confirm_when_suggestion_matches_truth(self, clean):
+        oracle = GroundTruthOracle(clean)
+        update = CandidateUpdate(0, "a", "x", 0.5)
+        feedback = oracle.review(update, current_value="wrong")
+        assert feedback.kind is Feedback.CONFIRM
+
+    def test_reject_with_correction(self, clean):
+        oracle = GroundTruthOracle(clean)
+        update = CandidateUpdate(0, "a", "also-wrong", 0.5)
+        feedback = oracle.review(update, current_value="wrong")
+        assert feedback.kind is Feedback.REJECT
+        assert feedback.correction == "x"
+
+    def test_reject_without_correction(self, clean):
+        oracle = GroundTruthOracle(clean, provide_corrections=False)
+        update = CandidateUpdate(0, "a", "also-wrong", 0.5)
+        feedback = oracle.review(update, current_value="wrong")
+        assert feedback.kind is Feedback.REJECT
+        assert not feedback.has_correction
+
+    def test_retain_takes_priority_over_confirm(self, clean):
+        # current == truth and v == truth can only happen when v ==
+        # current, which the generator never emits; but retain must win
+        oracle = GroundTruthOracle(clean)
+        update = CandidateUpdate(0, "a", "x", 0.5)
+        assert oracle.review(update, current_value="x").kind is Feedback.RETAIN
+
+    def test_consultations_counted(self, clean):
+        oracle = GroundTruthOracle(clean)
+        update = CandidateUpdate(0, "a", "x", 0.5)
+        oracle.review(update, "x")
+        oracle.review(update, "y")
+        assert oracle.consultations == 2
+
+
+class TestNoisyOracle:
+    def test_zero_noise_is_transparent(self, clean):
+        oracle = NoisyOracle(GroundTruthOracle(clean), error_rate=0.0, seed=0)
+        update = CandidateUpdate(0, "a", "x", 0.5)
+        assert oracle.review(update, "wrong").kind is Feedback.CONFIRM
+        assert oracle.corrupted == 0
+
+    def test_full_noise_always_flips(self, clean):
+        oracle = NoisyOracle(GroundTruthOracle(clean), error_rate=1.0, seed=0)
+        update = CandidateUpdate(0, "a", "x", 0.5)
+        for __ in range(10):
+            feedback = oracle.review(update, "wrong")
+            assert feedback.kind is not Feedback.CONFIRM
+        assert oracle.corrupted == 10
+
+    def test_corrupted_answers_lose_corrections(self, clean):
+        oracle = NoisyOracle(GroundTruthOracle(clean), error_rate=1.0, seed=0)
+        update = CandidateUpdate(0, "a", "zz", 0.5)
+        for __ in range(10):
+            assert oracle.review(update, "wrong").correction is None
+
+    def test_intermediate_rate(self, clean):
+        oracle = NoisyOracle(GroundTruthOracle(clean), error_rate=0.5, seed=3)
+        update = CandidateUpdate(0, "a", "x", 0.5)
+        for __ in range(100):
+            oracle.review(update, "wrong")
+        assert 25 < oracle.corrupted < 75
+
+    def test_invalid_rate(self, clean):
+        with pytest.raises(ValueError):
+            NoisyOracle(GroundTruthOracle(clean), error_rate=1.5)
+
+
+class TestCallbackOracle:
+    def test_delegates(self):
+        oracle = CallbackOracle(lambda update, current: UserFeedback.retain())
+        feedback = oracle.review(CandidateUpdate(0, "a", "v", 0.5), "x")
+        assert feedback.kind is Feedback.RETAIN
+        assert oracle.consultations == 1

@@ -1,0 +1,72 @@
+"""Tests for :mod:`repro.datasets.adult` (Dataset 2 analogue)."""
+
+import pytest
+
+from repro.constraints import ViolationDetector
+from repro.datasets import ADULT_SCHEMA, AdultConfig, generate_adult_dataset
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_adult_dataset(AdultConfig(n=600, seed=5))
+
+
+class TestGeneration:
+    def test_sizes_and_schema(self, dataset):
+        dirty, clean, rules, report = dataset
+        assert len(dirty) == len(clean) == 600
+        assert dirty.schema == ADULT_SCHEMA
+        assert len(ADULT_SCHEMA) == 10  # the paper's attribute selection
+
+    def test_relationship_fd_holds_in_clean_data(self, dataset):
+        __, clean, *_ = dataset
+        seen = {}
+        for row in clean.rows():
+            rel = row["relationship"]
+            assert seen.setdefault(rel, row["marital_status"]) == row["marital_status"]
+
+    def test_husband_is_male_wife_is_female(self, dataset):
+        __, clean, *_ = dataset
+        for row in clean.rows():
+            if row["relationship"] == "Husband":
+                assert row["sex"] == "Male"
+            if row["relationship"] == "Wife":
+                assert row["sex"] == "Female"
+
+    def test_dirty_rate(self, dataset):
+        *__, report = dataset
+        assert 0.2 <= len(report.dirty_tuples) / 600 <= 0.31
+
+    def test_deterministic(self):
+        a, *_ = generate_adult_dataset(AdultConfig(n=150, seed=3))
+        b, *_ = generate_adult_dataset(AdultConfig(n=150, seed=3))
+        assert a.equals_data(b)
+
+
+class TestDiscoveredRules:
+    def test_rules_discovered(self, dataset):
+        *__, rules, __r = dataset[2], dataset[3]
+        rules = dataset[2]
+        assert len(rules) > 0
+
+    def test_relationship_rules_found(self, dataset):
+        rules = dataset[2]
+        rhs_attrs = {r.rhs for r in rules}
+        assert "marital_status" in rhs_attrs or "sex" in rhs_attrs
+
+    def test_no_spurious_country_rules(self, dataset):
+        """The skewed native_country marginal must not yield rules."""
+        rules = dataset[2]
+        for rule in rules:
+            if rule.is_constant and rule.rhs == "native_country":
+                pytest.fail(f"spurious rule discovered: {rule!r}")
+
+    def test_detectable_errors_violate_rules(self, dataset):
+        dirty, __, rules, report = dataset
+        detector = ViolationDetector(dirty, rules)
+        detectable = sum(1 for tid in report.dirty_tuples if detector.is_dirty(tid))
+        assert detectable == len(report.dirty_tuples)
+
+    def test_rules_validate_against_schema(self, dataset):
+        for rule in dataset[2]:
+            rule.validate_schema(ADULT_SCHEMA)

@@ -1,0 +1,154 @@
+"""Tests for :mod:`repro.datasets.corruption`."""
+
+import numpy as np
+import pytest
+
+from repro.constraints import RuleSet, parse_rules
+from repro.datasets import CorruptionSpec, corrupt_database, perturb_string
+from repro.db import Database, Schema
+from repro.errors import ConfigError
+
+
+@pytest.fixture()
+def clean():
+    schema = Schema("r", ["zip", "city"])
+    rows = [["46360", "Michigan City"]] * 10 + [["46825", "Fort Wayne"]] * 10
+    return Database(schema, rows)
+
+
+class TestPerturbString:
+    def test_always_different(self):
+        rng = np.random.default_rng(0)
+        for value in ("abc", "x", "", "46360", "Fort Wayne"):
+            for __ in range(20):
+                assert perturb_string(value, rng) != str(value)
+
+    def test_digits_stay_digits_on_replace(self):
+        rng = np.random.default_rng(1)
+        results = {perturb_string("12345", rng) for __ in range(50)}
+        assert all(r != "12345" for r in results)
+
+    def test_returns_string(self):
+        rng = np.random.default_rng(2)
+        assert isinstance(perturb_string(42, rng), str)
+
+
+class TestCorruptionSpecValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"rate": 1.5}, {"rate": -0.1}, {"max_attrs_per_tuple": 0}, {"char_error_prob": 2.0}],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ConfigError):
+            CorruptionSpec(**kwargs)
+
+
+class TestCorruptDatabase:
+    def test_rate_controls_dirty_count(self, clean):
+        dirty, result = corrupt_database(clean, CorruptionSpec(rate=0.5), seed=0)
+        assert len(result.dirty_tuples) == 10
+
+    def test_zero_rate(self, clean):
+        dirty, result = corrupt_database(clean, CorruptionSpec(rate=0.0), seed=0)
+        assert result.dirty_tuples == set()
+        assert dirty.equals_data(clean)
+
+    def test_clean_instance_untouched(self, clean):
+        snapshot = clean.snapshot()
+        corrupt_database(clean, CorruptionSpec(rate=0.5), seed=0)
+        assert clean.equals_data(snapshot)
+
+    def test_corrupted_cells_differ_from_clean(self, clean):
+        dirty, result = corrupt_database(clean, CorruptionSpec(rate=0.5), seed=0)
+        for tid, attr in result.corrupted_cells:
+            assert dirty.value(tid, attr) != clean.value(tid, attr)
+
+    def test_deterministic_given_seed(self, clean):
+        a, ra = corrupt_database(clean, CorruptionSpec(rate=0.3), seed=7)
+        b, rb = corrupt_database(clean, CorruptionSpec(rate=0.3), seed=7)
+        assert a.equals_data(b)
+        assert ra.dirty_tuples == rb.dirty_tuples
+
+    def test_different_seeds_differ(self, clean):
+        a, __ = corrupt_database(clean, CorruptionSpec(rate=0.3), seed=1)
+        b, __ = corrupt_database(clean, CorruptionSpec(rate=0.3), seed=2)
+        assert not a.equals_data(b)
+
+    def test_attribute_restriction(self, clean):
+        spec = CorruptionSpec(rate=0.5, attributes=("city",))
+        dirty, result = corrupt_database(clean, spec, seed=0)
+        assert all(attr == "city" for __, attr in result.corrupted_cells)
+
+    def test_max_attrs_per_tuple(self, clean):
+        spec = CorruptionSpec(rate=1.0, max_attrs_per_tuple=1)
+        __, result = corrupt_database(clean, spec, seed=0)
+        from collections import Counter
+
+        per_tuple = Counter(tid for tid, __a in result.corrupted_cells)
+        assert max(per_tuple.values()) == 1
+
+
+class TestDetectability:
+    def test_requires_rules(self, clean):
+        with pytest.raises(ConfigError):
+            corrupt_database(clean, CorruptionSpec(ensure_detectable=True), seed=0)
+
+    def test_all_kept_errors_are_detectable(self, clean):
+        rules = RuleSet(
+            parse_rules(
+                """
+                (zip -> city, {46360 || 'Michigan City'})
+                (zip -> city, {46825 || 'Fort Wayne'})
+                """
+            )
+        )
+        spec = CorruptionSpec(rate=0.5, attributes=("city",), ensure_detectable=True)
+        dirty, result = corrupt_database(clean, spec, seed=0, rules=rules)
+        from repro.constraints import ViolationDetector
+
+        detector = ViolationDetector(dirty, rules)
+        for tid in result.dirty_tuples:
+            assert detector.is_dirty(tid)
+
+
+class TestSystematicErrors:
+    def test_hook_controls_values(self, clean):
+        def hook(row, attr, rng):
+            if attr == "city":
+                return "PLANTED"
+            return None
+
+        spec = CorruptionSpec(
+            rate=1.0, attributes=("city",), systematic=hook, systematic_prob=1.0
+        )
+        dirty, result = corrupt_database(clean, spec, seed=0)
+        planted = [dirty.value(t, "city") for t, __ in result.corrupted_cells]
+        assert all(v == "PLANTED" for v in planted)
+
+    def test_hook_fallback_on_none(self, clean):
+        spec = CorruptionSpec(
+            rate=1.0,
+            attributes=("city",),
+            systematic=lambda row, attr, rng: None,
+            systematic_prob=1.0,
+        )
+        dirty, result = corrupt_database(clean, spec, seed=0)
+        assert len(result.dirty_tuples) == 20  # random fallback still fires
+
+    def test_tuple_weight_biases_selection(self, clean):
+        # weight only the Fort Wayne half
+        spec = CorruptionSpec(
+            rate=0.5,
+            tuple_weight=lambda row: 100.0 if row["city"] == "Fort Wayne" else 0.001,
+        )
+        __, result = corrupt_database(clean, spec, seed=0)
+        assert all(tid >= 10 for tid in result.dirty_tuples)
+
+    def test_attribute_picker(self, clean):
+        spec = CorruptionSpec(
+            rate=1.0,
+            attributes=("zip", "city"),
+            attribute_picker=lambda row: ("zip",),
+        )
+        __, result = corrupt_database(clean, spec, seed=0)
+        assert all(attr == "zip" for __t, attr in result.corrupted_cells)

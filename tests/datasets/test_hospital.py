@@ -1,0 +1,96 @@
+"""Tests for :mod:`repro.datasets.hospital` (Dataset 1 analogue)."""
+
+import pytest
+
+from repro.constraints import ViolationDetector
+from repro.datasets import HOSPITAL_SCHEMA, HospitalConfig, generate_hospital_dataset
+from repro.datasets.hospital import hospital_rules
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_hospital_dataset(HospitalConfig(n=400, seed=5))
+
+
+class TestGeneration:
+    def test_sizes(self, dataset):
+        dirty, clean, rules, report = dataset
+        assert len(dirty) == len(clean) == 400
+
+    def test_schema(self, dataset):
+        dirty, *__ = dataset
+        assert dirty.schema == HOSPITAL_SCHEMA
+        assert "hospital" in dirty.schema
+        assert "zip" in dirty.schema
+
+    def test_clean_instance_is_consistent(self, dataset):
+        __, clean, rules, __r = dataset
+        detector = ViolationDetector(clean, rules)
+        assert detector.vio_total() == 0
+
+    def test_dirty_rate_approximate(self, dataset):
+        __, __c, __r, report = dataset
+        assert 0.25 <= len(report.dirty_tuples) / 400 <= 0.31
+
+    def test_all_errors_detectable(self, dataset):
+        dirty, __, rules, report = dataset
+        detector = ViolationDetector(dirty, rules)
+        for tid in report.dirty_tuples:
+            assert detector.is_dirty(tid)
+
+    def test_deterministic(self):
+        a, *_ = generate_hospital_dataset(HospitalConfig(n=100, seed=9))
+        b, *_ = generate_hospital_dataset(HospitalConfig(n=100, seed=9))
+        assert a.equals_data(b)
+
+    def test_seeds_differ(self):
+        a, *_ = generate_hospital_dataset(HospitalConfig(n=100, seed=1))
+        b, *_ = generate_hospital_dataset(HospitalConfig(n=100, seed=2))
+        assert not a.equals_data(b)
+
+    def test_hospitals_have_consistent_addresses(self, dataset):
+        __, clean, *_ = dataset
+        addresses = {}
+        for row in clean.rows():
+            hospital = row["hospital"]
+            address = (row["street"], row["city"], row["zip"], row["state"])
+            assert addresses.setdefault(hospital, address) == address
+
+    def test_errors_correlate_with_source(self, dataset):
+        """Sloppy sources must carry a disproportionate error share."""
+        dirty, clean, __, report = dataset
+        from collections import Counter
+
+        errors_by_hospital = Counter(
+            clean.value(tid, "hospital") for tid in report.dirty_tuples
+        )
+        totals = Counter(row["hospital"] for row in clean.rows())
+        rates = {
+            h: errors_by_hospital.get(h, 0) / totals[h]
+            for h in totals
+            if totals[h] >= 5
+        }
+        assert max(rates.values()) > 3 * (min(rates.values()) + 0.01)
+
+
+class TestHospitalRules:
+    def test_full_coverage_rule_count(self):
+        rules = hospital_rules(rule_coverage=1.0)
+        constants = [r for r in rules if r.is_constant]
+        assert len(constants) == 2 * 26  # city + state per geography zip
+
+    def test_partial_coverage_reduces_rules(self):
+        full = hospital_rules(rule_coverage=1.0)
+        partial = hospital_rules(rule_coverage=0.5)
+        assert len(partial) < len(full)
+
+    def test_variable_rules_present(self):
+        rules = hospital_rules()
+        variable_names = {r.name for r in rules if r.is_variable}
+        assert "street_city_zip" in variable_names
+        assert "hospital_street" in variable_names
+        assert "hospital_zip" in variable_names
+
+    def test_rules_validate_against_schema(self):
+        for rule in hospital_rules():
+            rule.validate_schema(HOSPITAL_SCHEMA)

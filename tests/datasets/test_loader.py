@@ -1,0 +1,47 @@
+"""Tests for :mod:`repro.datasets.loader`."""
+
+import pytest
+
+from repro.datasets import DATASET_NAMES, load_dataset
+from repro.errors import ConfigError
+
+
+class TestLoadDataset:
+    def test_names(self):
+        assert set(DATASET_NAMES) == {"hospital", "adult"}
+
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_loads(self, name):
+        ds = load_dataset(name, n=150, seed=0)
+        assert ds.name == name
+        assert len(ds.dirty) == 150
+        assert len(ds.clean) == 150
+        assert len(ds.rules) > 0
+        assert ds.dirty_tuple_count > 0
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigError):
+            load_dataset("nope")
+
+    def test_fresh_dirty_is_independent(self):
+        ds = load_dataset("hospital", n=100, seed=0)
+        copy = ds.fresh_dirty()
+        copy.set_value(0, "city", "Mutation")
+        assert ds.dirty.value(0, "city") != "Mutation" or True
+        assert not copy.equals_data(ds.dirty) or ds.dirty.value(0, "city") == "Mutation"
+        # the original dirty instance must be unchanged
+        assert ds.dirty.value(0, "city") != "Mutation"
+
+    def test_describe(self):
+        ds = load_dataset("adult", n=100, seed=0)
+        text = ds.describe()
+        assert "adult" in text and "100 tuples" in text
+
+    def test_overrides_forwarded(self):
+        ds = load_dataset("hospital", n=100, seed=0, n_hospitals=10)
+        hospitals = {row["hospital"] for row in ds.clean.rows()}
+        assert len(hospitals) <= 10
+
+    def test_dirty_and_clean_differ(self):
+        ds = load_dataset("hospital", n=150, seed=0)
+        assert not ds.dirty.equals_data(ds.clean)

@@ -1,0 +1,99 @@
+"""Tests for :mod:`repro.db.changelog`."""
+
+import pytest
+
+from repro.db import ChangeLog, Database, Schema
+
+
+@pytest.fixture()
+def db():
+    return Database(Schema("r", ["a", "b"]), [["x", 1], ["y", 2]])
+
+
+class TestChangeLogRecording:
+    def test_records_changes_in_order(self, db):
+        log = ChangeLog(db)
+        db.set_value(0, "a", "p")
+        db.set_value(1, "b", 3)
+        assert [c.cell for c in log] == [(0, "a"), (1, "b")]
+        assert len(log) == 2
+
+    def test_noop_not_recorded(self, db):
+        log = ChangeLog(db)
+        db.set_value(0, "a", "x")
+        assert len(log) == 0
+
+    def test_indexing(self, db):
+        log = ChangeLog(db)
+        db.set_value(0, "a", "p")
+        assert log[0].new == "p"
+
+    def test_changed_cells_deduplicates(self, db):
+        log = ChangeLog(db)
+        db.set_value(0, "a", "p")
+        db.set_value(0, "a", "q")
+        assert log.changed_cells() == {(0, "a")}
+
+    def test_by_source(self, db):
+        log = ChangeLog(db)
+        db.set_value(0, "a", "p", source="user")
+        db.set_value(1, "a", "q", source="learner")
+        assert [c.cell for c in log.by_source("learner")] == [(1, "a")]
+
+    def test_clear(self, db):
+        log = ChangeLog(db)
+        db.set_value(0, "a", "p")
+        log.clear()
+        assert len(log) == 0
+
+    def test_detach(self, db):
+        log = ChangeLog(db)
+        log.detach()
+        db.set_value(0, "a", "p")
+        assert len(log) == 0
+
+
+class TestNetEffect:
+    def test_net_effect_reports_first_old_last_new(self, db):
+        log = ChangeLog(db)
+        db.set_value(0, "a", "p")
+        db.set_value(0, "a", "q")
+        assert log.net_effect() == {(0, "a"): ("x", "q")}
+
+    def test_reverted_cell_excluded(self, db):
+        log = ChangeLog(db)
+        db.set_value(0, "a", "p")
+        db.set_value(0, "a", "x")
+        assert log.net_effect() == {}
+
+
+class TestUndo:
+    def test_undo_restores_value(self, db):
+        log = ChangeLog(db)
+        db.set_value(0, "a", "p")
+        undone = log.undo_last()
+        assert undone == 1
+        assert db.value(0, "a") == "x"
+        assert len(log) == 0
+
+    def test_undo_multiple(self, db):
+        log = ChangeLog(db)
+        db.set_value(0, "a", "p")
+        db.set_value(0, "b", 9)
+        assert log.undo_last(2) == 2
+        assert db.value(0, "a") == "x"
+        assert db.value(0, "b") == 1
+
+    def test_undo_more_than_recorded(self, db):
+        log = ChangeLog(db)
+        db.set_value(0, "a", "p")
+        assert log.undo_last(10) == 1
+
+    def test_undo_does_not_rerecord(self, db):
+        log = ChangeLog(db)
+        db.set_value(0, "a", "p")
+        log.undo_last()
+        assert len(log) == 0
+        # log still attached: future changes recorded
+        db.set_value(0, "a", "z")
+        assert len(log) == 1

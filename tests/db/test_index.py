@@ -1,0 +1,90 @@
+"""Tests for :mod:`repro.db.index`."""
+
+import pytest
+
+from repro.db import Database, HashIndex, Schema
+from repro.errors import UnknownAttributeError
+
+
+@pytest.fixture()
+def db():
+    return Database(
+        Schema("r", ["a", "b", "c"]),
+        [["x", 1, "p"], ["x", 2, "q"], ["y", 1, "p"]],
+    )
+
+
+class TestHashIndexBasics:
+    def test_single_attribute_lookup(self, db):
+        idx = HashIndex(db, ["a"])
+        assert idx.lookup(("x",)) == {0, 1}
+        assert idx.lookup(("y",)) == {2}
+
+    def test_multi_attribute_lookup(self, db):
+        idx = HashIndex(db, ["a", "b"])
+        assert idx.lookup(("x", 1)) == {0}
+        assert idx.lookup(("x", 2)) == {1}
+
+    def test_missing_key_returns_empty(self, db):
+        idx = HashIndex(db, ["a"])
+        assert idx.lookup(("zzz",)) == set()
+
+    def test_lookup_returns_copy(self, db):
+        idx = HashIndex(db, ["a"])
+        found = idx.lookup(("x",))
+        found.add(999)
+        assert idx.lookup(("x",)) == {0, 1}
+
+    def test_lookup_row(self, db):
+        idx = HashIndex(db, ["b"])
+        assert idx.lookup_row(0) == {0, 2}
+
+    def test_unknown_attribute_rejected(self, db):
+        with pytest.raises(UnknownAttributeError):
+            HashIndex(db, ["nope"])
+
+    def test_len_counts_distinct_keys(self, db):
+        idx = HashIndex(db, ["a"])
+        assert len(idx) == 2
+
+    def test_keys_and_bucket_sizes(self, db):
+        idx = HashIndex(db, ["a"])
+        assert set(idx.keys()) == {("x",), ("y",)}
+        assert idx.bucket_sizes() == {("x",): 2, ("y",): 1}
+
+
+class TestHashIndexMaintenance:
+    def test_update_moves_tuple_between_buckets(self, db):
+        idx = HashIndex(db, ["a"])
+        db.set_value(0, "a", "y")
+        assert idx.lookup(("x",)) == {1}
+        assert idx.lookup(("y",)) == {0, 2}
+
+    def test_update_of_unindexed_attribute_ignored(self, db):
+        idx = HashIndex(db, ["a"])
+        db.set_value(0, "c", "zzz")
+        assert idx.lookup(("x",)) == {0, 1}
+
+    def test_empty_bucket_removed(self, db):
+        idx = HashIndex(db, ["a"])
+        db.set_value(2, "a", "x")
+        assert idx.lookup(("y",)) == set()
+        assert len(idx) == 1
+
+    def test_new_rows_require_refresh(self, db):
+        idx = HashIndex(db, ["a"])
+        tid = db.insert(["x", 9, "r"])
+        idx.refresh()
+        assert tid in idx.lookup(("x",))
+
+    def test_detach_stops_tracking(self, db):
+        idx = HashIndex(db, ["a"])
+        idx.detach()
+        db.set_value(0, "a", "y")
+        assert idx.lookup(("x",)) == {0, 1}
+
+    def test_multi_attribute_update(self, db):
+        idx = HashIndex(db, ["a", "b"])
+        db.set_value(0, "b", 7)
+        assert idx.lookup(("x", 1)) == set()
+        assert idx.lookup(("x", 7)) == {0}

@@ -1,0 +1,86 @@
+"""Tests for :mod:`repro.db.io` (CSV import/export)."""
+
+import pytest
+
+from repro.db import Database, Schema, load_csv, save_csv
+from repro.errors import SchemaError
+
+
+class TestLoadCsv:
+    def test_roundtrip(self, tmp_path):
+        db = Database(Schema("r", ["a", "b"]), [["x", "1"], ["y", "2"]])
+        path = tmp_path / "table.csv"
+        save_csv(db, path)
+        loaded = load_csv(path, relation_name="r")
+        assert loaded.equals_data(db)
+
+    def test_relation_name_defaults_to_stem(self, tmp_path):
+        path = tmp_path / "customers.csv"
+        path.write_text("a,b\n1,2\n")
+        assert load_csv(path).schema.name == "customers"
+
+    def test_header_whitespace_stripped(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text(" a , b \n1,2\n")
+        assert load_csv(path).schema.attributes == ("a", "b")
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("")
+        with pytest.raises(SchemaError):
+            load_csv(path)
+
+    def test_ragged_row_rejected(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a,b\n1\n")
+        with pytest.raises(SchemaError) as err:
+            load_csv(path)
+        assert ":2" in str(err.value)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a,b\n1,2\n\n3,4\n")
+        assert len(load_csv(path)) == 2
+
+    def test_quoted_values_with_commas(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text('a,b\n"x, y",2\n')
+        assert load_csv(path).value(0, "a") == "x, y"
+
+    def test_custom_delimiter(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a;b\n1;2\n")
+        db = load_csv(path, delimiter=";")
+        assert db.value(0, "b") == "2"
+
+    def test_values_are_strings(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a\n42\n")
+        assert load_csv(path).value(0, "a") == "42"
+
+
+class TestSaveCsv:
+    def test_creates_parent_dirs(self, tmp_path):
+        db = Database(Schema("r", ["a"]), [["x"]])
+        path = tmp_path / "nested" / "dir" / "out.csv"
+        save_csv(db, path)
+        assert path.exists()
+
+    def test_header_first(self, tmp_path):
+        db = Database(Schema("r", ["a", "b"]), [["x", "y"]])
+        path = tmp_path / "out.csv"
+        save_csv(db, path)
+        assert path.read_text().splitlines()[0] == "a,b"
+
+    def test_tid_order(self, tmp_path):
+        db = Database(Schema("r", ["a"]), [["first"], ["second"]])
+        path = tmp_path / "out.csv"
+        save_csv(db, path)
+        lines = path.read_text().splitlines()
+        assert lines[1] == "first" and lines[2] == "second"
+
+    def test_non_string_values_stringified(self, tmp_path):
+        db = Database(Schema("r", ["a"]), [[42]])
+        path = tmp_path / "out.csv"
+        save_csv(db, path)
+        assert path.read_text().splitlines()[1] == "42"

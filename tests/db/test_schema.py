@@ -1,0 +1,93 @@
+"""Tests for :mod:`repro.db.schema`."""
+
+import pytest
+
+from repro.db import Schema
+from repro.errors import SchemaError, UnknownAttributeError
+
+
+class TestSchemaConstruction:
+    def test_basic(self):
+        schema = Schema("r", ["a", "b", "c"])
+        assert schema.name == "r"
+        assert schema.attributes == ("a", "b", "c")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema("", ["a"])
+
+    def test_empty_attribute_list_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema("r", [])
+
+    def test_empty_attribute_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema("r", ["a", ""])
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema("r", ["a", "b", "a"])
+
+    def test_attributes_are_immutable_tuple(self):
+        schema = Schema("r", ["a", "b"])
+        assert isinstance(schema.attributes, tuple)
+
+
+class TestSchemaLookup:
+    def test_position(self):
+        schema = Schema("r", ["a", "b", "c"])
+        assert schema.position("a") == 0
+        assert schema.position("c") == 2
+
+    def test_unknown_attribute_raises(self):
+        schema = Schema("r", ["a"])
+        with pytest.raises(UnknownAttributeError):
+            schema.position("z")
+
+    def test_unknown_attribute_error_is_keyerror(self):
+        schema = Schema("r", ["a"])
+        with pytest.raises(KeyError):
+            schema.position("z")
+
+    def test_positions_bulk(self):
+        schema = Schema("r", ["a", "b", "c"])
+        assert schema.positions(["c", "a"]) == (2, 0)
+
+    def test_validate_attributes_accepts_known(self):
+        schema = Schema("r", ["a", "b"])
+        schema.validate_attributes(["b", "a"])  # no raise
+
+    def test_validate_attributes_rejects_unknown(self):
+        schema = Schema("r", ["a", "b"])
+        with pytest.raises(UnknownAttributeError):
+            schema.validate_attributes(["a", "z"])
+
+    def test_contains(self):
+        schema = Schema("r", ["a"])
+        assert "a" in schema
+        assert "z" not in schema
+
+    def test_iteration_and_len(self):
+        schema = Schema("r", ["a", "b"])
+        assert list(schema) == ["a", "b"]
+        assert len(schema) == 2
+
+
+class TestSchemaEquality:
+    def test_equal_schemas(self):
+        assert Schema("r", ["a", "b"]) == Schema("r", ["a", "b"])
+
+    def test_different_names(self):
+        assert Schema("r", ["a"]) != Schema("s", ["a"])
+
+    def test_different_attribute_order(self):
+        assert Schema("r", ["a", "b"]) != Schema("r", ["b", "a"])
+
+    def test_hashable(self):
+        assert len({Schema("r", ["a"]), Schema("r", ["a"])}) == 1
+
+    def test_not_equal_to_other_types(self):
+        assert Schema("r", ["a"]) != "r"
+
+    def test_repr_mentions_name(self):
+        assert "r" in repr(Schema("r", ["a"]))

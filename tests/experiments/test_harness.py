@@ -1,0 +1,150 @@
+"""Tests for :mod:`repro.experiments.harness` and the figure runners."""
+
+import pytest
+
+from repro.core.gdr import GDRResult
+from repro.core.metrics import TrajectoryPoint
+from repro.datasets import load_dataset
+from repro.experiments import (
+    FIGURE3_STRATEGIES,
+    FIGURE4_APPROACHES,
+    figure3_series,
+    figure4_series,
+    figure5_series,
+    heuristic_improvement,
+    initial_dirty_count,
+    run_heuristic,
+    run_strategy,
+    trajectory_series,
+)
+from repro.experiments.harness import _config_for
+
+
+@pytest.fixture(scope="module")
+def tiny_hospital():
+    return load_dataset("hospital", n=120, seed=2)
+
+
+class TestConfigMapping:
+    def test_all_approaches_have_configs(self):
+        for approach in FIGURE3_STRATEGIES + FIGURE4_APPROACHES:
+            config = _config_for(approach, seed=0)
+            assert config.seed == 0
+
+    def test_gdr_is_voi_active(self):
+        config = _config_for("GDR", 0)
+        assert config.ranking == "voi" and config.learning == "active"
+
+    def test_active_learning_has_no_grouping(self):
+        config = _config_for("Active-Learning", 0)
+        assert not config.grouping
+
+    def test_unknown_approach(self):
+        with pytest.raises(ValueError):
+            _config_for("Nonsense", 0)
+
+
+class TestRunStrategy:
+    def test_runs_and_does_not_mutate_dataset(self, tiny_hospital):
+        before = tiny_hospital.dirty.snapshot()
+        result, engine = run_strategy(tiny_hospital, "GDR-NoLearning", seed=0)
+        assert tiny_hospital.dirty.equals_data(before)
+        assert result.feedback_used > 0
+        assert result.improvement > 0
+
+    def test_budget_respected(self, tiny_hospital):
+        result, __ = run_strategy(tiny_hospital, "GDR", seed=0, feedback_limit=5)
+        assert result.feedback_used <= 5
+
+
+class TestTrajectorySeries:
+    def _result(self):
+        result = GDRResult(initial_loss=1.0, final_loss=0.0)
+        result.feedback_used = 10
+        result.trajectory = [
+            TrajectoryPoint(0, 0, 1.0),
+            TrajectoryPoint(5, 0, 0.5),
+            TrajectoryPoint(10, 0, 0.0),
+        ]
+        return result
+
+    def test_percent_of_own_total(self):
+        series = trajectory_series("x", self._result())
+        assert series.points[0] == (0.0, 0.0)
+        assert series.points[-1] == (100.0, 100.0)
+        assert series.points[1] == (50.0, 50.0)
+
+    def test_percent_of_denominator(self):
+        series = trajectory_series(
+            "x", self._result(), x_mode="percent_of_denominator", denominator=20
+        )
+        assert series.points[-1][0] == pytest.approx(50.0)
+
+    def test_denominator_required(self):
+        with pytest.raises(ValueError):
+            trajectory_series("x", self._result(), x_mode="percent_of_denominator")
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            trajectory_series("x", self._result(), x_mode="bogus")
+
+    def test_same_feedback_points_collapse(self):
+        result = GDRResult(initial_loss=1.0, final_loss=0.4)
+        result.feedback_used = 2
+        result.trajectory = [
+            TrajectoryPoint(0, 0, 1.0),
+            TrajectoryPoint(1, 0, 0.8),
+            TrajectoryPoint(1, 1, 0.6),  # learner decision at same feedback
+            TrajectoryPoint(2, 1, 0.4),
+        ]
+        series = trajectory_series("x", result)
+        assert len(series.points) == 3  # feedback levels 0, 1, 2
+        assert series.points[1][1] == pytest.approx(40.0)  # latest at that x
+
+
+class TestHeuristicRunner:
+    def test_heuristic_improvement_constant_line(self, tiny_hospital):
+        series = heuristic_improvement(tiny_hospital)
+        assert series.label == "Heuristic"
+        assert series.points[0][1] == series.points[1][1]
+
+    def test_run_heuristic_is_nonnegative_here(self, tiny_hospital):
+        assert run_heuristic(tiny_hospital) > 0
+
+    def test_initial_dirty_count(self, tiny_hospital):
+        count = initial_dirty_count(tiny_hospital)
+        assert count >= tiny_hospital.dirty_tuple_count
+
+
+class TestFigureSeries:
+    def test_figure3_series_labels_and_convergence(self, tiny_hospital):
+        curves = figure3_series(tiny_hospital, seed=0)
+        assert [c.label for c in curves] == list(FIGURE3_STRATEGIES)
+        for curve in curves:
+            assert curve.points[0][1] == pytest.approx(0.0)
+            assert curve.final() > 50  # all strategies eventually converge
+
+    def test_figure4_series_includes_heuristic(self, tiny_hospital):
+        curves = figure4_series(tiny_hospital, seed=0, efforts=(0.3, 1.0))
+        labels = [c.label for c in curves]
+        assert labels[:-1] == list(FIGURE4_APPROACHES)
+        assert labels[-1] == "Heuristic"
+        for curve in curves[:-1]:
+            assert curve.points[0] == (0.0, 0.0)
+
+    def test_figure5_series_precision_recall(self, tiny_hospital):
+        curves = figure5_series(tiny_hospital, seed=0, efforts=(0.5, 1.0))
+        labels = {c.label for c in curves}
+        assert labels == {"Precision", "Recall"}
+        for curve in curves:
+            for __, y in curve.points:
+                assert 0.0 <= y <= 1.0
+
+
+class TestFigureCLIs:
+    def test_figure3_main(self, capsys):
+        from repro.experiments.figure3 import main
+
+        assert main(["--dataset", "hospital", "--n", "100", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3" in out and "GDR-NoLearning" in out

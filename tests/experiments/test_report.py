@@ -1,0 +1,81 @@
+"""Tests for :mod:`repro.experiments.report`."""
+
+import pytest
+
+from repro.experiments import Series, interpolate_at, render_table, save_csv
+
+
+class TestSeries:
+    def test_add_and_access(self):
+        s = Series("a")
+        s.add(0, 0.0)
+        s.add(10, 50.0)
+        assert s.xs == [0, 10]
+        assert s.ys == [0.0, 50.0]
+
+    def test_final(self):
+        assert Series("a", [(0, 1.0), (5, 9.0)]).final() == 9.0
+        assert Series("a").final() == 0.0
+
+    def test_x_at_y(self):
+        s = Series("a", [(0, 0.0), (10, 50.0), (20, 90.0)])
+        assert s.x_at_y(50.0) == 10
+        assert s.x_at_y(60.0) == 20
+        assert s.x_at_y(99.0) is None
+
+
+class TestInterpolate:
+    def test_midpoint(self):
+        s = Series("a", [(0.0, 0.0), (10.0, 100.0)])
+        assert interpolate_at(s, [5.0]) == [50.0]
+
+    def test_clamping(self):
+        s = Series("a", [(10.0, 1.0), (20.0, 2.0)])
+        assert interpolate_at(s, [0.0, 30.0]) == [1.0, 2.0]
+
+    def test_exact_points(self):
+        s = Series("a", [(0.0, 0.0), (10.0, 100.0)])
+        assert interpolate_at(s, [0.0, 10.0]) == [0.0, 100.0]
+
+    def test_empty_series(self):
+        assert interpolate_at(Series("a"), [1.0, 2.0]) == [0.0, 0.0]
+
+    def test_duplicate_x(self):
+        s = Series("a", [(0.0, 0.0), (5.0, 10.0), (5.0, 20.0), (10.0, 20.0)])
+        result = interpolate_at(s, [5.0])
+        assert result[0] in (10.0, 20.0)
+
+    def test_many_points(self):
+        s = Series("a", [(float(i), float(i * i)) for i in range(11)])
+        assert interpolate_at(s, [2.5])[0] == pytest.approx(6.5)
+
+
+class TestRenderTable:
+    def test_contains_labels_and_values(self):
+        s1 = Series("Alpha", [(0, 0.0), (100, 90.0)])
+        s2 = Series("Beta", [(0, 0.0), (100, 50.0)])
+        table = render_table("My Title", "x%", [s1, s2], [0.0, 50.0, 100.0])
+        assert "My Title" in table
+        assert "Alpha" in table and "Beta" in table
+        assert "90.0" in table and "45.0" in table
+
+    def test_row_count(self):
+        s = Series("A", [(0, 0.0)])
+        table = render_table("T", "x", [s], [0.0, 25.0, 50.0])
+        assert len(table.splitlines()) == 3 + 3  # title, rule, header + rows
+
+    def test_custom_format(self):
+        s = Series("A", [(0, 0.123456)])
+        table = render_table("T", "x", [s], [0.0], y_format="{:6.3f}")
+        assert "0.123" in table
+
+
+class TestSaveCsv:
+    def test_writes_csv(self, tmp_path):
+        s = Series("A", [(0.0, 1.0), (10.0, 2.0)])
+        path = tmp_path / "out" / "curve.csv"
+        save_csv(path, [s], [0.0, 10.0], x_label="effort")
+        content = path.read_text().splitlines()
+        assert content[0] == "effort,A"
+        assert content[1].startswith("0.0,1.0")
+        assert len(content) == 3

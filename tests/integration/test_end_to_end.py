@@ -1,0 +1,174 @@
+"""Cross-module integration tests: the full GDR pipeline under stress.
+
+These tests exercise the interaction of the violation detector, update
+generator, consistency manager, learner and engine on the synthetic
+datasets — the paths the figure experiments rely on.
+"""
+
+import pytest
+
+from repro.constraints import ViolationDetector
+from repro.core import (
+    GDRConfig,
+    GDREngine,
+    GroundTruthOracle,
+    NoisyOracle,
+    QualityEvaluator,
+    evaluate_repair,
+)
+from repro.datasets import load_dataset
+from repro.db import ChangeLog
+from repro.repair import batch_repair
+
+
+class TestFullRepairRuns:
+    @pytest.mark.parametrize("name", ["hospital", "adult"])
+    def test_unlimited_no_learning_reaches_consistency(self, name):
+        ds = load_dataset(name, n=200, seed=4)
+        db = ds.fresh_dirty()
+        engine = GDREngine(
+            db,
+            ds.rules,
+            GroundTruthOracle(ds.clean),
+            config=GDRConfig.no_learning(),
+            clean_db=ds.clean,
+        )
+        result = engine.run()
+        detector = ViolationDetector(db, ds.rules)
+        # every remaining violation must be one the generator cannot
+        # derive an admissible update for (frozen/prevented exhausted)
+        assert detector.vio_total() <= engine.detector.vio_total()
+        assert result.improvement > 80
+
+    def test_learning_run_detector_stays_consistent(self, hospital_dataset):
+        db = hospital_dataset.fresh_dirty()
+        engine = GDREngine(
+            db,
+            hospital_dataset.rules,
+            GroundTruthOracle(hospital_dataset.clean),
+            config=GDRConfig.gdr(seed=3),
+            clean_db=hospital_dataset.clean,
+        )
+        engine.run(feedback_limit=60)
+        assert engine.detector.verify()
+        assert engine.manager.check_invariants() == []
+
+    def test_engine_repairs_in_place_and_tracks_initial(self, hospital_dataset):
+        db = hospital_dataset.fresh_dirty()
+        engine = GDREngine(
+            db,
+            hospital_dataset.rules,
+            GroundTruthOracle(hospital_dataset.clean),
+            config=GDRConfig.no_learning(),
+            clean_db=hospital_dataset.clean,
+        )
+        engine.run(feedback_limit=30)
+        assert engine.initial_db.equals_data(hospital_dataset.dirty)
+        assert not db.equals_data(hospital_dataset.dirty)
+
+
+class TestProvenance:
+    def test_changes_attributed_to_user_and_learner(self, hospital_dataset):
+        db = hospital_dataset.fresh_dirty()
+        log = ChangeLog(db)
+        engine = GDREngine(
+            db,
+            hospital_dataset.rules,
+            GroundTruthOracle(hospital_dataset.clean),
+            config=GDRConfig.gdr(seed=0),
+            clean_db=hospital_dataset.clean,
+        )
+        result = engine.run()
+        sources = {c.source for c in log}
+        assert "user" in sources
+        # learner decisions may all be retains/rejects (no writes), but
+        # any learner-sourced write must correspond to a decision
+        learner_writes = log.by_source("learner")
+        assert len(learner_writes) <= result.learner_decisions
+        assert sources <= {"user", "learner"}
+
+    def test_learner_write_count_bounded_by_decisions(self, hospital_dataset):
+        db = hospital_dataset.fresh_dirty()
+        log = ChangeLog(db)
+        engine = GDREngine(
+            db,
+            hospital_dataset.rules,
+            GroundTruthOracle(hospital_dataset.clean),
+            config=GDRConfig.gdr(seed=0),
+            clean_db=hospital_dataset.clean,
+        )
+        result = engine.run(feedback_limit=50)
+        assert len(log.by_source("learner")) <= result.learner_decisions
+
+
+class TestMetricsAgreement:
+    def test_engine_report_matches_standalone_evaluation(self, hospital_dataset):
+        db = hospital_dataset.fresh_dirty()
+        engine = GDREngine(
+            db,
+            hospital_dataset.rules,
+            GroundTruthOracle(hospital_dataset.clean),
+            config=GDRConfig.no_learning(),
+            clean_db=hospital_dataset.clean,
+        )
+        result = engine.run(feedback_limit=40)
+        standalone = evaluate_repair(hospital_dataset.dirty, db, hospital_dataset.clean)
+        assert result.report == standalone
+
+    def test_engine_loss_matches_evaluator(self, hospital_dataset):
+        db = hospital_dataset.fresh_dirty()
+        evaluator = QualityEvaluator(hospital_dataset.clean, hospital_dataset.rules)
+        engine = GDREngine(
+            db,
+            hospital_dataset.rules,
+            GroundTruthOracle(hospital_dataset.clean),
+            config=GDRConfig.no_learning(),
+            clean_db=hospital_dataset.clean,
+        )
+        result = engine.run(feedback_limit=20)
+        assert result.final_loss == pytest.approx(evaluator.loss_of(db))
+
+
+class TestGDRvsHeuristic:
+    def test_guided_repair_more_precise_than_heuristic(self, hospital_dataset):
+        heuristic_db = hospital_dataset.fresh_dirty()
+        batch_repair(heuristic_db, hospital_dataset.rules)
+        heuristic_report = evaluate_repair(
+            hospital_dataset.dirty, heuristic_db, hospital_dataset.clean
+        )
+
+        gdr_db = hospital_dataset.fresh_dirty()
+        engine = GDREngine(
+            gdr_db,
+            hospital_dataset.rules,
+            GroundTruthOracle(hospital_dataset.clean),
+            config=GDRConfig.gdr(seed=0),
+            clean_db=hospital_dataset.clean,
+        )
+        result = engine.run()
+        assert result.report.precision >= heuristic_report.precision
+
+
+class TestNoisyOracleIntegration:
+    def test_moderate_noise_degrades_gracefully(self, hospital_dataset):
+        clean_result = None
+        noisy_result = None
+        for rate, target in ((0.0, "clean_result"), (0.3, "noisy_result")):
+            db = hospital_dataset.fresh_dirty()
+            oracle = NoisyOracle(
+                GroundTruthOracle(hospital_dataset.clean), error_rate=rate, seed=1
+            )
+            engine = GDREngine(
+                db,
+                hospital_dataset.rules,
+                oracle,
+                config=GDRConfig.gdr(seed=0),
+                clean_db=hospital_dataset.clean,
+            )
+            result = engine.run(feedback_limit=60)
+            if target == "clean_result":
+                clean_result = result
+            else:
+                noisy_result = result
+        # heavy noise should not beat a perfect oracle by a wide margin
+        assert clean_result.improvement >= noisy_result.improvement - 10.0

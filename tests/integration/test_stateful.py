@@ -1,0 +1,110 @@
+"""Stateful property test: the repair substrate under random operations.
+
+Drives a database, its violation detector and a repair state through
+random interleavings of cell writes, feedback applications and
+refreshes, asserting the system-wide invariants after every step:
+
+* incremental violation statistics equal a fresh rebuild;
+* no live suggestion targets a frozen cell, proposes the current value
+  or proposes a prevented value;
+* frozen cells are never modified by feedback routing.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+from hypothesis import strategies as st
+
+from repro.constraints import RuleSet, ViolationDetector, parse_rules
+from repro.db import Database, Schema
+from repro.repair import (
+    ConsistencyManager,
+    RepairState,
+    UpdateGenerator,
+    UserFeedback,
+)
+
+SCHEMA = Schema("r", ["zip", "city", "state", "street"])
+
+RULES_TEXT = """
+phi1: (zip -> city, {46360 || 'Michigan City'})
+phi2: (zip -> city, {46825 || 'Fort Wayne'})
+phi3: (zip -> state, {46360 || IN})
+phi5: (street, city -> zip, {-, - || -})
+"""
+
+ZIPS = ["46360", "46825", "46391", "99999"]
+CITIES = ["Michigan City", "Fort Wayne", "Westville", "Garbage"]
+STATES = ["IN", "XX"]
+STREETS = ["Main St", "Oak Ave", "Bell Ave"]
+
+VALUES = {"zip": ZIPS, "city": CITIES, "state": STATES, "street": STREETS}
+
+
+class RepairSubstrateMachine(RuleBasedStateMachine):
+    """Random walks over the write/feedback/refresh API surface."""
+
+    @initialize(
+        rows=st.lists(
+            st.tuples(
+                st.sampled_from(ZIPS),
+                st.sampled_from(CITIES),
+                st.sampled_from(STATES),
+                st.sampled_from(STREETS),
+            ),
+            min_size=3,
+            max_size=8,
+        )
+    )
+    def setup(self, rows):
+        self.db = Database(SCHEMA, [list(row) for row in rows])
+        self.rules = RuleSet(parse_rules(RULES_TEXT), schema=SCHEMA)
+        self.detector = ViolationDetector(self.db, self.rules)
+        self.state = RepairState()
+        self.generator = UpdateGenerator(self.db, self.rules, self.detector, self.state)
+        self.manager = ConsistencyManager(
+            self.db, self.rules, self.detector, self.state, self.generator
+        )
+        self.generator.generate_all()
+
+    @rule(
+        tid_index=st.integers(min_value=0, max_value=7),
+        attr=st.sampled_from(SCHEMA.attributes),
+        value_index=st.integers(min_value=0, max_value=3),
+    )
+    def external_write(self, tid_index, attr, value_index):
+        """An out-of-band edit (the online-monitoring scenario)."""
+        tids = self.db.tids()
+        tid = tids[tid_index % len(tids)]
+        pool = VALUES[attr]
+        self.db.set_value(tid, attr, pool[value_index % len(pool)], source="external")
+
+    @rule(pick=st.integers(min_value=0, max_value=30), kind=st.sampled_from(["confirm", "reject", "retain"]))
+    def apply_feedback(self, pick, kind):
+        updates = self.state.updates()
+        if not updates:
+            return
+        update = updates[pick % len(updates)]
+        feedback = {
+            "confirm": UserFeedback.confirm(),
+            "reject": UserFeedback.reject(),
+            "retain": UserFeedback.retain(),
+        }[kind]
+        self.manager.apply_feedback(update, feedback)
+
+    @rule()
+    def refresh(self):
+        self.manager.refresh_suggestions()
+
+    @invariant()
+    def detector_matches_fresh_rebuild(self):
+        assert self.detector.verify()
+
+    @invariant()
+    def suggestions_are_admissible(self):
+        assert self.manager.check_invariants() == []
+
+
+RepairSubstrateMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=20, deadline=None
+)
+TestRepairSubstrate = RepairSubstrateMachine.TestCase

@@ -1,0 +1,93 @@
+"""Tests for :mod:`repro.ml.encoding`."""
+
+import numpy as np
+import pytest
+
+from repro.db import Schema
+from repro.ml import (
+    FEEDBACK_CLASSES,
+    CategoricalEncoder,
+    UpdateExampleEncoder,
+    feedback_to_class,
+)
+from repro.repair import Feedback
+
+
+class TestCategoricalEncoder:
+    def test_codes_start_at_zero_and_grow(self):
+        enc = CategoricalEncoder()
+        assert enc.encode("a") == 0
+        assert enc.encode("b") == 1
+        assert enc.encode("a") == 0
+        assert len(enc) == 2
+
+    def test_decode_inverse(self):
+        enc = CategoricalEncoder()
+        enc.encode("x")
+        enc.encode("y")
+        assert enc.decode(1) == "y"
+
+    def test_contains(self):
+        enc = CategoricalEncoder()
+        enc.encode("x")
+        assert "x" in enc and "y" not in enc
+
+    def test_mixed_types(self):
+        enc = CategoricalEncoder()
+        assert enc.encode(42) != enc.encode("42")
+
+
+class TestFeedbackClasses:
+    def test_fixed_ordering(self):
+        assert FEEDBACK_CLASSES == (Feedback.CONFIRM, Feedback.REJECT, Feedback.RETAIN)
+
+    def test_feedback_to_class(self):
+        assert feedback_to_class(Feedback.CONFIRM) == 0
+        assert feedback_to_class(Feedback.REJECT) == 1
+        assert feedback_to_class(Feedback.RETAIN) == 2
+
+
+class TestUpdateExampleEncoder:
+    @pytest.fixture()
+    def encoder(self):
+        return UpdateExampleEncoder(Schema("r", ["a", "b", "c"]))
+
+    def test_feature_width(self, encoder):
+        assert encoder.n_features == 5  # 3 attrs + suggested value + similarity
+
+    def test_encode_shape_and_dtype(self, encoder):
+        features = encoder.encode(("x", "y", "z"), "b", "w")
+        assert features.shape == (5,)
+        assert features.dtype == np.float64
+
+    def test_similarity_feature_for_identical_value(self, encoder):
+        features = encoder.encode(("x", "y", "z"), "b", "y")
+        assert features[-1] == 1.0
+
+    def test_similarity_feature_for_different_value(self, encoder):
+        features = encoder.encode(("x", "y", "z"), "b", "completely-different")
+        assert 0.0 <= features[-1] < 1.0
+
+    def test_same_example_same_features(self, encoder):
+        one = encoder.encode(("x", "y", "z"), "a", "v")
+        two = encoder.encode(("x", "y", "z"), "a", "v")
+        assert np.array_equal(one, two)
+
+    def test_suggested_value_shares_attribute_vocabulary(self, encoder):
+        # encode a row where attribute 'a' holds "v", then suggest "v":
+        # the suggestion column must reuse the same code
+        features = encoder.encode(("v", "y", "z"), "a", "v")
+        assert features[0] == features[3]
+
+    def test_unseen_values_never_fail(self, encoder):
+        for i in range(50):
+            encoder.encode((f"x{i}", f"y{i}", f"z{i}"), "c", f"new{i}")
+
+    def test_encoder_for(self, encoder):
+        encoder.encode(("x", "y", "z"), "a", "v")
+        assert "x" in encoder.encoder_for("a")
+
+    def test_custom_similarity(self):
+        enc = UpdateExampleEncoder(Schema("r", ["a"]), sim=lambda u, v: 0.42)
+        features = enc.encode(("x",), "a", "y")
+        assert features[-1] == pytest.approx(0.42)

@@ -1,0 +1,107 @@
+"""Tests for :mod:`repro.ml.forest` (the committee of §4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, NotFittedError
+from repro.ml import RandomForestClassifier
+
+
+def _blobs(n=120, seed=0):
+    rng = np.random.default_rng(seed)
+    X0 = rng.normal(0.0, 0.4, size=(n // 2, 3))
+    X1 = rng.normal(2.0, 0.4, size=(n // 2, 3))
+    X = np.vstack([X0, X1])
+    y = np.array([0] * (n // 2) + [1] * (n // 2))
+    return X, y
+
+
+class TestForestFit:
+    def test_learns_separable_blobs(self):
+        X, y = _blobs()
+        forest = RandomForestClassifier(n_estimators=5, random_state=0).fit(X, y)
+        assert float(np.mean(forest.predict(X) == y)) > 0.95
+
+    def test_committee_size(self):
+        X, y = _blobs(40)
+        forest = RandomForestClassifier(n_estimators=7, random_state=0).fit(X, y)
+        assert len(forest.trees) == 7
+
+    def test_bootstrap_fraction(self):
+        X, y = _blobs(40)
+        forest = RandomForestClassifier(
+            n_estimators=3, bootstrap_fraction=0.5, random_state=0
+        ).fit(X, y)
+        assert forest.predict(X).shape == (40,)
+
+    def test_deterministic_given_seed(self):
+        X, y = _blobs()
+        a = RandomForestClassifier(n_estimators=5, random_state=3).fit(X, y)
+        b = RandomForestClassifier(n_estimators=5, random_state=3).fit(X, y)
+        assert np.array_equal(a.vote_fractions(X), b.vote_fractions(X))
+
+    @pytest.mark.parametrize("kwargs", [{"n_estimators": 0}, {"bootstrap_fraction": 0.0}])
+    def test_invalid_params(self, kwargs):
+        with pytest.raises(ConfigError):
+            RandomForestClassifier(**kwargs)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigError):
+            RandomForestClassifier().fit(np.ones((0, 2)), np.array([]))
+        with pytest.raises(ConfigError):
+            RandomForestClassifier().fit(np.ones((3, 2)), np.array([0, 1]))
+
+
+class TestVotesAndUncertainty:
+    def test_vote_fractions_sum_to_one(self):
+        X, y = _blobs()
+        forest = RandomForestClassifier(n_estimators=9, random_state=0).fit(X, y)
+        fractions = forest.vote_fractions(X)
+        np.testing.assert_allclose(fractions.sum(axis=1), 1.0)
+
+    def test_vote_fractions_are_multiples_of_inverse_k(self):
+        X, y = _blobs()
+        k = 5
+        forest = RandomForestClassifier(n_estimators=k, random_state=0).fit(X, y)
+        fractions = forest.vote_fractions(X[:10])
+        np.testing.assert_allclose((fractions * k) % 1.0, 0.0, atol=1e-9)
+
+    def test_predict_proba_alias(self):
+        X, y = _blobs(40)
+        forest = RandomForestClassifier(n_estimators=4, random_state=0).fit(X, y)
+        assert np.array_equal(forest.predict_proba(X), forest.vote_fractions(X))
+
+    def test_uncertainty_low_on_clear_points(self):
+        X, y = _blobs()
+        forest = RandomForestClassifier(n_estimators=10, random_state=0).fit(X, y)
+        uncertainty = forest.uncertainty(X)
+        assert uncertainty.mean() < 0.2
+
+    def test_uncertainty_bounds(self):
+        X, y = _blobs()
+        forest = RandomForestClassifier(n_estimators=10, random_state=0).fit(X, y)
+        uncertainty = forest.uncertainty(X)
+        assert np.all(uncertainty >= 0.0) and np.all(uncertainty <= 1.0)
+
+    def test_predict_one(self):
+        X, y = _blobs()
+        forest = RandomForestClassifier(n_estimators=5, random_state=0).fit(X, y)
+        label, fractions, uncertainty = forest.predict_one(X[0])
+        assert label in (0, 1)
+        assert fractions.shape == (2,)
+        assert 0.0 <= uncertainty <= 1.0
+
+    def test_not_fitted_errors(self):
+        forest = RandomForestClassifier()
+        with pytest.raises(NotFittedError):
+            forest.predict(np.ones((1, 2)))
+        with pytest.raises(NotFittedError):
+            __ = forest.trees
+
+    def test_three_classes(self):
+        rng = np.random.default_rng(0)
+        X = np.vstack([rng.normal(c, 0.3, size=(30, 2)) for c in (0.0, 2.0, 4.0)])
+        y = np.repeat([0, 1, 2], 30)
+        forest = RandomForestClassifier(n_estimators=10, random_state=0).fit(X, y)
+        assert float(np.mean(forest.predict(X) == y)) > 0.9
+        assert forest.vote_fractions(X).shape == (90, 3)

@@ -1,0 +1,76 @@
+"""Tests for feature importances (tree, forest, feedback learner)."""
+
+import numpy as np
+import pytest
+
+from repro.core import FeedbackLearner
+from repro.db import Schema
+from repro.ml import DecisionTreeClassifier, RandomForestClassifier
+from repro.repair import CandidateUpdate, Feedback
+
+
+def _signal_noise_data(n=300, seed=0):
+    """Column 0 fully determines the label; columns 1-2 are noise."""
+    rng = np.random.default_rng(seed)
+    X = rng.random((n, 3))
+    y = (X[:, 0] > 0.5).astype(np.int64)
+    return X, y
+
+
+class TestTreeImportances:
+    def test_signal_feature_dominates(self):
+        X, y = _signal_noise_data()
+        tree = DecisionTreeClassifier(random_state=0).fit(X, y)
+        importances = tree.feature_importances_
+        assert importances[0] > 0.8
+
+    def test_normalised(self):
+        X, y = _signal_noise_data()
+        tree = DecisionTreeClassifier(random_state=0).fit(X, y)
+        assert tree.feature_importances_.sum() == pytest.approx(1.0)
+
+    def test_pure_leaf_tree_all_zero(self):
+        X = np.ones((5, 2))
+        y = np.zeros(5, dtype=np.int64)
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.feature_importances_.sum() == 0.0
+
+    def test_copy_returned(self):
+        X, y = _signal_noise_data(50)
+        tree = DecisionTreeClassifier(random_state=0).fit(X, y)
+        tree.feature_importances_[0] = 99.0
+        assert tree.feature_importances_[0] != 99.0
+
+
+class TestForestImportances:
+    def test_signal_feature_dominates(self):
+        X, y = _signal_noise_data()
+        forest = RandomForestClassifier(n_estimators=10, random_state=0).fit(X, y)
+        importances = forest.feature_importances_
+        assert int(np.argmax(importances)) == 0
+
+    def test_shape(self):
+        X, y = _signal_noise_data(100)
+        forest = RandomForestClassifier(n_estimators=3, random_state=0).fit(X, y)
+        assert forest.feature_importances_.shape == (3,)
+
+
+class TestLearnerImportances:
+    def test_none_before_training(self):
+        learner = FeedbackLearner(Schema("r", ["src", "city"]), seed=0)
+        assert learner.feature_importances("city") is None
+
+    def test_source_feature_matters(self):
+        """Feedback correlated with the source column must show up."""
+        schema = Schema("r", ["src", "city"])
+        learner = FeedbackLearner(schema, min_examples=4, seed=0)
+        for i in range(20):
+            update = CandidateUpdate(i, "city", "Fort Wayne", 0.5)
+            source = "H2" if i % 2 == 0 else "H9"
+            label = Feedback.CONFIRM if source == "H2" else Feedback.REJECT
+            learner.add_example(update, (source, f"city{i}"), label)
+        learner.retrain("city")
+        importances = learner.feature_importances("city")
+        assert importances is not None
+        assert set(importances) == {"src", "city", "suggested_value", "similarity"}
+        assert importances["src"] == max(importances.values())

@@ -1,0 +1,95 @@
+"""Tests for :mod:`repro.ml.metrics`, incl. the paper's §4.2 example."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ml import accuracy_score, confusion_matrix, entropy, vote_entropy
+
+
+class TestEntropy:
+    def test_uniform_binary_base2(self):
+        assert entropy([0.5, 0.5], base=2) == pytest.approx(1.0)
+
+    def test_degenerate(self):
+        assert entropy([1.0, 0.0, 0.0]) == 0.0
+
+    def test_zero_probabilities_ignored(self):
+        assert entropy([0.5, 0.5, 0.0], base=2) == pytest.approx(1.0)
+
+    def test_natural_log_default(self):
+        assert entropy([0.5, 0.5]) == pytest.approx(math.log(2))
+
+    @given(
+        st.lists(st.floats(min_value=0.01, max_value=1.0), min_size=2, max_size=6)
+    )
+    def test_nonnegative(self, weights):
+        total = sum(weights)
+        fractions = [w / total for w in weights]
+        assert entropy(fractions) >= 0.0
+
+
+class TestVoteEntropyPaperExample:
+    def test_paper_uncertainty_example_confirm_case(self):
+        """§4.2: votes (3/5 confirm, 1/5 reject, 1/5 retain) -> 0.86."""
+        assert vote_entropy([3 / 5, 1 / 5, 1 / 5]) == pytest.approx(0.86, abs=0.005)
+
+    def test_paper_uncertainty_example_reject_case(self):
+        """§4.2: votes (1/5 confirm, 4/5 reject) -> 0.45."""
+        assert vote_entropy([1 / 5, 4 / 5, 0.0]) == pytest.approx(0.455, abs=0.005)
+
+    def test_unanimous_committee_is_certain(self):
+        assert vote_entropy([1.0, 0.0, 0.0]) == 0.0
+
+    def test_maximal_split_is_one(self):
+        assert vote_entropy([1 / 3, 1 / 3, 1 / 3]) == pytest.approx(1.0)
+
+    def test_explicit_class_count(self):
+        assert vote_entropy([0.5, 0.5], n_classes=2) == pytest.approx(1.0)
+
+    def test_single_class_zero(self):
+        assert vote_entropy([1.0], n_classes=1) == 0.0
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=3, max_size=3))
+    def test_bounded_zero_one(self, raw):
+        total = sum(raw)
+        if total == 0:
+            return
+        fractions = [x / total for x in raw]
+        assert 0.0 <= vote_entropy(fractions) <= 1.0 + 1e-9
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy_score([0, 1, 2], [0, 1, 2]) == 1.0
+
+    def test_half(self):
+        assert accuracy_score([0, 1], [0, 0]) == 0.5
+
+    def test_empty(self):
+        assert accuracy_score([], []) == 1.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy_score([0, 1], [0])
+
+
+class TestConfusionMatrix:
+    def test_basic(self):
+        matrix = confusion_matrix([0, 0, 1, 2], [0, 1, 1, 2], n_classes=3)
+        assert matrix[0, 0] == 1
+        assert matrix[0, 1] == 1
+        assert matrix[1, 1] == 1
+        assert matrix[2, 2] == 1
+        assert matrix.sum() == 4
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            confusion_matrix([0], [0, 1], n_classes=2)
+
+    def test_dtype(self):
+        matrix = confusion_matrix([0], [0], n_classes=1)
+        assert matrix.dtype == np.int64

@@ -1,0 +1,147 @@
+"""Tests for :mod:`repro.ml.tree`."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, NotFittedError
+from repro.ml import DecisionTreeClassifier
+
+
+def _xor_data(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.random((n, 2))
+    y = ((X[:, 0] > 0.5) ^ (X[:, 1] > 0.5)).astype(np.int64)
+    return X, y
+
+
+class TestFitBasics:
+    def test_perfectly_separable(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array([0, 0, 1, 1])
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.predict(np.array([[0.5], [2.5]])).tolist() == [0, 1]
+
+    def test_xor_learnable(self):
+        X, y = _xor_data()
+        tree = DecisionTreeClassifier(random_state=0).fit(X, y)
+        accuracy = float(np.mean(tree.predict(X) == y))
+        assert accuracy > 0.95
+
+    def test_single_class(self):
+        X = np.array([[1.0], [2.0]])
+        y = np.array([1, 1])
+        tree = DecisionTreeClassifier().fit(X, y, n_classes=2)
+        assert tree.predict(X).tolist() == [1, 1]
+        proba = tree.predict_proba(X)
+        assert proba.shape == (2, 2)
+        assert proba[:, 1].tolist() == [1.0, 1.0]
+
+    def test_constant_features_yield_leaf(self):
+        X = np.ones((10, 3))
+        y = np.array([0, 1] * 5)
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.node_count == 1
+        assert tree.depth == 0
+
+    def test_fit_returns_self(self):
+        X, y = _xor_data(20)
+        tree = DecisionTreeClassifier()
+        assert tree.fit(X, y) is tree
+
+
+class TestHyperParameters:
+    def test_max_depth_limits_depth(self):
+        X, y = _xor_data()
+        tree = DecisionTreeClassifier(max_depth=2, random_state=0).fit(X, y)
+        assert tree.depth <= 2
+
+    def test_min_samples_leaf(self):
+        X, y = _xor_data(50)
+        tree = DecisionTreeClassifier(min_samples_leaf=10, random_state=0).fit(X, y)
+        proba = tree.predict_proba(X)
+        assert proba.shape == (50, 2)
+
+    def test_min_samples_split_stops_early(self):
+        X, y = _xor_data(50)
+        tree = DecisionTreeClassifier(min_samples_split=200).fit(X, y)
+        assert tree.node_count == 1
+
+    def test_max_features_sqrt(self):
+        X, y = _xor_data()
+        tree = DecisionTreeClassifier(max_features="sqrt", random_state=1).fit(X, y)
+        assert tree.predict(X).shape == (len(y),)
+
+    def test_max_features_int_and_fraction(self):
+        X, y = _xor_data(60)
+        DecisionTreeClassifier(max_features=1, random_state=2).fit(X, y)
+        DecisionTreeClassifier(max_features=0.5, random_state=2).fit(X, y)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"min_samples_split": 1},
+            {"min_samples_leaf": 0},
+            {"max_depth": 0},
+            {"max_features": -1},
+            {"max_features": 1.5},
+            {"max_features": "bogus"},
+        ],
+    )
+    def test_invalid_hyperparameters(self, kwargs):
+        bad = kwargs.pop("max_features", None)
+        if bad is not None:
+            tree = DecisionTreeClassifier(max_features=bad)
+            with pytest.raises(ConfigError):
+                X, y = _xor_data(20)
+                tree.fit(X, y)
+        else:
+            with pytest.raises(ConfigError):
+                DecisionTreeClassifier(**kwargs)
+
+    def test_deterministic_given_seed(self):
+        X, y = _xor_data()
+        a = DecisionTreeClassifier(max_features=1, random_state=7).fit(X, y)
+        b = DecisionTreeClassifier(max_features=1, random_state=7).fit(X, y)
+        assert np.array_equal(a.predict(X), b.predict(X))
+
+
+class TestInputValidation:
+    def test_one_dim_X_rejected(self):
+        with pytest.raises(ConfigError):
+            DecisionTreeClassifier().fit(np.array([1.0, 2.0]), np.array([0, 1]))
+
+    def test_mismatched_y_rejected(self):
+        with pytest.raises(ConfigError):
+            DecisionTreeClassifier().fit(np.ones((3, 1)), np.array([0, 1]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            DecisionTreeClassifier().fit(np.ones((0, 2)), np.array([]))
+
+    def test_predict_before_fit(self):
+        with pytest.raises(NotFittedError):
+            DecisionTreeClassifier().predict(np.ones((1, 2)))
+
+    def test_node_count_before_fit(self):
+        with pytest.raises(NotFittedError):
+            __ = DecisionTreeClassifier().node_count
+
+
+class TestProbabilities:
+    def test_proba_rows_sum_to_one(self):
+        X, y = _xor_data()
+        tree = DecisionTreeClassifier(max_depth=3, random_state=0).fit(X, y)
+        proba = tree.predict_proba(X)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0)
+
+    def test_predict_is_argmax_of_proba(self):
+        X, y = _xor_data()
+        tree = DecisionTreeClassifier(max_depth=4, random_state=0).fit(X, y)
+        proba = tree.predict_proba(X)
+        assert np.array_equal(tree.predict(X), np.argmax(proba, axis=1))
+
+    def test_extra_classes_width(self):
+        X = np.array([[0.0], [1.0]])
+        y = np.array([0, 1])
+        tree = DecisionTreeClassifier().fit(X, y, n_classes=5)
+        assert tree.predict_proba(X).shape == (2, 5)

@@ -1,0 +1,84 @@
+"""Tests for :mod:`repro.repair.candidate` and the feedback vocabulary."""
+
+import pytest
+
+from repro.repair import CandidateUpdate, Feedback, UserFeedback
+
+
+class TestCandidateUpdate:
+    def test_fields(self):
+        update = CandidateUpdate(3, "city", "Fort Wayne", 0.8)
+        assert update.tid == 3
+        assert update.attribute == "city"
+        assert update.value == "Fort Wayne"
+        assert update.score == 0.8
+
+    def test_cell(self):
+        assert CandidateUpdate(3, "city", "x", 0.5).cell == (3, "city")
+
+    def test_group_key(self):
+        update = CandidateUpdate(3, "city", "Fort Wayne", 0.8)
+        assert update.group_key == ("city", "Fort Wayne")
+
+    def test_score_bounds_validated(self):
+        with pytest.raises(ValueError):
+            CandidateUpdate(0, "a", "v", 1.5)
+        with pytest.raises(ValueError):
+            CandidateUpdate(0, "a", "v", -0.1)
+
+    def test_boundary_scores_valid(self):
+        CandidateUpdate(0, "a", "v", 0.0)
+        CandidateUpdate(0, "a", "v", 1.0)
+
+    def test_frozen(self):
+        update = CandidateUpdate(0, "a", "v", 0.5)
+        with pytest.raises(AttributeError):
+            update.score = 0.9
+
+    def test_with_score(self):
+        update = CandidateUpdate(0, "a", "v", 0.5)
+        boosted = update.with_score(1.0)
+        assert boosted.score == 1.0
+        assert boosted.cell == update.cell
+        assert update.score == 0.5
+
+    def test_equality(self):
+        assert CandidateUpdate(0, "a", "v", 0.5) == CandidateUpdate(0, "a", "v", 0.5)
+        assert CandidateUpdate(0, "a", "v", 0.5) != CandidateUpdate(0, "a", "w", 0.5)
+
+    def test_describe(self):
+        text = CandidateUpdate(7, "zip", "46825", 0.4).describe()
+        assert "t7" in text and "46825" in text
+
+
+class TestFeedback:
+    def test_three_classes(self):
+        assert {f.value for f in Feedback} == {"confirm", "reject", "retain"}
+
+    def test_str(self):
+        assert str(Feedback.CONFIRM) == "confirm"
+
+
+class TestUserFeedback:
+    def test_confirm_shorthand(self):
+        fb = UserFeedback.confirm()
+        assert fb.kind is Feedback.CONFIRM
+        assert not fb.has_correction
+
+    def test_reject_plain(self):
+        fb = UserFeedback.reject()
+        assert fb.kind is Feedback.REJECT
+        assert not fb.has_correction
+
+    def test_reject_with_correction(self):
+        fb = UserFeedback.reject(correction="Fort Wayne")
+        assert fb.has_correction
+        assert fb.correction == "Fort Wayne"
+
+    def test_retain_shorthand(self):
+        assert UserFeedback.retain().kind is Feedback.RETAIN
+
+    def test_frozen(self):
+        fb = UserFeedback.confirm()
+        with pytest.raises(AttributeError):
+            fb.kind = Feedback.REJECT

@@ -1,0 +1,160 @@
+"""Tests for :mod:`repro.repair.consistency` (Appendix A.5)."""
+
+import pytest
+
+from repro.constraints import RuleSet, ViolationDetector, parse_rules
+from repro.db import Database, Schema
+from repro.repair import (
+    ConsistencyManager,
+    RepairState,
+    UpdateGenerator,
+    UserFeedback,
+)
+
+
+@pytest.fixture()
+def setup(figure1_dirty, figure1_rules):
+    detector = ViolationDetector(figure1_dirty, figure1_rules)
+    state = RepairState()
+    generator = UpdateGenerator(figure1_dirty, figure1_rules, detector, state)
+    manager = ConsistencyManager(figure1_dirty, figure1_rules, detector, state, generator)
+    generator.generate_all()
+    return figure1_dirty, detector, state, generator, manager
+
+
+class TestRetain:
+    def test_retain_freezes_cell(self, setup):
+        db, detector, state, __, manager = setup
+        update = state.get((1, "city"))
+        result = manager.apply_feedback(update, UserFeedback.retain())
+        assert not result.wrote_database
+        assert not state.is_changeable((1, "city"))
+        assert state.get((1, "city")) is None
+
+    def test_retained_cell_gets_no_new_suggestions(self, setup):
+        db, detector, state, generator, manager = setup
+        update = state.get((1, "city"))
+        manager.apply_feedback(update, UserFeedback.retain())
+        assert generator.generate_for_cell(1, "city") is None
+
+
+class TestReject:
+    def test_reject_prevents_value_and_replaces(self, setup):
+        db, detector, state, __, manager = setup
+        update = state.get((1, "city"))
+        rejected_value = update.value
+        result = manager.apply_feedback(update, UserFeedback.reject())
+        assert not result.wrote_database
+        assert state.is_prevented((1, "city"), rejected_value)
+        replacement = state.get((1, "city"))
+        if replacement is not None:
+            assert replacement.value != rejected_value
+            assert result.replacement == replacement
+
+    def test_reject_with_correction_applies_it(self, setup):
+        db, detector, state, __, manager = setup
+        update = state.get((1, "city"))
+        result = manager.apply_feedback(
+            update, UserFeedback.reject(correction="Michigan City")
+        )
+        assert result.wrote_database
+        assert db.value(1, "city") == "Michigan City"
+        assert not state.is_changeable((1, "city"))
+
+
+class TestConfirm:
+    def test_confirm_writes_and_freezes(self, setup):
+        db, detector, state, __, manager = setup
+        update = state.get((1, "city"))
+        result = manager.apply_feedback(update, UserFeedback.confirm())
+        assert result.wrote_database
+        assert db.value(1, "city") == update.value
+        assert not state.is_changeable((1, "city"))
+
+    def test_confirm_records_source(self, figure1_dirty, figure1_rules):
+        from repro.db import ChangeLog
+
+        log = ChangeLog(figure1_dirty)
+        detector = ViolationDetector(figure1_dirty, figure1_rules)
+        state = RepairState()
+        generator = UpdateGenerator(figure1_dirty, figure1_rules, detector, state)
+        manager = ConsistencyManager(
+            figure1_dirty, figure1_rules, detector, state, generator
+        )
+        generator.generate_all()
+        update = state.get((1, "city"))
+        manager.apply_feedback(update, UserFeedback.confirm(), source="learner")
+        assert log.by_source("learner")
+
+    def test_confirm_invalidates_dependent_updates(self, setup):
+        """Paper §3 example: confirming one update regenerates partners'."""
+        db, detector, state, __, manager = setup
+        # t4 has both a zip suggestion (46825) and possibly others; t5
+        # is its phi5 partner. Confirm t4's zip fix and check partner
+        # suggestions were revisited against the new instance.
+        update = state.get((4, "zip"))
+        assert update is not None
+        result = manager.apply_feedback(update, UserFeedback.confirm())
+        assert result.wrote_database
+        # t4 is now consistent with t5 under phi5; no suggestion should
+        # propose changing t5's zip to the old wrong value
+        leftover = state.get((5, "zip"))
+        assert leftover is None or leftover.value != "46391"
+
+    def test_invariants_hold_after_each_feedback(self, setup):
+        db, detector, state, __, manager = setup
+        for __i in range(10):
+            updates = state.updates()
+            if not updates:
+                break
+            manager.apply_feedback(updates[0], UserFeedback.confirm())
+            assert manager.check_invariants() == []
+
+    def test_detector_stays_consistent(self, setup):
+        db, detector, state, __, manager = setup
+        updates = state.updates()
+        for update in updates[:5]:
+            if state.contains(update):
+                manager.apply_feedback(update, UserFeedback.confirm())
+        assert detector.verify()
+
+
+class TestRefreshSuggestions:
+    def test_refresh_covers_new_dirty_tuples(self, setup):
+        db, detector, state, __, manager = setup
+        # manually create a new violation from outside the manager
+        db.set_value(3, "city", "Garbage City")
+        manager.refresh_suggestions()
+        assert any(u.tid == 3 for u in state.updates())
+
+    def test_refresh_prunes_clean_tuples(self, setup):
+        db, detector, state, __, manager = setup
+        # externally fix the dirty cells of tuple 1
+        db.set_value(1, "city", "Michigan City")
+        manager.refresh_suggestions()
+        assert all(u.tid != 1 for u in state.updates())
+
+    def test_refresh_prunes_suggestions_equal_to_current(self, setup):
+        db, detector, state, __, manager = setup
+        update = state.get((1, "city"))
+        db.set_value(1, "city", update.value)
+        manager.refresh_suggestions()
+        current = state.get((1, "city"))
+        assert current is None or current.value != db.value(1, "city")
+
+    def test_full_feedback_loop_terminates_clean(self, setup, figure1_clean):
+        """Driving feedback from ground truth repairs the whole instance."""
+        db, detector, state, __, manager = setup
+        from repro.core import GroundTruthOracle
+
+        oracle = GroundTruthOracle(figure1_clean)
+        for __i in range(200):
+            manager.refresh_suggestions()
+            updates = state.updates()
+            if not updates:
+                break
+            update = updates[0]
+            feedback = oracle.review(update, db.value(*update.cell))
+            manager.apply_feedback(update, feedback)
+        assert detector.dirty_tuples() == set()
+        assert db.equals_data(figure1_clean)

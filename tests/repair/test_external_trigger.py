@@ -1,0 +1,79 @@
+"""Tests for the consistency manager's database-trigger hook (paper §3).
+
+"Since GDR is meant for repairing online databases, the consistency
+manager will need to be informed (e.g., through database triggers) with
+any newly added or modified tuples so it can maintain the consistency
+of the suggested updates."
+"""
+
+import pytest
+
+from repro.constraints import ViolationDetector
+from repro.repair import ConsistencyManager, RepairState, UpdateGenerator, UserFeedback
+
+
+@pytest.fixture()
+def setup(figure1_dirty, figure1_rules):
+    detector = ViolationDetector(figure1_dirty, figure1_rules)
+    state = RepairState()
+    generator = UpdateGenerator(figure1_dirty, figure1_rules, detector, state)
+    manager = ConsistencyManager(figure1_dirty, figure1_rules, detector, state, generator)
+    generator.generate_all()
+    return figure1_dirty, detector, state, manager
+
+
+class TestExternalEdits:
+    def test_external_fix_prunes_stale_suggestion(self, setup):
+        db, detector, state, manager = setup
+        assert state.get((1, "city")) is not None
+        db.set_value(1, "city", "Michigan City", source="external")
+        # the trigger must have dropped the now-satisfied suggestion
+        suggestion = state.get((1, "city"))
+        assert suggestion is None or suggestion.value != "Michigan City"
+        assert manager.check_invariants() == []
+
+    def test_external_edit_matching_suggestion_value(self, setup):
+        db, detector, state, manager = setup
+        suggestion = state.get((1, "city"))
+        db.set_value(1, "city", suggestion.value, source="external")
+        assert manager.check_invariants() == []
+
+    def test_external_corruption_generates_suggestions(self, setup):
+        db, detector, state, manager = setup
+        db.set_value(3, "city", "Garbage City", source="external")
+        assert detector.is_dirty(3)
+        assert any(u.tid == 3 for u in state.updates())
+        assert manager.check_invariants() == []
+
+    def test_internal_writes_not_double_processed(self, setup):
+        db, detector, state, manager = setup
+        update = state.get((1, "city"))
+        result = manager.apply_feedback(update, UserFeedback.confirm())
+        assert result.wrote_database
+        assert manager.check_invariants() == []
+        assert not state.is_changeable((1, "city"))
+
+    def test_detach_stops_trigger(self, setup):
+        db, detector, state, manager = setup
+        manager.detach()
+        suggestion = state.get((1, "city"))
+        db.set_value(1, "city", suggestion.value, source="external")
+        # stale suggestion remains: the trigger is off
+        assert state.get((1, "city")) == suggestion
+
+    def test_invariants_hold_under_mixed_traffic(self, setup, figure1_clean):
+        from repro.core import GroundTruthOracle
+
+        db, detector, state, manager = setup
+        oracle = GroundTruthOracle(figure1_clean)
+        for step in range(30):
+            if step % 3 == 0:
+                tid = db.tids()[step % len(db.tids())]
+                db.set_value(tid, "state", "IN" if step % 2 else "XX", source="external")
+            updates = state.updates()
+            if not updates:
+                break
+            update = updates[0]
+            manager.apply_feedback(update, oracle.review(update, db.value(*update.cell)))
+            assert manager.check_invariants() == []
+            assert detector.verify()

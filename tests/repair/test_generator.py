@@ -1,0 +1,184 @@
+"""Tests for :mod:`repro.repair.generator` (Algorithm 1)."""
+
+import pytest
+
+from repro.constraints import RuleSet, ViolationDetector, parse_rules
+from repro.db import Database, Schema
+from repro.repair import RepairState, UpdateGenerator
+
+
+def _build(rows, rules_text, schema_attrs=("zip", "city", "street")):
+    schema = Schema("r", list(schema_attrs))
+    db = Database(schema, rows)
+    rules = RuleSet(parse_rules(rules_text), schema=schema)
+    detector = ViolationDetector(db, rules)
+    state = RepairState()
+    generator = UpdateGenerator(db, rules, detector, state)
+    return db, rules, detector, state, generator
+
+
+class TestScenario1ConstantRHS:
+    """B = RHS of a violated constant CFD -> suggest the pattern constant."""
+
+    def test_suggests_pattern_constant(self):
+        db, __, __, state, gen = _build(
+            [["46360", "Westvile", "Main St"]],
+            "(zip -> city, {46360 || 'Michigan City'})",
+        )
+        update = gen.generate_for_cell(0, "city")
+        assert update.value == "Michigan City"
+        assert state.get((0, "city")) == update
+
+    def test_score_is_eq7_similarity(self):
+        db, __, __, __, gen = _build(
+            [["46360", "Michigan Cty", "Main St"]],
+            "(zip -> city, {46360 || 'Michigan City'})",
+        )
+        update = gen.generate_for_cell(0, "city")
+        from repro.repair import similarity
+
+        assert update.score == pytest.approx(similarity("Michigan Cty", "Michigan City"))
+
+    def test_zero_similarity_value_still_suggested(self):
+        # the paper's own example: 'Westville' -> 'Michigan City'
+        db, __, __, __, gen = _build(
+            [["46360", "Westville", "Main St"]],
+            "(zip -> city, {46360 || 'Michigan City'})",
+        )
+        update = gen.generate_for_cell(0, "city")
+        assert update.value == "Michigan City"
+        assert update.score == 0.0
+
+
+class TestScenario2VariableRHS:
+    """B = RHS of a violated variable CFD -> suggest a partner's value."""
+
+    def test_suggests_majority_partner_value(self):
+        db, __, __, __, gen = _build(
+            [
+                ["46391", "Fort Wayne", "Sherden RD"],
+                ["46825", "Fort Wayne", "Sherden RD"],
+                ["46825", "Fort Wayne", "Sherden RD"],
+            ],
+            "(street, city -> zip, {-, - || -})",
+        )
+        update = gen.generate_for_cell(0, "zip")
+        assert update.value == "46825"
+
+    def test_no_update_when_group_uniform(self):
+        db, __, __, state, gen = _build(
+            [
+                ["46825", "Fort Wayne", "Sherden RD"],
+                ["46825", "Fort Wayne", "Sherden RD"],
+            ],
+            "(street, city -> zip, {-, - || -})",
+        )
+        assert gen.generate_for_cell(0, "zip") is None
+
+
+class TestScenario3LHS:
+    """B in LHS of a violated CFD -> best similarity from context pool."""
+
+    def test_pool_from_violated_rule_constants(self):
+        db, __, __, __, gen = _build(
+            [["46360", "Westvile", "Main St"]],
+            "(city -> zip, {'Michigan City' || 46360})",
+        )
+        # tuple violates nothing: city 'Westvile' doesn't match context
+        assert gen.generate_for_cell(0, "city") is None
+
+    def test_pool_from_agreeing_tuples(self):
+        db, __, __, __, gen = _build(
+            [
+                ["46391", "Fort Wayne", "Sherden RD"],
+                ["46825", "Fort Wayne", "Sherden RD"],
+            ],
+            "(street, city -> zip, {-, - || -})",
+        )
+        # for the street attribute: tuples agreeing on (city, zip) have
+        # no alternative street -> best update targets zip instead
+        update = gen.generate_for_cell(0, "street")
+        assert update is None or update.attribute == "street"
+
+
+class TestPreventedAndFrozen:
+    def test_prevented_value_skipped(self):
+        db, __, __, state, gen = _build(
+            [["46360", "Westvile", "Main St"]],
+            "(zip -> city, {46360 || 'Michigan City'})",
+        )
+        state.prevent((0, "city"), "Michigan City")
+        assert gen.generate_for_cell(0, "city") is None
+
+    def test_frozen_cell_skipped(self):
+        db, __, __, state, gen = _build(
+            [["46360", "Westvile", "Main St"]],
+            "(zip -> city, {46360 || 'Michigan City'})",
+        )
+        state.freeze((0, "city"))
+        assert gen.generate_for_cell(0, "city") is None
+
+    def test_current_value_never_suggested(self):
+        db, __, __, __, gen = _build(
+            [["46360", "Michigan City", "Main St"]],
+            "(zip -> city, {46360 || 'Michigan City'})",
+        )
+        # tuple satisfies the rule; nothing to suggest
+        assert gen.generate_for_cell(0, "city") is None
+
+    def test_clean_tuple_clears_stale_suggestion(self):
+        db, __, __, state, gen = _build(
+            [["46360", "Westvile", "Main St"]],
+            "(zip -> city, {46360 || 'Michigan City'})",
+        )
+        update = gen.generate_for_cell(0, "city")
+        assert update is not None
+        db.set_value(0, "city", "Michigan City")
+        assert gen.generate_for_cell(0, "city") is None
+        assert state.get((0, "city")) is None
+
+
+class TestGenerateForTuple:
+    def test_covers_attributes_of_violated_rules(self, figure1_dirty, figure1_rules):
+        detector = ViolationDetector(figure1_dirty, figure1_rules)
+        state = RepairState()
+        gen = UpdateGenerator(figure1_dirty, figure1_rules, detector, state)
+        produced = gen.generate_for_tuple(1)
+        attrs = {u.attribute for u in produced}
+        assert "city" in attrs  # the erroneous attribute gets a fix
+        suggestion = state.get((1, "city"))
+        assert suggestion.value == "Michigan City"
+
+    def test_clean_tuple_produces_nothing(self, figure1_dirty, figure1_rules):
+        detector = ViolationDetector(figure1_dirty, figure1_rules)
+        state = RepairState()
+        gen = UpdateGenerator(figure1_dirty, figure1_rules, detector, state)
+        assert gen.generate_for_tuple(3) == []
+
+    def test_generate_all_covers_all_dirty(self, figure1_dirty, figure1_rules):
+        detector = ViolationDetector(figure1_dirty, figure1_rules)
+        state = RepairState()
+        gen = UpdateGenerator(figure1_dirty, figure1_rules, detector, state)
+        produced = gen.generate_all()
+        assert len(produced) == len(state)
+        covered = {u.tid for u in produced}
+        # every dirty tuple with a derivable fix gets at least one update
+        assert covered <= detector.dirty_tuples()
+        assert (1, "city") in [u.cell for u in produced]
+
+    def test_figure1_t4_zip_suggestion(self, figure1_dirty, figure1_rules):
+        """Paper Appendix A example: t5 (our t4) gets zip 46825 via phi5."""
+        detector = ViolationDetector(figure1_dirty, figure1_rules)
+        state = RepairState()
+        gen = UpdateGenerator(figure1_dirty, figure1_rules, detector, state)
+        gen.generate_all()
+        update = state.get((4, "zip"))
+        assert update is not None
+        assert update.value == "46825"
+
+    def test_detach_releases_indexes(self, figure1_dirty, figure1_rules):
+        detector = ViolationDetector(figure1_dirty, figure1_rules)
+        gen = UpdateGenerator(figure1_dirty, figure1_rules, detector, RepairState())
+        gen.generate_all()
+        gen.detach()
+        assert gen._indexes == {}

@@ -1,0 +1,122 @@
+"""Tests for :mod:`repro.repair.similarity` (paper Eq. 7)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.repair import EditDistanceSimilarity, levenshtein, similarity, token_jaccard
+
+TEXT = st.text(alphabet="abcde ", max_size=12)
+
+
+class TestLevenshtein:
+    @pytest.mark.parametrize(
+        ("a", "b", "expected"),
+        [
+            ("", "", 0),
+            ("a", "", 1),
+            ("", "abc", 3),
+            ("kitten", "sitting", 3),
+            ("flaw", "lawn", 2),
+            ("46360", "46391", 2),
+            ("abc", "abc", 0),
+        ],
+    )
+    def test_known_distances(self, a, b, expected):
+        assert levenshtein(a, b) == expected
+
+    @given(a=TEXT, b=TEXT)
+    def test_symmetry(self, a, b):
+        assert levenshtein(a, b) == levenshtein(b, a)
+
+    @given(a=TEXT)
+    def test_identity(self, a):
+        assert levenshtein(a, a) == 0
+
+    @given(a=TEXT, b=TEXT)
+    def test_bounds(self, a, b):
+        d = levenshtein(a, b)
+        assert abs(len(a) - len(b)) <= d <= max(len(a), len(b))
+
+    @given(a=TEXT, b=TEXT, c=TEXT)
+    def test_triangle_inequality(self, a, b, c):
+        assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+    @given(a=TEXT, b=TEXT)
+    def test_agrees_with_reference_dp(self, a, b):
+        m, n = len(a), len(b)
+        table = [[0] * (n + 1) for __ in range(m + 1)]
+        for i in range(m + 1):
+            table[i][0] = i
+        for j in range(n + 1):
+            table[0][j] = j
+        for i in range(1, m + 1):
+            for j in range(1, n + 1):
+                cost = 0 if a[i - 1] == b[j - 1] else 1
+                table[i][j] = min(
+                    table[i - 1][j] + 1, table[i][j - 1] + 1, table[i - 1][j - 1] + cost
+                )
+        assert levenshtein(a, b) == table[m][n]
+
+
+class TestSimilarity:
+    def test_equal_values_score_one(self):
+        assert similarity("x", "x") == 1.0
+        assert similarity(42, 42) == 1.0
+
+    def test_empty_strings(self):
+        assert similarity("", "") == 1.0
+
+    def test_range(self):
+        assert 0.0 <= similarity("Westville", "Michigan City") <= 1.0
+
+    def test_eq7_formula(self):
+        # dist('46360', '46391') = 2, max length 5 -> 1 - 2/5
+        assert similarity("46360", "46391") == pytest.approx(0.6)
+
+    def test_non_string_values_stringified(self):
+        assert similarity(46360, 46391) == pytest.approx(0.6)
+
+    def test_paper_example_zero_similarity_is_valid(self):
+        # 'Westville' -> 'Michigan City' is a genuine suggestion in the
+        # paper despite an edit distance equal to the longer length.
+        assert similarity("Westville", "Michigan City") == 0.0
+
+    @given(a=TEXT, b=TEXT)
+    def test_symmetric(self, a, b):
+        assert similarity(a, b) == pytest.approx(similarity(b, a))
+
+    @given(a=TEXT, b=TEXT)
+    def test_bounded(self, a, b):
+        assert 0.0 <= similarity(a, b) <= 1.0
+
+
+class TestTokenJaccard:
+    def test_identical(self):
+        assert token_jaccard("fort wayne", "Fort Wayne") == 1.0
+
+    def test_disjoint(self):
+        assert token_jaccard("aaa", "bbb") == 0.0
+
+    def test_partial_overlap(self):
+        assert token_jaccard("fort wayne", "wayne county") == pytest.approx(1 / 3)
+
+    def test_empty_both(self):
+        assert token_jaccard("", "") == 1.0
+
+    @given(a=TEXT, b=TEXT)
+    def test_bounded(self, a, b):
+        assert 0.0 <= token_jaccard(a, b) <= 1.0
+
+
+class TestEditDistanceSimilarity:
+    def test_case_sensitive_default(self):
+        sim = EditDistanceSimilarity()
+        assert sim("IN", "in") < 1.0
+
+    def test_case_insensitive(self):
+        sim = EditDistanceSimilarity(case_sensitive=False)
+        assert sim("IN", "in") == 1.0
+
+    def test_repr(self):
+        assert "case_sensitive" in repr(EditDistanceSimilarity())

@@ -1,0 +1,106 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.db import load_csv
+
+
+@pytest.fixture()
+def workspace(tmp_path):
+    csv_path = tmp_path / "data.csv"
+    csv_path.write_text(
+        "zip,city\n"
+        "46360,Michigan City\n"
+        "46360,Westvile\n"
+        "46360,Michigan City\n"
+        "46825,Fort Wayne\n"
+    )
+    rules_path = tmp_path / "rules.txt"
+    rules_path.write_text(
+        "phi1: (zip -> city, {46360 || 'Michigan City'})\n"
+        "phi3: (zip -> city, {46825 || 'Fort Wayne'})\n"
+    )
+    return tmp_path, csv_path, rules_path
+
+
+class TestCheck:
+    def test_reports_violations(self, workspace, capsys):
+        __, csv_path, rules_path = workspace
+        code = main(["check", str(csv_path), str(rules_path)])
+        out = capsys.readouterr().out
+        assert code == 1  # dirty tuples found
+        assert "1 dirty tuples" in out
+        assert "Michigan City" in out
+
+    def test_clean_file_returns_zero(self, workspace, capsys):
+        tmp_path, __, rules_path = workspace
+        clean_csv = tmp_path / "clean.csv"
+        clean_csv.write_text("zip,city\n46360,Michigan City\n")
+        assert main(["check", str(clean_csv), str(rules_path)]) == 0
+
+    def test_limit_truncates(self, workspace, capsys):
+        tmp_path, __, rules_path = workspace
+        many = tmp_path / "many.csv"
+        rows = "\n".join("46360,Wrong" for __i in range(12))
+        many.write_text(f"zip,city\n{rows}\n")
+        main(["check", str(many), str(rules_path), "--limit", "2"])
+        out = capsys.readouterr().out
+        assert "and 10 more" in out
+
+
+class TestClean:
+    def test_repairs_and_writes(self, workspace, capsys):
+        tmp_path, csv_path, rules_path = workspace
+        out_path = tmp_path / "repaired.csv"
+        code = main(["clean", str(csv_path), str(rules_path), "--output", str(out_path)])
+        assert code == 0
+        repaired = load_csv(out_path)
+        assert repaired.value(1, "city") == "Michigan City"
+
+
+class TestDiscover:
+    def test_prints_and_writes_rules(self, workspace, capsys):
+        tmp_path, csv_path, __ = workspace
+        out_path = tmp_path / "mined.txt"
+        code = main(
+            ["discover", str(csv_path), "--output", str(out_path), "--support", "0.4",
+             "--confidence", "0.6"]
+        )
+        assert code == 0
+        assert out_path.exists()
+        text = out_path.read_text()
+        assert "->" in text
+
+    def test_discovered_rules_are_parseable(self, workspace):
+        tmp_path, csv_path, __ = workspace
+        out_path = tmp_path / "mined.txt"
+        main(["discover", str(csv_path), "--output", str(out_path), "--support", "0.4",
+              "--confidence", "0.6"])
+        from repro.constraints.parser import load_rules
+
+        assert len(load_rules(out_path)) > 0
+
+
+class TestExplain:
+    def test_explains_tuples(self, workspace, capsys):
+        __, csv_path, rules_path = workspace
+        code = main(["explain", str(csv_path), str(rules_path), "1", "0"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "t1" in out and "violation" in out
+        assert "t0: clean" in out
+
+
+class TestGuided:
+    def test_guided_with_scripted_answers(self, workspace, monkeypatch, capsys):
+        tmp_path, csv_path, rules_path = workspace
+        out_path = tmp_path / "repaired.csv"
+        answers = iter(["c"] * 20)
+        monkeypatch.setattr("builtins.input", lambda __prompt="": next(answers))
+        code = main(
+            ["guided", str(csv_path), str(rules_path), "--output", str(out_path),
+             "--budget", "5"]
+        )
+        assert code == 0
+        assert out_path.exists()

@@ -1,0 +1,83 @@
+"""Tests for the exception hierarchy and the public package surface."""
+
+import pytest
+
+import repro
+from repro.errors import (
+    ConfigError,
+    NotFittedError,
+    RepairError,
+    ReproError,
+    RuleError,
+    RuleParseError,
+    SchemaError,
+    UnknownAttributeError,
+    UnknownTupleError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            SchemaError,
+            RuleError,
+            RuleParseError,
+            RepairError,
+            NotFittedError,
+            ConfigError,
+            UnknownTupleError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_unknown_attribute_is_keyerror_too(self):
+        assert issubclass(UnknownAttributeError, KeyError)
+        assert issubclass(UnknownAttributeError, SchemaError)
+
+    def test_unknown_tuple_is_keyerror(self):
+        assert issubclass(UnknownTupleError, KeyError)
+
+    def test_rule_parse_error_message(self):
+        err = RuleParseError("bad text", "because reasons")
+        assert "bad text" in str(err)
+        assert "because reasons" in str(err)
+        assert err.text == "bad text"
+
+    def test_unknown_attribute_message(self):
+        err = UnknownAttributeError("city", "customer")
+        assert "city" in str(err)
+        assert "customer" in str(err)
+
+
+class TestPublicApi:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_key_classes_exported(self):
+        for name in (
+            "Database",
+            "Schema",
+            "RuleSet",
+            "CFD",
+            "ViolationDetector",
+            "GDREngine",
+            "GDRConfig",
+            "GroundTruthOracle",
+            "batch_repair",
+            "discover_rules",
+            "parse_rules",
+        ):
+            assert name in repro.__all__
+
+    def test_quickstart_docstring_example(self):
+        """The module docstring example must actually work."""
+        import doctest
+
+        results = doctest.testmod(repro, verbose=False)
+        assert results.failed == 0

@@ -1,0 +1,46 @@
+"""Smoke tests: every example script runs to completion."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def _run(script: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        result = _run("quickstart.py")
+        assert result.returncode == 0, result.stderr
+        assert "Repaired instance" in result.stdout
+        assert "100.0%" in result.stdout
+
+    def test_hospital_cleaning(self):
+        result = _run("hospital_cleaning.py", "--n", "200", "--seed", "1")
+        assert result.returncode == 0, result.stderr
+        assert "Automatic heuristic" in result.stdout
+        assert "GDR with 20% effort" in result.stdout
+        assert "GDR with unlimited effort" in result.stdout
+
+    def test_census_repair(self):
+        result = _run("census_repair.py", "--n", "200", "--seed", "1")
+        assert result.returncode == 0, result.stderr
+        assert "Rules discovered" in result.stdout
+        assert "improvement" in result.stdout
+
+    @pytest.mark.slow
+    def test_noisy_expert(self):
+        result = _run("noisy_expert.py", "--n", "200", "--seed", "1")
+        assert result.returncode == 0, result.stderr
+        assert "noise" in result.stdout
+        assert "token-Jaccard" in result.stdout
