@@ -1,0 +1,87 @@
+"""Run the micro-benchmarks and record medians for cross-PR tracking.
+
+Entry point::
+
+    python benchmarks/run_bench.py [-o BENCH_micro.json] [-k EXPR]
+
+Runs ``bench_micro.py`` under ``pytest-benchmark`` and writes a flat
+``benchmark name -> median seconds`` JSON next to this file (by
+default ``benchmarks/BENCH_micro.json``), so the performance trajectory
+of the hot paths is visible across PRs with a one-line diff.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+REPO_ROOT = BENCH_DIR.parent
+DEFAULT_OUTPUT = BENCH_DIR / "BENCH_micro.json"
+
+
+def run_micro_benchmarks(selector: str | None = None) -> dict[str, float]:
+    """Run ``bench_micro.py`` and return ``{benchmark name: median seconds}``."""
+    with tempfile.TemporaryDirectory() as tmp:
+        raw_path = Path(tmp) / "bench.json"
+        env = dict(os.environ)
+        src = str(REPO_ROOT / "src")
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = src if not existing else src + os.pathsep + existing
+        command = [
+            sys.executable,
+            "-m",
+            "pytest",
+            str(BENCH_DIR / "bench_micro.py"),
+            "--benchmark-only",
+            "-q",
+            f"--benchmark-json={raw_path}",
+        ]
+        if selector:
+            command += ["-k", selector]
+        result = subprocess.run(command, cwd=REPO_ROOT, env=env)
+        if result.returncode != 0:
+            raise SystemExit(result.returncode)
+        data = json.loads(raw_path.read_text())
+    return {
+        bench["name"]: bench["stats"]["median"]
+        for bench in sorted(data["benchmarks"], key=lambda b: b["name"])
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "-o",
+        "--output",
+        type=Path,
+        default=DEFAULT_OUTPUT,
+        help=f"output JSON path (default: {DEFAULT_OUTPUT})",
+    )
+    parser.add_argument(
+        "-k",
+        dest="selector",
+        default=None,
+        help="pytest -k expression to run a benchmark subset",
+    )
+    args = parser.parse_args(argv)
+    medians = run_micro_benchmarks(args.selector)
+    width = max(len(name) for name in medians)
+    for name, median in medians.items():
+        print(f"{name:<{width}}  {median * 1e3:9.3f} ms")
+    if args.selector and args.output == DEFAULT_OUTPUT:
+        # a subset must not clobber the tracked full-run medians
+        print(f"\nsubset run (-k): not overwriting {DEFAULT_OUTPUT}; pass -o to write")
+        return 0
+    args.output.write_text(json.dumps(medians, indent=2, sort_keys=True) + "\n")
+    print(f"\nwrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -45,7 +45,7 @@ def _load(csv_path: str, rules_path: str):
 def _cmd_check(args: argparse.Namespace) -> int:
     db, rules = _load(args.csv, args.rules)
     detector = ViolationDetector(db, rules)
-    dirty = sorted(detector.dirty_tuples())
+    dirty = detector.dirty_tuples_ordered()
     print(f"{len(db)} tuples, {len(rules)} rules, {len(dirty)} dirty tuples, "
           f"vio(D, Sigma) = {detector.vio_total()}")
     for tid in dirty[: args.limit]:

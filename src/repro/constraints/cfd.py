@@ -45,7 +45,7 @@ class CFD:
     ('zip', 'city')
     """
 
-    __slots__ = ("lhs", "rhs", "pattern", "name")
+    __slots__ = ("lhs", "rhs", "pattern", "name", "_hash")
 
     def __init__(
         self,
@@ -73,6 +73,7 @@ class CFD:
         self.rhs = rhs
         self.pattern = pattern
         self.name = name
+        self._hash: int | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -131,7 +132,10 @@ class CFD:
         return self._key() == other._key()
 
     def __hash__(self) -> int:
-        return hash(self._key())
+        # rules key every per-rule statistics dict; cache the hash
+        if self._hash is None:
+            self._hash = hash(self._key())
+        return self._hash
 
     def __repr__(self) -> str:
         label = f"{self.name}: " if self.name else ""

@@ -53,10 +53,11 @@ class PatternTuple:
     (True, False)
     """
 
-    __slots__ = ("_entries",)
+    __slots__ = ("_entries", "_hash")
 
     def __init__(self, entries: Mapping[str, object]) -> None:
         self._entries = dict(entries)
+        self._hash: int | None = None
 
     @property
     def attributes(self) -> tuple[str, ...]:
@@ -117,7 +118,11 @@ class PatternTuple:
         return self._entries == other._entries
 
     def __hash__(self) -> int:
-        return hash(frozenset(self._entries.items()))
+        # patterns are immutable value objects on every hot dict path
+        # (rule -> state lookups, what-if outcome maps); cache the hash
+        if self._hash is None:
+            self._hash = hash(frozenset(self._entries.items()))
+        return self._hash
 
     def __repr__(self) -> str:
         parts = ", ".join(f"{a}={'-' if v is ANY else repr(v)}" for a, v in self._entries.items())

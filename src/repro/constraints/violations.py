@@ -7,7 +7,8 @@ The detector maintains, incrementally under cell updates:
 * per rule, the *context size* ``|D(φ)|`` (tuples matching the LHS
   pattern) and the *satisfying count* ``|D ⊨ φ|`` (context tuples not in
   violation) used by the quality-loss equations;
-* the global dirty-tuple set and each tuple's violated-rule list.
+* the global dirty-tuple set, kept in an *ordered* incremental view so
+  consumers never re-sort it, and each tuple's violated-rule list.
 
 For a variable CFD, context tuples are partitioned by their LHS values;
 a partition of size ``G`` with RHS value counts ``{c_v}`` contributes
@@ -15,27 +16,57 @@ a partition of size ``G`` with RHS value counts ``{c_v}`` contributes
 holds more than one distinct RHS value (otherwise zero). Single-cell
 updates touch at most two partitions per rule, so maintenance is cheap.
 
+Full builds run on the database's dictionary-encoded columnar mirror:
+context masks are vectorized code comparisons, and the per-partition
+``G² − Σ c_v²`` counts come from ``np.unique``/``np.bincount`` group-id
+arithmetic instead of per-tuple Python loops. The pre-columnar
+per-tuple build survives as the *reference* path, and
+:meth:`ViolationDetector.verify` cross-checks the incremental state
+against fresh rebuilds through **both** paths.
+
 The *what-if* API answers "how would applying update ⟨t, A, v⟩ change
-``vio`` and ``|D ⊨ φ|``" — the quantities of Eq. 6 — by applying the
-cell change to the internal statistics and reverting it, which keeps the
-hypothetical path byte-identical to the real update path.
+``vio`` and ``|D ⊨ φ|``" — the quantities of Eq. 6. The batched
+:meth:`ViolationDetector.what_if_many` evaluates every candidate repair
+for a cell in one pass: the tuple's removal from its partitions is
+computed once, then each candidate costs O(1) reads of the partition
+statistics. The scalar :meth:`ViolationDetector.what_if` is a thin
+wrapper over the batched path; the original apply-and-revert
+implementation (byte-identical to the real update path) is kept as
+``_what_if_reference`` for parity testing.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from bisect import bisect_left, insort
+from collections import namedtuple
+from collections.abc import Mapping
+
+import numpy as np
 
 from repro.constraints.cfd import CFD
 from repro.constraints.repository import RuleSet
 from repro.db.changelog import CellChange
+from repro.db.columnar import ColumnStore
 from repro.db.database import Database
 
 __all__ = ["ViolationDetector", "WhatIfOutcome"]
 
+#: Sentinel distinguishing "no LHS constant on this column" from a
+#: constant that happens to equal ``None``.
+_ABSENT = object()
 
-@dataclass(frozen=True, slots=True)
-class WhatIfOutcome:
+
+class WhatIfOutcome(
+    namedtuple("WhatIfOutcome", ["vio_before", "vio_after", "satisfying_after", "vio_reduction"])
+):
     """Effect of a hypothetical single-cell update on one rule.
+
+    A named tuple (not a dataclass): the batched what-if path creates
+    one outcome per rule per candidate, and tuple construction is the
+    cheapest immutable record Python offers. ``vio_reduction`` is
+    materialised as a fourth field (derived in ``__new__``, not a
+    property) because the VOI arithmetic reads it once per rule per
+    candidate — far more often than outcomes are created.
 
     Attributes
     ----------
@@ -44,25 +75,142 @@ class WhatIfOutcome:
     satisfying_after:
         ``|D^r ⊨ φ|``, the number of context tuples satisfying the rule
         after the hypothetical update.
+    vio_reduction:
+        ``vio(D,{φ}) − vio(D^r,{φ})``: positive when the update helps.
     """
 
-    vio_before: int
-    vio_after: int
-    satisfying_after: int
+    __slots__ = ()
 
-    @property
-    def vio_reduction(self) -> int:
-        """``vio(D,{φ}) − vio(D^r,{φ})``: positive when the update helps."""
-        return self.vio_before - self.vio_after
+    def __new__(cls, vio_before: int, vio_after: int, satisfying_after: int, vio_reduction=None):
+        # the fourth parameter exists so namedtuple machinery that passes
+        # all fields back in (_replace, _make, copy, pickle) keeps
+        # working; the stored value is always re-derived so the
+        # invariant vio_reduction == vio_before - vio_after holds
+        return tuple.__new__(
+            cls, (vio_before, vio_after, satisfying_after, vio_before - vio_after)
+        )
+
+    @classmethod
+    def _make(cls, iterable):
+        # namedtuple's _make bypasses __new__ via tuple.__new__; route it
+        # through __new__ so _replace/_make re-derive vio_reduction
+        return cls(*iterable)
+
+
+class _OutcomeMap(Mapping):
+    """Read-only ``rule -> WhatIfOutcome`` view over parallel lists.
+
+    Building a real dict per probe re-hashes every rule key; with 40+
+    rules per attribute that dominates the batched what-if. This view
+    shares one prebuilt ``rule -> position`` index per attribute, so
+    constructing a result is two attribute writes, and keys are only
+    hashed on explicit lookups. :class:`collections.abc.Mapping`
+    supplies dict-compatible equality, ``get``, and containment.
+    ``keys``/``values``/``items`` hand out fresh lists (ordinary dict
+    views are lazy re-lookups, which would re-hash every key) — the
+    internal lists are shared across probes and must never escape.
+    """
+
+    __slots__ = ("_rules", "_outcomes", "_index")
+
+    def __init__(self, rules: list, outcomes: list, index: dict) -> None:
+        self._rules = rules
+        self._outcomes = outcomes
+        self._index = index
+
+    def __getitem__(self, rule):
+        position = self._index.get(rule)
+        if position is None:
+            raise KeyError(rule)
+        return self._outcomes[position]
+
+    def __iter__(self):
+        return iter(self._rules)
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def keys(self):
+        return list(self._rules)
+
+    def values(self):
+        return list(self._outcomes)
+
+    def items(self):
+        return list(zip(self._rules, self._outcomes))
+
+    def __repr__(self) -> str:
+        return repr(dict(zip(self._rules, self._outcomes)))
+
+
+class _DirtyTracker:
+    """Ordered incremental view of the dirty-tuple set.
+
+    Counts, per tuple, how many rule states currently mark it violating
+    and keeps the tuples with a positive count in a sorted list — the
+    generator and the consistency manager iterate dirty tuples in tid
+    order on every refresh, and this view replaces their per-call
+    ``sorted(...)`` over the whole dirty set.
+    """
+
+    __slots__ = ("_counts", "_ordered")
+
+    def __init__(self) -> None:
+        self._counts: dict[int, int] = {}
+        self._ordered: list[int] = []
+
+    def increment(self, tid: int) -> None:
+        count = self._counts.get(tid, 0)
+        self._counts[tid] = count + 1
+        if count == 0:
+            insort(self._ordered, tid)
+
+    def decrement(self, tid: int) -> None:
+        count = self._counts[tid] - 1
+        if count == 0:
+            del self._counts[tid]
+            del self._ordered[bisect_left(self._ordered, tid)]
+        else:
+            self._counts[tid] = count
+
+    def rebuild(self, states) -> None:
+        counts: dict[int, int] = {}
+        for state in states:
+            for tid in state.violating:
+                counts[tid] = counts.get(tid, 0) + 1
+        self._counts = counts
+        self._ordered = sorted(counts)
+
+    def contains(self, tid: int) -> bool:
+        return tid in self._counts
+
+    def as_set(self) -> set[int]:
+        return set(self._counts)
+
+    def ordered(self) -> tuple[int, ...]:
+        return tuple(self._ordered)
+
+    def __len__(self) -> int:
+        return len(self._counts)
 
 
 class _ConstantRuleState:
     """Violation bookkeeping for one constant CFD."""
 
-    __slots__ = ("rule", "_lhs_pos", "_rhs_pos", "_lhs_consts", "_rhs_const", "context", "violating")
+    __slots__ = (
+        "rule",
+        "_tracker",
+        "_lhs_pos",
+        "_rhs_pos",
+        "_lhs_consts",
+        "_rhs_const",
+        "context",
+        "violating",
+    )
 
-    def __init__(self, rule: CFD, db: Database) -> None:
+    def __init__(self, rule: CFD, db: Database, tracker: _DirtyTracker) -> None:
         self.rule = rule
+        self._tracker = tracker
         schema = db.schema
         self._lhs_pos = schema.positions(rule.lhs)
         self._rhs_pos = schema.position(rule.rhs)
@@ -73,21 +221,65 @@ class _ConstantRuleState:
         self.context: set[int] = set()
         self.violating: set[int] = set()
 
+    def reset(self) -> None:
+        self.context.clear()
+        self.violating.clear()
+
     def matches_lhs(self, values) -> bool:
         for pos, const in self._lhs_consts:
             if values[pos] != const:
                 return False
         return True
 
+    def _mark(self, tid: int) -> None:
+        if tid not in self.violating:
+            self.violating.add(tid)
+            self._tracker.increment(tid)
+
+    def _unmark(self, tid: int) -> None:
+        if tid in self.violating:
+            self.violating.remove(tid)
+            self._tracker.decrement(tid)
+
     def update_cell(self, tid: int, values) -> None:
         """Re-evaluate tuple *tid* whose values are now *values*."""
-        self.context.discard(tid)
-        self.violating.discard(tid)
         if self.matches_lhs(values):
             self.context.add(tid)
             if values[self._rhs_pos] != self._rhs_const:
-                self.violating.add(tid)
+                self._mark(tid)
+            else:
+                self._unmark(tid)
+        else:
+            self.context.discard(tid)
+            self._unmark(tid)
 
+    def drop_tuple(self, tid: int) -> None:
+        """Forget tuple *tid* entirely (pre-deletion hook)."""
+        self.context.discard(tid)
+        self._unmark(tid)
+
+    # -- columnar full build ----------------------------------------------
+    def bulk_build(self, cols: ColumnStore) -> None:
+        """Vectorized rebuild from the dictionary-encoded columns."""
+        if len(cols) == 0:
+            return
+        mask = None
+        for pos, const in self._lhs_consts:
+            code = cols.code_for(pos, const)
+            if code < 0:
+                return  # constant never stored: empty context
+            eq = cols.codes(pos) == code
+            mask = eq if mask is None else (mask & eq)
+        tids = cols.tids()
+        rhs_codes = cols.codes(self._rhs_pos)
+        if mask is not None:
+            tids = tids[mask]
+            rhs_codes = rhs_codes[mask]
+        self.context = set(tids.tolist())
+        rhs_code = cols.code_for(self._rhs_pos, self._rhs_const)
+        self.violating = set(tids[rhs_codes != rhs_code].tolist())
+
+    # -- queries ----------------------------------------------------------
     @property
     def total_vio(self) -> int:
         return len(self.violating)
@@ -106,15 +298,242 @@ class _ConstantRuleState:
     def is_violating(self, tid: int) -> bool:
         return tid in self.violating
 
+def _bulk_build_single_const(
+    states: list[_ConstantRuleState], q: int, cols: ColumnStore
+) -> None:
+    """Shared columnar build for constant rules keyed by one LHS column.
+
+    Hospital-style rule sets carry dozens of constant CFDs over the same
+    LHS attribute (one per zip code). Instead of one full-column scan
+    per rule, partition the column once (argsort + boundaries) and hand
+    every rule its constant's row slice.
+    """
+    n = len(cols)
+    if n == 0:
+        return
+    col = cols.codes(q)
+    order = np.argsort(col, kind="stable")
+    codes_sorted = col[order]
+    tids_sorted = cols.tids()[order].tolist()
+    uniq, starts = np.unique(codes_sorted, return_index=True)
+    bounds = starts.tolist()
+    bounds.append(n)
+    span_of = {code: (bounds[i], bounds[i + 1]) for i, code in enumerate(uniq.tolist())}
+    rhs_cache: dict[int, list[int]] = {}
+    for state in states:
+        span = span_of.get(cols.code_for(q, state._lhs_consts[0][1]))
+        if span is None:
+            continue  # constant never stored: empty context
+        lo, hi = span
+        tids_slice = tids_sorted[lo:hi]
+        state.context = set(tids_slice)
+        rhs_pos = state._rhs_pos
+        rhs_sorted = rhs_cache.get(rhs_pos)
+        if rhs_sorted is None:
+            rhs_sorted = rhs_cache[rhs_pos] = cols.codes(rhs_pos)[order].tolist()
+        rhs_code = cols.code_for(rhs_pos, state._rhs_const)
+        state.violating = {
+            tid for tid, rc in zip(tids_slice, rhs_sorted[lo:hi]) if rc != rhs_code
+        }
+
+
+class _ConstantProbePlan:
+    """Sparse batched what-if over all constant CFDs touching one attribute.
+
+    Per probed cell, a scalar what-if must report an outcome for every
+    rule touching the attribute — on the hospital workload that is 40
+    constant rules per ``zip`` probe, and per-rule evaluation dominates
+    the VOI hot path. The plan exploits the sparsity of a single-cell
+    probe instead of scanning rules: writing ``t[A] = v`` can only move
+    the statistics of
+
+    * a rule whose LHS constant on ``A`` equals the tuple's *current*
+      code (the tuple may leave its context) or equals ``v``'s code
+      (the tuple may enter it) — found by one reverse-index lookup
+      ``constant code -> rule indices``;
+    * a rule with ``A`` as RHS whose context contains the tuple —
+      found by a reverse index over the rule's single LHS-constant
+      column;
+    * the rare general rules (multi-constant LHS, wildcard mixes),
+      which are checked individually.
+
+    Everything else reuses one cached "unchanged" outcome per rule,
+    re-snapshotted only when the detector's epoch moves (i.e. after real
+    writes) — a probe burst between writes costs a few dictionary
+    lookups and touches two or three rules, no matter how many rules
+    share the attribute.
+
+    Rule constants are *encoded into* the column vocabularies (not just
+    looked up), so code equality is exact value equality even for
+    constants that never occur in the data.
+    """
+
+    __slots__ = (
+        "states",
+        "rules",
+        "_cols",
+        "_pos",
+        "_code_of",
+        "_simple_by_code",
+        "_rhs_ctx_maps",
+        "_check",
+        "_state_codes",
+        "_epoch",
+        "_vio_list",
+        "_ctx_list",
+        "_unchanged",
+    )
+
+    def __init__(self, states: list[_ConstantRuleState], pos: int, cols: ColumnStore) -> None:
+        self.states = states
+        self.rules = [state.rule for state in states]
+        self._cols = cols
+        self._pos = pos
+        # probes look codes up without allocating: a candidate value that
+        # was never stored maps to -1, which can never equal a stored row
+        # code or a pre-encoded rule-constant code, so the arithmetic
+        # stays exact and the vocabulary does not grow with probe traffic
+        self._code_of = cols.vocabulary(pos).code_of
+        # constant code on the probed column -> rule indices (rules whose
+        # whole LHS pattern is that one constant)
+        self._simple_by_code: dict[int, list[int]] = {}
+        # per LHS-constant column: code -> indices of RHS-probed rules
+        rhs_maps: dict[int, dict[int, list[int]]] = {}
+        # general rules, evaluated individually on every probe
+        self._check: list[int] = []
+        # per rule: ([(column, constant code), ...], rhs column, rhs constant code)
+        self._state_codes: list[tuple[list[tuple[int, int]], int, int]] = []
+        for i, state in enumerate(states):
+            consts = [
+                (q, cols.vocabulary(q).encode(c)) for q, c in state._lhs_consts
+            ]
+            rhs_code = cols.vocabulary(state._rhs_pos).encode(state._rhs_const)
+            self._state_codes.append((consts, state._rhs_pos, rhs_code))
+            if state._rhs_pos == pos:
+                # probe hits the RHS: the rule moves iff the tuple is in context
+                if len(consts) == 1:
+                    q, code = consts[0]
+                    rhs_maps.setdefault(q, {}).setdefault(code, []).append(i)
+                else:
+                    self._check.append(i)
+            else:
+                at_pos = [code for q, code in consts if q == pos]
+                if not at_pos:
+                    # probe on a wildcard LHS column: context and RHS are
+                    # both untouched — the rule can never move
+                    continue
+                if len(consts) == 1:
+                    self._simple_by_code.setdefault(at_pos[0], []).append(i)
+                else:
+                    self._check.append(i)
+        self._rhs_ctx_maps = list(rhs_maps.items())
+        self._epoch = -1
+        self._vio_list: list[int] = []
+        self._ctx_list: list[int] = []
+        self._unchanged: list[WhatIfOutcome] = []
+
+    def refresh(self, epoch: int) -> None:
+        """Re-snapshot per-rule aggregates after the detector changed."""
+        if epoch == self._epoch:
+            return
+        self._vio_list = [len(state.violating) for state in self.states]
+        self._ctx_list = [len(state.context) for state in self.states]
+        self._unchanged = [
+            WhatIfOutcome(vio, vio, ctx - vio)
+            for vio, ctx in zip(self._vio_list, self._ctx_list)
+        ]
+        self._epoch = epoch
+
+    def _scalar_outcome(self, i: int, row: int, vcode: int) -> WhatIfOutcome:
+        """Exact outcome for rule *i*, from codes alone."""
+        consts, rhs_pos, rhs_const = self._state_codes[i]
+        code_at = self._cols.code_at
+        pos = self._pos
+        in_before = in_after = True
+        for q, code in consts:
+            if q == pos:
+                if code_at(row, q) != code:
+                    in_before = False
+                if vcode != code:
+                    in_after = False
+            elif code_at(row, q) != code:
+                in_before = in_after = False
+                break
+        rhs_before = code_at(row, rhs_pos)
+        rhs_after = vcode if rhs_pos == pos else rhs_before
+        viol_before = in_before and rhs_before != rhs_const
+        viol_after = in_after and rhs_after != rhs_const
+        vio_before = self._vio_list[i]
+        vio_after = vio_before - viol_before + viol_after
+        sat_after = self._ctx_list[i] - in_before + in_after - vio_after
+        return WhatIfOutcome(vio_before, vio_after, sat_after)
+
+    def outcomes_many(self, tid: int, values: list) -> list[list[WhatIfOutcome]]:
+        """Per candidate, one outcome per rule (aligned with ``rules``)."""
+        cols = self._cols
+        row = cols.position_of(tid)
+        code_at = cols.code_at
+        row_code = code_at(row, self._pos)
+        simple = self._simple_by_code
+        # rules the tuple might currently be in context of (tid-dependent,
+        # candidate-independent)
+        base = simple.get(row_code, ())
+        for q, cmap in self._rhs_ctx_maps:
+            hits = cmap.get(code_at(row, q))
+            if hits:
+                base = list(base) + hits if base else hits
+        if self._check:
+            base = list(base) + self._check
+        unchanged = self._unchanged
+        results: list[list[WhatIfOutcome]] = []
+        for value in values:
+            vcode = self._code_of(value)
+            if vcode == row_code:
+                results.append(unchanged)
+                continue
+            idxs = simple.get(vcode, ())
+            if base:
+                idxs = list(idxs) + list(base) if idxs else base
+            if not idxs:
+                results.append(unchanged)
+                continue
+            outcomes = list(unchanged)
+            for i in idxs:
+                outcomes[i] = self._scalar_outcome(i, row, vcode)
+            results.append(outcomes)
+        return results
+
+
 
 class _Group:
-    """One LHS-value partition of a variable CFD's context."""
+    """One LHS-value partition of a variable CFD's context.
 
-    __slots__ = ("members", "size")
+    After a columnar full build the per-value tid buckets stay *lazy*:
+    the group holds a slice descriptor into the build's partition-sorted
+    arrays and materialises its ``{value: {tids}}`` dict only when a
+    mutation or a partner/histogram query actually touches the group.
+    ``size`` and ``distinct`` are always available without
+    materialising.
+    """
+
+    __slots__ = ("_members", "size", "_lazy")
 
     def __init__(self) -> None:
-        self.members: dict[object, set[int]] = {}
+        self._members: dict[object, set[int]] = {}
         self.size = 0
+        # (shared build arrays, first pair index, one-past-last pair index)
+        self._lazy: tuple | None = None
+
+    @property
+    def members(self) -> dict[object, set[int]]:
+        if self._lazy is not None:
+            (pair_val_idx, starts, ends, tids_sorted, rhs_values), lo, hi = self._lazy
+            members = {}
+            for pi in range(lo, hi):
+                members[rhs_values[pair_val_idx[pi]]] = set(tids_sorted[starts[pi] : ends[pi]])
+            self._members = members
+            self._lazy = None
+        return self._members
 
     def count(self, value: object) -> int:
         bucket = self.members.get(value)
@@ -122,11 +541,17 @@ class _Group:
 
     @property
     def distinct(self) -> int:
-        return len(self.members)
+        if self._lazy is not None:
+            return self._lazy[2] - self._lazy[1]
+        return len(self._members)
 
     def all_tids(self) -> list[int]:
+        if self._lazy is not None:
+            # pairs of one partition are contiguous in the sorted layout
+            (__, starts, ends, tids_sorted, __v), lo, hi = self._lazy
+            return tids_sorted[starts[lo] : ends[hi - 1]]
         tids: list[int] = []
-        for bucket in self.members.values():
+        for bucket in self._members.values():
             tids.extend(bucket)
         return tids
 
@@ -136,9 +561,11 @@ class _VariableRuleState:
 
     __slots__ = (
         "rule",
+        "_tracker",
         "_lhs_pos",
         "_rhs_pos",
         "_lhs_consts",
+        "_key_idx_of",
         "groups",
         "membership",
         "total_vio",
@@ -146,18 +573,27 @@ class _VariableRuleState:
         "context_size",
     )
 
-    def __init__(self, rule: CFD, db: Database) -> None:
+    def __init__(self, rule: CFD, db: Database, tracker: _DirtyTracker) -> None:
         self.rule = rule
+        self._tracker = tracker
         schema = db.schema
         self._lhs_pos = schema.positions(rule.lhs)
         self._rhs_pos = schema.position(rule.rhs)
         self._lhs_consts = [
             (schema.position(attr), value) for attr, value in rule.lhs_constants().items()
         ]
+        self._key_idx_of = {p: i for i, p in enumerate(self._lhs_pos)}
         self.groups: dict[tuple[object, ...], _Group] = {}
         self.membership: dict[int, tuple[tuple[object, ...], object]] = {}
         self.total_vio = 0
         self.violating: set[int] = set()
+        self.context_size = 0
+
+    def reset(self) -> None:
+        self.groups.clear()
+        self.membership.clear()
+        self.violating.clear()
+        self.total_vio = 0
         self.context_size = 0
 
     def matches_lhs(self, values) -> bool:
@@ -168,6 +604,16 @@ class _VariableRuleState:
 
     def key_of(self, values) -> tuple[object, ...]:
         return tuple(values[p] for p in self._lhs_pos)
+
+    def _mark(self, tid: int) -> None:
+        if tid not in self.violating:
+            self.violating.add(tid)
+            self._tracker.increment(tid)
+
+    def _unmark(self, tid: int) -> None:
+        if tid in self.violating:
+            self.violating.remove(tid)
+            self._tracker.decrement(tid)
 
     # -- incremental core ------------------------------------------------
     def _remove(self, tid: int) -> None:
@@ -186,11 +632,11 @@ class _VariableRuleState:
             del group.members[value]
         group.size = size - 1
         if was_mixed and not stays_mixed:
-            self.violating.discard(tid)
+            self._unmark(tid)
             for member in group.all_tids():
-                self.violating.discard(member)
+                self._unmark(member)
         elif was_mixed:
-            self.violating.discard(tid)
+            self._unmark(tid)
         if group.size == 0:
             del self.groups[key]
         self.context_size -= 1
@@ -206,10 +652,11 @@ class _VariableRuleState:
         distinct_after = distinct_before + 1 if cv == 0 else distinct_before
         becomes_mixed = distinct_after >= 2
         if becomes_mixed and distinct_before < 2:
-            self.violating.update(group.all_tids())
-            self.violating.add(tid)
+            for member in group.all_tids():
+                self._mark(member)
+            self._mark(tid)
         elif becomes_mixed:
-            self.violating.add(tid)
+            self._mark(tid)
         group.members.setdefault(value, set()).add(tid)
         group.size = size + 1
         self.membership[tid] = (key, value)
@@ -221,6 +668,108 @@ class _VariableRuleState:
             self._remove(tid)
         if self.matches_lhs(values):
             self._add(tid, self.key_of(values), values[self._rhs_pos])
+
+    def drop_tuple(self, tid: int) -> None:
+        """Forget tuple *tid* entirely (pre-deletion hook)."""
+        if tid in self.membership:
+            self._remove(tid)
+
+    # -- columnar full build ----------------------------------------------
+    def bulk_build(self, cols: ColumnStore) -> None:
+        """Vectorized rebuild from the dictionary-encoded columns.
+
+        Context masks, LHS partition ids and the per-partition
+        ``G² − Σ c_v²`` counts are all computed with array arithmetic;
+        the Python-side group/membership structures (needed by the
+        incremental path and the partner queries) are then assembled in
+        bulk from the sorted partition layout.
+        """
+        if len(cols) == 0:
+            return
+        mask = None
+        for pos, const in self._lhs_consts:
+            code = cols.code_for(pos, const)
+            if code < 0:
+                return
+            eq = cols.codes(pos) == code
+            mask = eq if mask is None else (mask & eq)
+        tids = cols.tids()
+        if mask is not None:
+            ctx = np.nonzero(mask)[0]
+        else:
+            ctx = np.arange(len(cols))
+        m = int(ctx.size)
+        if m == 0:
+            return
+        ctx_tids = tids[ctx]
+
+        # dense partition ids from the LHS code columns (re-compressed
+        # after every column so the combined key never overflows int64)
+        lhs_cols = [cols.codes(p)[ctx] for p in self._lhs_pos]
+        combined = lhs_cols[0]
+        if len(lhs_cols) > 1:
+            # fuse the key columns arithmetically (codes are dense, so the
+            # vocabulary sizes bound each digit) — one np.unique total
+            combined = combined.astype(np.int64)
+            bound = len(cols.vocabulary(self._lhs_pos[0]))
+            for p, col in zip(self._lhs_pos[1:], lhs_cols[1:]):
+                card = len(cols.vocabulary(p))
+                if bound * card >= 2**62:  # pragma: no cover - very wide keys
+                    combined = np.unique(combined, return_inverse=True)[1]
+                    bound = int(combined.max()) + 1
+                combined = combined * card + col
+                bound *= card
+        uniq_keys, gid = np.unique(combined, return_inverse=True)
+        ngroups = len(uniq_keys)
+        sizes = np.bincount(gid, minlength=ngroups)
+
+        # (partition, RHS value) pair statistics
+        rhs_codes = cols.codes(self._rhs_pos)[ctx]
+        rhs_uniq, rhs_inv = np.unique(rhs_codes, return_inverse=True)
+        n_rhs = len(rhs_uniq)
+        pair = gid * n_rhs + rhs_inv
+        order = np.argsort(pair, kind="stable")
+        pair_sorted = pair[order]
+        starts = np.nonzero(np.concatenate(([True], pair_sorted[1:] != pair_sorted[:-1])))[0]
+        ends = np.concatenate((starts[1:], [m]))
+        pair_counts = ends - starts
+        pair_gid = pair_sorted[starts] // n_rhs
+        distinct = np.bincount(pair_gid, minlength=ngroups)
+        self.total_vio = int(
+            (sizes.astype(np.int64) ** 2).sum() - (pair_counts.astype(np.int64) ** 2).sum()
+        )
+        self.context_size = m
+        mixed = distinct >= 2
+        self.violating = set(ctx_tids[mixed[gid]].tolist())
+
+        # decode one representative row per partition into a key tuple
+        first_rows = np.zeros(ngroups, dtype=np.int64)
+        first_rows[gid[::-1]] = np.arange(m - 1, -1, -1)
+        key_columns = [
+            cols.vocabulary(p).decode_many(col[first_rows].tolist())
+            for p, col in zip(self._lhs_pos, lhs_cols)
+        ]
+        keys = list(zip(*key_columns))
+        rhs_values = cols.vocabulary(self._rhs_pos).decode_many(rhs_uniq.tolist())
+
+        group_list = [_Group() for __ in range(ngroups)]
+        self.groups = dict(zip(keys, group_list))
+        # per-value tid buckets stay lazy: groups keep a slice into the
+        # shared partition-sorted layout and materialise on first touch
+        shared = (
+            (pair_sorted[starts] % n_rhs).tolist(),
+            starts.tolist(),
+            ends.tolist(),
+            ctx_tids[order].tolist(),
+            rhs_values,
+        )
+        gbounds = np.searchsorted(pair_gid, np.arange(ngroups + 1)).tolist()
+        for g, (group, size) in enumerate(zip(group_list, sizes.tolist())):
+            group.size = size
+            group._lazy = (shared, gbounds[g], gbounds[g + 1])
+        key_per_row = [keys[g] for g in gid.tolist()]
+        rhs_per_row = [rhs_values[i] for i in rhs_inv.tolist()]
+        self.membership = dict(zip(ctx_tids.tolist(), zip(key_per_row, rhs_per_row)))
 
     # -- queries ----------------------------------------------------------
     @property
@@ -266,13 +815,108 @@ class _VariableRuleState:
             return set()
         return set(self.groups[entry[0]].all_tids())
 
+    # -- batched what-if ---------------------------------------------------
+    def what_if_many(self, tid: int, row, pos: int, current, candidates) -> list[WhatIfOutcome]:
+        """Outcomes of hypothetically writing each candidate into the cell.
+
+        The tuple's removal from its current partition is computed once;
+        every candidate is then an O(1) read of the partition statistics
+        ("one pass over partition stats" — no apply/revert cycles, no
+        state mutation).
+        """
+        vio_before = self.total_vio
+        viol_count = len(self.violating)
+        identity = None
+
+        entry = self.membership.get(tid)
+        if entry is not None:
+            key0, val0 = entry
+            group0 = self.groups[key0]
+            size0 = group0.size
+            c0 = group0.count(val0)
+            base_vio = vio_before - 2 * (size0 - c0)
+            distinct0 = group0.distinct
+            distinct0_after = distinct0 - 1 if c0 == 1 else distinct0
+            base_viol = (
+                viol_count
+                - (size0 if distinct0 >= 2 else 0)
+                + (size0 - 1 if distinct0_after >= 2 else 0)
+            )
+            base_ctx = self.context_size - 1
+            base_key = key0
+        else:
+            key0 = None
+            group0 = None
+            size0 = c0 = distinct0_after = 0
+            base_vio = vio_before
+            base_viol = viol_count
+            base_ctx = self.context_size
+            base_key = self.key_of(row)
+
+        others_match = True
+        pos_const = _ABSENT
+        if self._lhs_consts:
+            for p, c in self._lhs_consts:
+                if p == pos:
+                    pos_const = c
+                elif row[p] != c:
+                    others_match = False
+                    break
+        key_idx = self._key_idx_of.get(pos)
+        is_rhs = pos == self._rhs_pos
+        rhs_current = row[self._rhs_pos]
+
+        outcomes = []
+        for value in candidates:
+            if value == current:
+                if identity is None:
+                    identity = WhatIfOutcome(
+                        vio_before, vio_before, self.context_size - viol_count
+                    )
+                outcomes.append(identity)
+                continue
+            in_ctx = others_match and (pos_const is _ABSENT or value == pos_const)
+            if not in_ctx:
+                outcomes.append(WhatIfOutcome(vio_before, base_vio, base_ctx - base_viol))
+                continue
+            if key_idx is None:
+                new_key = base_key
+            else:
+                new_key = base_key[:key_idx] + (value,) + base_key[key_idx + 1 :]
+            new_val = value if is_rhs else rhs_current
+            if entry is not None and new_key == key0:
+                # re-entering the partition the tuple was lifted from
+                size_n = size0 - 1
+                cnt_n = group0.count(new_val) - (1 if new_val == val0 else 0)
+                dist_n = distinct0_after
+            else:
+                group = self.groups.get(new_key)
+                if group is None:
+                    size_n = cnt_n = dist_n = 0
+                else:
+                    size_n = group.size
+                    cnt_n = group.count(new_val)
+                    dist_n = group.distinct
+            vio_after = base_vio + 2 * (size_n - cnt_n)
+            dist_after = dist_n + (1 if cnt_n == 0 else 0)
+            viol_after = (
+                base_viol
+                - (size_n if dist_n >= 2 else 0)
+                + (size_n + 1 if dist_after >= 2 else 0)
+            )
+            outcomes.append(WhatIfOutcome(vio_before, vio_after, base_ctx + 1 - viol_after))
+        return outcomes
+
 
 class ViolationDetector:
     """Incremental CFD-violation tracker over a live database.
 
     The detector registers itself as a database listener at
     construction and stays consistent under every subsequent
-    :meth:`~repro.db.database.Database.set_value`.
+    :meth:`~repro.db.database.Database.set_value`. Full builds run
+    vectorized over the database's columnar mirror by default; pass
+    ``build="reference"`` to use the per-tuple Python path (the two are
+    cross-checked by :meth:`verify`).
 
     Examples
     --------
@@ -289,49 +933,76 @@ class ViolationDetector:
     set()
     """
 
-    def __init__(self, db: Database, rules: RuleSet) -> None:
+    def __init__(self, db: Database, rules: RuleSet, build: str = "columnar") -> None:
         for rule in rules:
             rule.validate_schema(db.schema)
         self.db = db
         self.rules = rules
+        self._tracker = _DirtyTracker()
+        # bumped on every statistics change; probe plans re-snapshot
+        # their cached per-rule aggregates when it moves
+        self._epoch = 0
+        self._probe_plans: dict[
+            str,
+            tuple[
+                _ConstantProbePlan | None,
+                list[_VariableRuleState],
+                list[CFD],
+                dict[CFD, int],
+            ],
+        ] = {}
         self._states: list[_ConstantRuleState | _VariableRuleState] = []
         self._state_by_rule: dict[CFD, _ConstantRuleState | _VariableRuleState] = {}
         self._states_by_attr: dict[str, list[_ConstantRuleState | _VariableRuleState]] = {}
         for rule in rules:
             state: _ConstantRuleState | _VariableRuleState
             if rule.is_constant:
-                state = _ConstantRuleState(rule, db)
+                state = _ConstantRuleState(rule, db, self._tracker)
             else:
-                state = _VariableRuleState(rule, db)
+                state = _VariableRuleState(rule, db, self._tracker)
             self._states.append(state)
             self._state_by_rule[rule] = state
             for attr in rule.attributes:
                 self._states_by_attr.setdefault(attr, []).append(state)
-        self.recompute()
+        self.recompute(build)
         db.add_listener(self._on_change)
 
     # ------------------------------------------------------------------
-    def recompute(self) -> None:
-        """Rebuild all statistics from the current database content."""
+    def recompute(self, build: str = "columnar") -> None:
+        """Rebuild all statistics from the current database content.
+
+        ``build="columnar"`` (default) vectorizes over the dictionary
+        encoded columns; ``build="reference"`` replays every tuple
+        through the incremental per-cell path.
+        """
+        if build not in ("columnar", "reference"):
+            raise ValueError(f"build must be 'columnar' or 'reference', got {build!r}")
+        self._epoch += 1
         for state in self._states:
-            if isinstance(state, _ConstantRuleState):
-                state.context.clear()
-                state.violating.clear()
-            else:
-                state.groups.clear()
-                state.membership.clear()
-                state.violating.clear()
-                state.total_vio = 0
-                state.context_size = 0
-        for tid in self.db.tids():
-            values = self.db.values_snapshot(tid)
+            state.reset()
+        if build == "columnar":
+            cols = self.db.columns
+            singles: dict[int, list[_ConstantRuleState]] = {}
             for state in self._states:
-                state.update_cell(tid, values)
+                if isinstance(state, _ConstantRuleState) and len(state._lhs_consts) == 1:
+                    singles.setdefault(state._lhs_consts[0][0], []).append(state)
+                else:
+                    state.bulk_build(cols)
+            for q, group_states in singles.items():
+                _bulk_build_single_const(group_states, q, cols)
+            self._tracker.rebuild(self._states)
+        else:
+            self._tracker.rebuild(())  # states mark through the tracker below
+            for tid in self.db.tids():
+                values = self.db.values_snapshot(tid)
+                for state in self._states:
+                    state.update_cell(tid, values)
 
     def _on_change(self, change: CellChange) -> None:
         states = self._states_by_attr.get(change.attribute)
         if not states:
             return
+        self._epoch += 1
         values = self.db.values_snapshot(change.tid)
         for state in states:
             state.update_cell(change.tid, values)
@@ -343,18 +1014,16 @@ class ViolationDetector:
         tuples are folded into the violation statistics immediately, so
         GDR can suggest updates during data entry.
         """
+        self._epoch += 1
         values = self.db.values_snapshot(tid)
         for state in self._states:
             state.update_cell(tid, values)
 
     def remove_tuple(self, tid: int) -> None:
         """Stop tracking a tuple that is about to be deleted."""
+        self._epoch += 1
         for state in self._states:
-            if isinstance(state, _ConstantRuleState):
-                state.context.discard(tid)
-                state.violating.discard(tid)
-            elif tid in state.membership:
-                state._remove(tid)
+            state.drop_tuple(tid)
 
     def detach(self) -> None:
         """Stop tracking database updates."""
@@ -365,18 +1034,28 @@ class ViolationDetector:
     # ------------------------------------------------------------------
     def is_dirty(self, tid: int) -> bool:
         """True when *tid* violates at least one rule."""
-        return any(state.is_violating(tid) for state in self._states)
+        return self._tracker.contains(tid)
 
     def violated_rules(self, tid: int) -> list[CFD]:
         """The tuple's ``vioRuleList``: all rules it currently violates."""
         return [state.rule for state in self._states if state.is_violating(tid)]
 
     def dirty_tuples(self) -> set[int]:
-        """All tuples violating at least one rule."""
-        dirty: set[int] = set()
-        for state in self._states:
-            dirty.update(state.violating)
-        return dirty
+        """All tuples violating at least one rule (a copy)."""
+        return self._tracker.as_set()
+
+    def dirty_tuples_ordered(self) -> tuple[int, ...]:
+        """All dirty tuples in ascending tid order.
+
+        Maintained incrementally — consumers that previously ran
+        ``sorted(detector.dirty_tuples())`` on every refresh iterate
+        this instead.
+        """
+        return self._tracker.ordered()
+
+    def dirty_count(self) -> int:
+        """Number of dirty tuples (without materialising the set)."""
+        return len(self._tracker)
 
     def vio_tuple(self, tid: int, rule: CFD) -> int:
         """``vio(t, {φ})`` of Definition 1."""
@@ -439,12 +1118,88 @@ class ViolationDetector:
     # ------------------------------------------------------------------
     # hypothetical updates (Eq. 6 inputs)
     # ------------------------------------------------------------------
-    def what_if(self, tid: int, attribute: str, value: object) -> dict[CFD, WhatIfOutcome]:
+    def what_if(self, tid: int, attribute: str, value: object) -> Mapping[CFD, WhatIfOutcome]:
         """Effect of hypothetically setting ``t[attribute] = value``.
 
-        Only rules touching *attribute* are reported; all other rules
-        are unaffected by a single-cell update. The database itself is
-        not modified.
+        Thin wrapper over :meth:`what_if_many` with one candidate. Only
+        rules touching *attribute* are reported; all other rules are
+        unaffected by a single-cell update. The database itself is not
+        modified.
+        """
+        return self.what_if_many(tid, attribute, (value,))[0]
+
+    def what_if_many(
+        self, tid: int, attribute: str, values
+    ) -> list[Mapping[CFD, WhatIfOutcome]]:
+        """Batched Eq. 6 probe: one outcome map per candidate value.
+
+        Evaluates every candidate repair for cell ``⟨tid, attribute⟩``
+        in a single pass over the partition statistics: the tuple's
+        hypothetical removal is computed once per rule, then each
+        candidate costs O(1) arithmetic — no apply/revert cycle per
+        probe. Candidates equal to the current value yield identity
+        outcomes, so callers may probe prevented or current values
+        freely.
+        """
+        values = list(values)
+        states = self._states_by_attr.get(attribute)
+        if not states:
+            return [{} for __ in values]
+        pos = self.db.schema.position(attribute)
+        plan, var_states, rules_all, rule_index = self._plan_for(attribute, pos)
+        if plan is not None:
+            plan.refresh(self._epoch)
+            const_rows = plan.outcomes_many(tid, values)
+        else:
+            const_rows = None
+        if var_states:
+            row = self.db.values_snapshot(tid)
+            current = row[pos]
+            var_rows = [
+                state.what_if_many(tid, row, pos, current, values) for state in var_states
+            ]
+        else:
+            var_rows = None
+        results: list[Mapping[CFD, WhatIfOutcome]] = []
+        for ci in range(len(values)):
+            if const_rows is not None:
+                outcomes = const_rows[ci]
+                if var_rows is not None:
+                    outcomes = outcomes + [rows[ci] for rows in var_rows]
+            else:
+                outcomes = [rows[ci] for rows in var_rows]
+            results.append(_OutcomeMap(rules_all, outcomes, rule_index))
+        return results
+
+    def _plan_for(
+        self, attribute: str, pos: int
+    ) -> tuple[_ConstantProbePlan | None, list[_VariableRuleState], list[CFD], dict[CFD, int]]:
+        """The attribute's probe plan, variable states and rule order."""
+        entry = self._probe_plans.get(attribute)
+        if entry is None:
+            states = self._states_by_attr[attribute]
+            const_states = [s for s in states if isinstance(s, _ConstantRuleState)]
+            var_states = [s for s in states if isinstance(s, _VariableRuleState)]
+            plan = (
+                _ConstantProbePlan(const_states, pos, self.db.columns)
+                if const_states
+                else None
+            )
+            rules_all = [s.rule for s in const_states] + [s.rule for s in var_states]
+            rule_index = {rule: i for i, rule in enumerate(rules_all)}
+            entry = (plan, var_states, rules_all, rule_index)
+            self._probe_plans[attribute] = entry
+        return entry
+
+    def _what_if_reference(
+        self, tid: int, attribute: str, value: object
+    ) -> dict[CFD, WhatIfOutcome]:
+        """Apply-and-revert what-if: byte-identical to the update path.
+
+        The pre-batching implementation, kept as the ground truth the
+        analytic paths are parity-tested against: the cell change is
+        pushed through the same ``update_cell`` machinery as a real
+        write, the statistics are read, and the change is replayed back.
         """
         states = self._states_by_attr.get(attribute)
         if not states:
@@ -479,14 +1234,17 @@ class ViolationDetector:
 
     # ------------------------------------------------------------------
     def verify(self) -> bool:
-        """Cross-check incremental state against a fresh rebuild.
+        """Cross-check incremental state against fresh rebuilds.
 
-        Intended for tests: returns ``True`` when every maintained
-        statistic matches a from-scratch recomputation.
+        Intended for tests: rebuilds the statistics from scratch through
+        **both** the columnar and the reference path and returns ``True``
+        only when every maintained statistic (violation counts,
+        violating sets, context sizes, variable-rule partitions and the
+        ordered dirty view) matches both.
         """
-        fresh = ViolationDetector(self.db, self.rules)
-        fresh.detach()
-        try:
+        for build in ("columnar", "reference"):
+            fresh = ViolationDetector(self.db, self.rules, build=build)
+            fresh.detach()
             for rule in self.rules:
                 mine = self._state_by_rule[rule]
                 theirs = fresh._state_by_rule[rule]
@@ -496,12 +1254,28 @@ class ViolationDetector:
                     return False
                 if mine.context_size != theirs.context_size:
                     return False
-            return True
-        finally:
-            pass
+                if isinstance(mine, _ConstantRuleState):
+                    if mine.context != theirs.context:
+                        return False
+                else:
+                    if mine.membership != theirs.membership:
+                        return False
+                    if set(mine.groups) != set(theirs.groups):
+                        return False
+                    for key, group in mine.groups.items():
+                        other = theirs.groups[key]
+                        if group.size != other.size or group.members != other.members:
+                            return False
+        ordered = self.dirty_tuples_ordered()
+        if list(ordered) != sorted(self.dirty_tuples()):
+            return False
+        union: set[int] = set()
+        for state in self._states:
+            union.update(state.violating)
+        return union == self.dirty_tuples()
 
     def __repr__(self) -> str:
         return (
             f"ViolationDetector({len(self.rules)} rules, "
-            f"{len(self.dirty_tuples())} dirty tuples, vio={self.vio_total()})"
+            f"{self.dirty_count()} dirty tuples, vio={self.vio_total()})"
         )

@@ -240,7 +240,7 @@ class GDREngine:
             self.evaluator = QualityEvaluator(clean_db, rules)
 
         self.generator.generate_all()
-        self.initial_dirty = len(self.detector.dirty_tuples())
+        self.initial_dirty = self.detector.dirty_count()
         # group keys the user has given feedback on; the learner only
         # ever decides inside these contexts (the paper's grouping
         # locality: models "adapt locally to the current group")
@@ -355,7 +355,7 @@ class GDREngine:
         result.feedback_used = budget.used
         result.learner_decisions = learner_decisions
         result.final_loss = self.current_loss()
-        result.remaining_dirty = len(self.detector.dirty_tuples())
+        result.remaining_dirty = self.detector.dirty_count()
         if self.clean_db is not None:
             result.report = evaluate_repair(self.initial_db, self.db, self.clean_db)
         return result

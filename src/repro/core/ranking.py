@@ -53,14 +53,33 @@ class VOIRanking(RankingStrategy):
 
 
 class GreedyRanking(RankingStrategy):
-    """Largest-group-first baseline (paper §5.1 'Greedy')."""
+    """Largest-group-first baseline (paper §5.1 'Greedy').
+
+    Parameters
+    ----------
+    estimator:
+        Optional VOI estimator. When provided, equal-sized groups are
+        tie-broken by their Eq. 6 benefit, evaluated through the
+        estimator's batched what-if pass; the primary largest-first
+        ordering (and the reported size score) is unchanged. Without an
+        estimator, ties break lexicographically as before.
+    """
 
     name = "greedy"
+
+    def __init__(self, estimator: VOIEstimator | None = None) -> None:
+        self.estimator = estimator
 
     def rank(
         self, groups: list[UpdateGroup], probability: ProbabilityFn
     ) -> list[tuple[UpdateGroup, float]]:
-        ordered = sorted(groups, key=lambda g: (-g.size, g.attribute, str(g.value)))
+        if self.estimator is None:
+            ordered = sorted(groups, key=lambda g: (-g.size, g.attribute, str(g.value)))
+            return [(group, float(group.size)) for group in ordered]
+        benefit = {id(g): score for g, score in self.estimator.rank_groups(groups, probability)}
+        ordered = sorted(
+            groups, key=lambda g: (-g.size, -benefit[id(g)], g.attribute, str(g.value))
+        )
         return [(group, float(group.size)) for group in ordered]
 
 

@@ -15,12 +15,15 @@ hypothetically applying the update.
 The estimator works against any *stats provider* exposing the
 :class:`~repro.constraints.violations.ViolationDetector` what-if
 interface, which keeps the arithmetic unit-testable against the paper's
-worked example (§4.1, expected benefit 1.05).
+worked example (§4.1, expected benefit 1.05). Providers additionally
+exposing the batched ``what_if_many`` (the columnar detector does) get
+all probes for one cell evaluated in a single pass over the partition
+statistics; plain scalar providers fall back to per-update probes.
 """
 
 from __future__ import annotations
 
-from collections.abc import Callable, Mapping
+from collections.abc import Callable, Mapping, Sequence
 from typing import Protocol
 
 from repro.constraints.cfd import CFD
@@ -35,7 +38,12 @@ ProbabilityFn = Callable[[CandidateUpdate], float]
 
 
 class UpdateStatsProvider(Protocol):
-    """What the VOI arithmetic needs from the violation machinery."""
+    """What the VOI arithmetic needs from the violation machinery.
+
+    ``what_if_many(tid, attribute, values)`` is an optional extension
+    detected at runtime: when present it is used to batch all candidate
+    probes for a cell.
+    """
 
     def what_if(self, tid: int, attribute: str, value: object) -> Mapping[CFD, WhatIfOutcome]:
         """Hypothetical per-rule effect of one cell update."""
@@ -44,6 +52,22 @@ class UpdateStatsProvider(Protocol):
     def weights(self) -> Mapping[CFD, float]:
         """Current rule weights ``w_i``."""
         ...  # pragma: no cover - protocol
+
+
+def _benefit_from_outcomes(
+    outcomes: Mapping[CFD, WhatIfOutcome],
+    probability: float,
+    weights: Mapping[CFD, float],
+) -> float:
+    """The inner Eq. 6 term given the per-rule what-if outcomes."""
+    benefit = 0.0
+    for rule, outcome in outcomes.items():
+        weight = weights.get(rule, 0.0)
+        if weight == 0.0:
+            continue
+        denominator = max(1, outcome.satisfying_after)
+        benefit += weight * probability * outcome.vio_reduction / denominator
+    return benefit
 
 
 class VOIEstimator:
@@ -88,14 +112,38 @@ class VOIEstimator:
         if weights is None:
             weights = self._weights()
         outcomes = self._stats.what_if(update.tid, update.attribute, update.value)
-        benefit = 0.0
-        for rule, outcome in outcomes.items():
-            weight = weights.get(rule, 0.0)
-            if weight == 0.0:
-                continue
-            denominator = max(1, outcome.satisfying_after)
-            benefit += weight * probability * outcome.vio_reduction / denominator
-        return benefit
+        return _benefit_from_outcomes(outcomes, probability, weights)
+
+    def update_benefits_many(
+        self,
+        updates: Sequence[CandidateUpdate],
+        probabilities: Sequence[float],
+        weights: Mapping[CFD, float] | None = None,
+    ) -> list[float]:
+        """Eq. 6 terms for many updates, batching probes per cell.
+
+        Updates targeting the same ``(tid, attribute)`` cell share one
+        ``what_if_many`` call, so evaluating a whole candidate pool
+        costs one partition-statistics pass per distinct cell instead of
+        one apply/revert cycle per update.
+        """
+        if weights is None:
+            weights = self._weights()
+        what_if_many = getattr(self._stats, "what_if_many", None)
+        if what_if_many is None:
+            return [
+                self.update_benefit(update, probability, weights)
+                for update, probability in zip(updates, probabilities)
+            ]
+        benefits = [0.0] * len(updates)
+        by_cell: dict[tuple[int, str], list[int]] = {}
+        for i, update in enumerate(updates):
+            by_cell.setdefault(update.cell, []).append(i)
+        for (tid, attribute), indices in by_cell.items():
+            outcome_maps = what_if_many(tid, attribute, [updates[i].value for i in indices])
+            for i, outcomes in zip(indices, outcome_maps):
+                benefits[i] = _benefit_from_outcomes(outcomes, probabilities[i], weights)
+        return benefits
 
     def group_benefit(self, group: UpdateGroup, probability: ProbabilityFn) -> float:
         """``E[g(c)]`` of Eq. 6 for one group.
@@ -109,10 +157,10 @@ class VOIEstimator:
             probability, falling back to the update score).
         """
         weights = self._weights()
-        return sum(
-            self.update_benefit(update, probability(update), weights)
-            for update in group.updates
+        benefits = self.update_benefits_many(
+            group.updates, [probability(update) for update in group.updates], weights
         )
+        return sum(benefits)
 
     def rank_groups(
         self,
@@ -121,9 +169,22 @@ class VOIEstimator:
     ) -> list[tuple[UpdateGroup, float]]:
         """All groups with their benefits, most beneficial first.
 
-        Ties break toward larger groups, then lexicographic key, so the
-        ranking is deterministic.
+        Every update across every group is evaluated through one batched
+        pass (:meth:`update_benefits_many`); ties break toward larger
+        groups, then lexicographic key, so the ranking is deterministic.
         """
-        scored = [(group, self.group_benefit(group, probability)) for group in groups]
+        weights = self._weights()
+        flat_updates: list[CandidateUpdate] = []
+        spans: list[tuple[int, int]] = []
+        for group in groups:
+            start = len(flat_updates)
+            flat_updates.extend(group.updates)
+            spans.append((start, len(flat_updates)))
+        benefits = self.update_benefits_many(
+            flat_updates, [probability(update) for update in flat_updates], weights
+        )
+        scored = [
+            (group, sum(benefits[start:end])) for group, (start, end) in zip(groups, spans)
+        ]
         scored.sort(key=lambda pair: (-pair[1], -pair[0].size, pair[0].attribute, str(pair[0].value)))
         return scored

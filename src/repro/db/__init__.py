@@ -6,6 +6,7 @@ Python tuple store that supports cell-level updates, listener hooks
 """
 
 from repro.db.changelog import CellChange, ChangeLog
+from repro.db.columnar import ColumnStore, Vocabulary
 from repro.db.database import Database, Row
 from repro.db.index import HashIndex
 from repro.db.io import load_csv, save_csv
@@ -14,10 +15,12 @@ from repro.db.schema import Schema
 __all__ = [
     "CellChange",
     "ChangeLog",
+    "ColumnStore",
     "Database",
     "HashIndex",
     "Row",
     "Schema",
+    "Vocabulary",
     "load_csv",
     "save_csv",
 ]

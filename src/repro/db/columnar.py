@@ -1,0 +1,262 @@
+"""Dictionary-encoded columnar mirror of a :class:`Database`.
+
+The paper runs violation statistics as MySQL triggers over B-tree
+indexed tables; our Python substrate instead keeps, next to the
+row-oriented tuple store, a columnar image of the relation:
+
+* per attribute, an append-only :class:`Vocabulary` assigning a dense
+  integer *code* to every distinct value ever stored in that column;
+* a NumPy ``int32`` code matrix of shape ``(attributes, capacity)`` —
+  each relation column is a contiguous row slice, one slot per live
+  tuple (kept dense under deletion by swap-with-last);
+* a bidirectional ``tid <-> row position`` mapping.
+
+Equality — the only predicate CFDs need — becomes integer comparison
+over contiguous arrays, so context masks, LHS partitions and RHS
+histograms vectorize with ``==``/``np.bincount``/``np.unique`` instead
+of per-tuple Python loops.
+
+Two dictionary-encoding caveats worth knowing:
+
+* vocabularies are append-only: overwriting the last occurrence of a
+  value does **not** retire its code. ``values_at`` therefore decodes
+  codes of *live* rows only and never leaks stale values;
+* code equality follows Python ``dict`` semantics (``1``, ``1.0`` and
+  ``True`` share a code), exactly matching the dict/set bookkeeping of
+  the reference violation path.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.db.schema import Schema
+from repro.errors import UnknownTupleError
+
+__all__ = ["ColumnStore", "Vocabulary"]
+
+#: Initial per-column capacity (arrays double when full).
+_MIN_CAPACITY = 16
+
+
+class Vocabulary:
+    """Append-only value → dense-code dictionary for one attribute.
+
+    Examples
+    --------
+    >>> vocab = Vocabulary()
+    >>> vocab.encode("Michigan City"), vocab.encode("Westville")
+    (0, 1)
+    >>> vocab.encode("Michigan City")
+    0
+    >>> vocab.decode(1)
+    'Westville'
+    >>> vocab.code_of("Gary")
+    -1
+    """
+
+    __slots__ = ("_code_of", "_values")
+
+    def __init__(self) -> None:
+        self._code_of: dict[object, int] = {}
+        self._values: list[object] = []
+
+    def encode(self, value: object) -> int:
+        """The code for *value*, allocating a fresh one when unseen."""
+        code = self._code_of.get(value)
+        if code is None:
+            code = len(self._values)
+            self._code_of[value] = code
+            self._values.append(value)
+        return code
+
+    def code_of(self, value: object) -> int:
+        """The code for *value*, or ``-1`` when it was never stored."""
+        return self._code_of.get(value, -1)
+
+    def decode(self, code: int) -> object:
+        """The value carrying *code*."""
+        return self._values[code]
+
+    def decode_many(self, codes: Iterable[int]) -> list[object]:
+        """Decode a sequence of codes in one pass."""
+        values = self._values
+        return [values[c] for c in codes]
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __contains__(self, value: object) -> bool:
+        return value in self._code_of
+
+    def __repr__(self) -> str:
+        return f"Vocabulary({len(self)} values)"
+
+
+class ColumnStore:
+    """Dictionary-encoded code arrays for every attribute of a relation.
+
+    Parameters
+    ----------
+    schema:
+        The relation schema (fixes the column count and order).
+    items:
+        Initial ``(tid, values)`` pairs; loaded in ascending tid order
+        so freshly built stores enumerate rows deterministically.
+
+    Notes
+    -----
+    The store is maintained *by* :class:`~repro.db.database.Database`
+    (synchronously, before listeners fire), not via listener callbacks:
+    consumers reading the columns from inside a listener always see the
+    post-write image.
+    """
+
+    def __init__(self, schema: Schema, items: Iterable[tuple[int, Sequence[object]]] = ()) -> None:
+        self.schema = schema
+        ncols = len(schema)
+        self._vocabs = [Vocabulary() for _ in range(ncols)]
+        # one (ncols, capacity) matrix: each column of the relation is a
+        # contiguous row slice, and one tuple's codes gather with a
+        # single fancy index down the row-position axis
+        self._matrix = np.empty((ncols, _MIN_CAPACITY), dtype=np.int32)
+        self._tids = np.empty(_MIN_CAPACITY, dtype=np.int64)
+        self._pos_of: dict[int, int] = {}
+        self._size = 0
+        for tid, values in sorted(items):
+            self.append(tid, values)
+
+    # ------------------------------------------------------------------
+    # maintenance (driven by Database mutations)
+    # ------------------------------------------------------------------
+    def _grow(self) -> None:
+        capacity = max(_MIN_CAPACITY, 2 * self._size)
+        matrix = np.empty((len(self.schema), capacity), dtype=np.int32)
+        matrix[:, : self._size] = self._matrix[:, : self._size]
+        self._matrix = matrix
+        tids = np.empty(capacity, dtype=np.int64)
+        tids[: self._size] = self._tids[: self._size]
+        self._tids = tids
+
+    def append(self, tid: int, values: Sequence[object]) -> None:
+        """Encode and store one new tuple."""
+        if self._size == self._matrix.shape[1]:
+            self._grow()
+        row = self._size
+        self._tids[row] = tid
+        matrix = self._matrix
+        for pos, value in enumerate(values):
+            matrix[pos, row] = self._vocabs[pos].encode(value)
+        self._pos_of[tid] = row
+        self._size += 1
+
+    def set_cell(self, tid: int, pos: int, value: object) -> None:
+        """Re-encode one cell after a write."""
+        self._matrix[pos, self._pos_of[tid]] = self._vocabs[pos].encode(value)
+
+    def remove(self, tid: int) -> None:
+        """Drop one tuple, keeping the arrays dense (swap-with-last)."""
+        row = self._pos_of.pop(tid)
+        last = self._size - 1
+        if row != last:
+            moved_tid = int(self._tids[last])
+            self._tids[row] = moved_tid
+            self._matrix[:, row] = self._matrix[:, last]
+            self._pos_of[moved_tid] = row
+        self._size = last
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def codes(self, pos: int) -> np.ndarray:
+        """Code array for column *pos* (a contiguous view over live rows)."""
+        return self._matrix[pos, : self._size]
+
+    def gather_row(self, tid: int, positions: np.ndarray) -> np.ndarray:
+        """Codes of tuple *tid* at the given column positions (one gather)."""
+        return self._matrix[positions, self._pos_of[tid]]
+
+    def code_at(self, row: int, pos: int) -> int:
+        """Code at storage row *row*, column *pos* (no tid indirection).
+
+        Callers obtain *row* via :meth:`position_of` once and then read
+        several cells of the same tuple cheaply.
+        """
+        return int(self._matrix[pos, row])
+
+    def tids(self) -> np.ndarray:
+        """Tuple ids by row position (a view; order is storage order)."""
+        return self._tids[: self._size]
+
+    def vocabulary(self, pos: int) -> Vocabulary:
+        """The dictionary of column *pos*."""
+        return self._vocabs[pos]
+
+    def code_for(self, pos: int, value: object) -> int:
+        """Code of *value* in column *pos*, ``-1`` when never stored."""
+        return self._vocabs[pos].code_of(value)
+
+    def position_of(self, tid: int) -> int:
+        """Current row position of tuple *tid*."""
+        try:
+            return self._pos_of[tid]
+        except KeyError:
+            raise UnknownTupleError(tid) from None
+
+    def __contains__(self, tid: object) -> bool:
+        return tid in self._pos_of
+
+    def __len__(self) -> int:
+        return self._size
+
+    # ------------------------------------------------------------------
+    # vectorized predicates
+    # ------------------------------------------------------------------
+    def match_mask(
+        self, items: Iterable[tuple[int, object]], exclude_tid: int | None = None
+    ) -> np.ndarray:
+        """Boolean row mask for an equality conjunction.
+
+        *items* is an iterable of ``(column position, value)`` pairs; the
+        result marks rows agreeing with every pair. A value absent from
+        a column's vocabulary short-circuits to the empty mask.
+        """
+        mask = np.ones(self._size, dtype=bool)
+        for pos, value in items:
+            code = self._vocabs[pos].code_of(value)
+            if code < 0:
+                return np.zeros(self._size, dtype=bool)
+            mask &= self.codes(pos) == code
+        if exclude_tid is not None:
+            row = self._pos_of.get(exclude_tid)
+            if row is not None:
+                mask[row] = False
+        return mask
+
+    def match_tids(
+        self, items: Iterable[tuple[int, object]], exclude_tid: int | None = None
+    ) -> list[int]:
+        """Tuple ids satisfying an equality conjunction."""
+        return self.tids()[self.match_mask(items, exclude_tid)].tolist()
+
+    def match_mask_codes(self, items: Iterable[tuple[int, int]]) -> np.ndarray:
+        """Boolean row mask for an equality conjunction over raw codes.
+
+        Like :meth:`match_mask` but takes pre-encoded codes (e.g. read
+        off another row via :meth:`code_at`), skipping vocabulary
+        lookups.
+        """
+        mask = np.ones(self._size, dtype=bool)
+        for pos, code in items:
+            mask &= self.codes(pos) == code
+        return mask
+
+    def values_at(self, pos: int, mask: np.ndarray) -> list[object]:
+        """Distinct decoded values of column *pos* over the masked rows."""
+        codes = np.unique(self.codes(pos)[mask])
+        return self._vocabs[pos].decode_many(codes.tolist())
+
+    def __repr__(self) -> str:
+        return f"ColumnStore({self.schema.name!r}, {self._size} rows, {len(self.schema)} columns)"

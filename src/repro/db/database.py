@@ -8,6 +8,9 @@ here it is a dict-backed tuple store with:
 * listener hooks fired on every mutation (used by the violation
   detector, consistency manager, hash indexes and change log — the
   equivalent of the paper's database triggers);
+* a lazily built, incrementally maintained dictionary-encoded columnar
+  mirror (:attr:`Database.columns`) backing the vectorized violation
+  engine;
 * cheap snapshots for ground-truth comparisons.
 """
 
@@ -16,6 +19,7 @@ from __future__ import annotations
 from collections.abc import Callable, Iterable, Iterator, Mapping, Sequence
 
 from repro.db.changelog import CellChange
+from repro.db.columnar import ColumnStore
 from repro.db.schema import Schema
 from repro.errors import SchemaError, UnknownTupleError
 
@@ -111,9 +115,36 @@ class Database:
         self._next_tid = 0
         self._listeners: list[Listener] = []
         self._change_seq = 0
+        self._version = 0
+        self._columns: ColumnStore | None = None
         if rows is not None:
             for row in rows:
                 self.insert(row)
+
+    # ------------------------------------------------------------------
+    # columnar mirror
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Monotonic instance version: bumps on every insert/write/delete.
+
+        Cheap staleness check for consumers holding derived caches (the
+        generator's witness-lookup memo, for example).
+        """
+        return self._version
+
+    @property
+    def columns(self) -> ColumnStore:
+        """The dictionary-encoded columnar image of this instance.
+
+        Built lazily on first access, then maintained incrementally and
+        synchronously under every :meth:`insert`, :meth:`set_value` and
+        :meth:`delete` — a listener reading the columns always sees the
+        post-write state.
+        """
+        if self._columns is None:
+            self._columns = ColumnStore(self.schema, self._rows.items())
+        return self._columns
 
     # ------------------------------------------------------------------
     # listeners
@@ -142,6 +173,9 @@ class Database:
         tid = self._next_tid
         self._next_tid += 1
         self._rows[tid] = values
+        self._version += 1
+        if self._columns is not None:
+            self._columns.append(tid, values)
         return tid
 
     def _coerce_row(self, row: Sequence[object] | Mapping[str, object]) -> list[object]:
@@ -166,6 +200,9 @@ class Database:
         if tid not in self._rows:
             raise UnknownTupleError(tid)
         del self._rows[tid]
+        self._version += 1
+        if self._columns is not None:
+            self._columns.remove(tid)
 
     # ------------------------------------------------------------------
     # access
@@ -238,6 +275,9 @@ class Database:
         if old == value:
             return False
         values[pos] = value
+        self._version += 1
+        if self._columns is not None:
+            self._columns.set_cell(tid, pos, value)
         self._change_seq += 1
         self._notify(CellChange(self._change_seq, tid, attribute, old, value, source))
         return True

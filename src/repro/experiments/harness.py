@@ -134,6 +134,6 @@ def heuristic_improvement(dataset: GDRDataset) -> Series:
 def initial_dirty_count(dataset: GDRDataset) -> int:
     """Initially identified dirty tuples (the Figure 4/5 denominator)."""
     detector = ViolationDetector(dataset.dirty, dataset.rules)
-    count = len(detector.dirty_tuples())
+    count = detector.dirty_count()
     detector.detach()
     return count

@@ -8,6 +8,7 @@ from repro.repair.heuristic import HeuristicRepairResult, batch_repair
 from repro.repair.similarity import (
     EditDistanceSimilarity,
     SimilarityFunction,
+    best_candidate,
     levenshtein,
     similarity,
     token_jaccard,
@@ -26,6 +27,7 @@ __all__ = [
     "UpdateGenerator",
     "UserFeedback",
     "batch_repair",
+    "best_candidate",
     "levenshtein",
     "similarity",
     "token_jaccard",

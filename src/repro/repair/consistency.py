@@ -96,9 +96,9 @@ class ConsistencyManager:
     def _on_external_change(self, change: CellChange) -> None:
         if self._suspend_trigger:
             return
-        # our listener may run before the generator's index listeners;
-        # sync them so regeneration sees the post-write instance
-        self.generator.sync_indexes(change)
+        # the database updates its columnar mirror synchronously inside
+        # set_value, before listeners fire, so regeneration below always
+        # sees the post-write instance
         self._revisit_after_write(change.tid, change.attribute, exclude=None)
 
     # ------------------------------------------------------------------
@@ -215,16 +215,19 @@ class ConsistencyManager:
         suggestions generated.
         """
         produced = 0
-        dirty = self.detector.dirty_tuples()
+        detector = self.detector
         # prune suggestions whose tuples are now clean or out of date
         for update in self.state.updates():
-            if update.tid not in dirty:
+            if not detector.is_dirty(update.tid):
                 self.state.remove(update.cell)
             elif update.value == self.db.value(*update.cell):
                 self.state.remove(update.cell)
         covered = {u.tid for u in self.state.updates()}
-        for tid in sorted(dirty - covered):
-            produced += len(self.generator.generate_for_tuple(tid))
+        # the detector maintains the dirty set pre-sorted; iterate the
+        # incremental ordered view instead of re-sorting per refresh
+        for tid in detector.dirty_tuples_ordered():
+            if tid not in covered:
+                produced += len(self.generator.generate_for_tuple(tid))
         return produced
 
     def check_invariants(self) -> list[str]:

@@ -13,18 +13,24 @@ cell ``t[B]`` across three scenarios:
    agree with ``t`` on the rule's remaining attributes
    (``getValueForLHS``).
 
+Scenario 3 enumeration runs on the database's dictionary-encoded
+columns: witness agreement is one vectorized equality mask and the
+candidate values come straight from the column vocabulary — no hash
+index builds, no full-table scans.
+
 The best-scoring value that is neither the current value nor in the
 cell's prevented list becomes the cell's live suggestion.
 """
 
 from __future__ import annotations
 
+from itertools import chain
+
 from repro.constraints.repository import RuleSet
 from repro.constraints.violations import ViolationDetector
 from repro.db.database import Database
-from repro.db.index import HashIndex
 from repro.repair.candidate import CandidateUpdate
-from repro.repair.similarity import SimilarityFunction, similarity
+from repro.repair.similarity import SimilarityFunction, best_candidate, similarity
 from repro.repair.state import RepairState
 
 __all__ = ["UpdateGenerator"]
@@ -69,7 +75,11 @@ class UpdateGenerator:
         self.detector = detector
         self.state = state
         self.sim = sim
-        self._indexes: dict[tuple[str, ...], HashIndex] = {}
+        # (witness positions, witness codes, target column) -> candidate
+        # values; shared by every tuple in the same witness group and
+        # invalidated wholesale when the database version moves
+        self._witness_memo: dict[tuple, list[object]] = {}
+        self._witness_memo_version = -1
 
     # ------------------------------------------------------------------
     def generate_all(self) -> list[CandidateUpdate]:
@@ -77,10 +87,11 @@ class UpdateGenerator:
 
         Following the paper, every attribute of a dirty tuple is
         initially assumed potentially incorrect; attributes not involved
-        in any violated rule simply yield no suggestion.
+        in any violated rule simply yield no suggestion. Iterates the
+        detector's incrementally ordered dirty view — no per-pass sort.
         """
         produced: list[CandidateUpdate] = []
-        for tid in sorted(self.detector.dirty_tuples()):
+        for tid in self.detector.dirty_tuples_ordered():
             produced.extend(self.generate_for_tuple(tid))
         return produced
 
@@ -119,39 +130,23 @@ class UpdateGenerator:
             return None
         current = self.db.value(tid, attribute)
         prevented = self.state.prevented(cell)
-        # A zero-similarity value is still admissible (the paper's own
-        # example suggests 'Michigan City' for 'Westville'); it simply
-        # carries the lowest possible certainty score.
-        best_score = -1.0
-        best_value: object | None = None
 
-        def consider(value: object) -> None:
-            nonlocal best_score, best_value
-            if value == current or value in prevented or value is None:
-                return
-            score = self.sim(current, value)
-            if (
-                best_value is None
-                or score > best_score
-                or (score == best_score and str(value) < str(best_value))
-            ):
-                best_score = score
-                best_value = value
-
+        pools = []
         saw_lhs_rule = False
         for rule in violated:
             if rule.rhs == attribute:
                 if rule.is_constant:
-                    consider(rule.rhs_constant)  # scenario 1
+                    pools.append((rule.rhs_constant,))  # scenario 1
                 else:
-                    for value in self._values_for_rhs(tid, rule):  # scenario 2
-                        consider(value)
+                    pools.append(self._values_for_rhs(tid, rule))  # scenario 2
             if attribute in rule.lhs:
                 saw_lhs_rule = True
         if saw_lhs_rule:
-            for value in self._values_for_lhs(tid, attribute, violated):  # scenario 3
-                consider(value)
+            pools.append(self._values_for_lhs(tid, attribute, violated))  # scenario 3
 
+        best_value, best_score = best_candidate(
+            current, chain.from_iterable(pools), excluded=prevented, sim=self.sim
+        )
         if best_value is None:
             self.state.remove(cell)
             return None
@@ -175,9 +170,19 @@ class UpdateGenerator:
         "values in the CFDs" pool is drawn from the *violated* rules'
         patterns only — pooling constants from all of Σ would funnel
         unrelated constants into every dirty tuple's suggestions.
+        Witness agreement is evaluated as a vectorized equality mask
+        over the dictionary-encoded columns, and the agreeing tuples'
+        values of ``attribute`` are decoded via the column vocabulary.
         """
         pool: set[object] = set()
-        row = self.db.row(tid)
+        schema = self.db.schema
+        columns = self.db.columns
+        attr_pos = schema.position(attribute)
+        version = self.db.version
+        if version != self._witness_memo_version:
+            self._witness_memo.clear()
+            self._witness_memo_version = version
+        row_pos = columns.position_of(tid)
         for rule in violated:
             if attribute not in rule.lhs:
                 continue
@@ -187,34 +192,21 @@ class UpdateGenerator:
             witness_attrs = tuple(a for a in rule.attributes if a != attribute)
             if not witness_attrs:
                 continue
-            index = self._index_for(witness_attrs)
-            key = tuple(row[a] for a in witness_attrs)
-            for other_tid in index.lookup(key):
-                if other_tid != tid:
-                    pool.add(self.db.value(other_tid, attribute))
+            positions = schema.positions(witness_attrs)
+            codes = tuple(columns.code_at(row_pos, p) for p in positions)
+            memo_key = (positions, codes, attr_pos)
+            values = self._witness_memo.get(memo_key)
+            if values is None:
+                # no exclude_tid: the tuple's own value re-enters the pool
+                # but is never admissible (it equals the current value), so
+                # the lookup is shareable across the whole witness group
+                mask = columns.match_mask_codes(zip(positions, codes))
+                values = columns.values_at(attr_pos, mask) if mask.any() else []
+                self._witness_memo[memo_key] = values
+            pool.update(values)
         return pool
 
-    def _index_for(self, attributes: tuple[str, ...]) -> HashIndex:
-        index = self._indexes.get(attributes)
-        if index is None:
-            index = HashIndex(self.db, attributes)
-            self._indexes[attributes] = index
-        return index
-
-    def sync_indexes(self, change) -> None:
-        """Fold a cell change into the witness indexes immediately.
-
-        Database listeners fire in registration order; a consumer whose
-        listener runs *before* the indexes' own listeners (such as the
-        consistency manager's trigger) calls this first so scenario-3
-        lookups see the new value. The index handler is idempotent, so
-        the later regular notification is harmless.
-        """
-        for index in self._indexes.values():
-            index._on_change(change)
-
     def detach(self) -> None:
-        """Release the generator's auto-maintained indexes."""
-        for index in self._indexes.values():
-            index.detach()
-        self._indexes.clear()
+        """Release the generator's derived caches."""
+        self._witness_memo.clear()
+        self._witness_memo_version = -1

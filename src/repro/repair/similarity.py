@@ -17,6 +17,7 @@ from functools import lru_cache
 __all__ = [
     "EditDistanceSimilarity",
     "SimilarityFunction",
+    "best_candidate",
     "levenshtein",
     "similarity",
     "token_jaccard",
@@ -79,6 +80,38 @@ def similarity(original: object, suggested: object) -> float:
     if original == suggested:
         return 1.0
     return _cached_similarity(str(original), str(suggested))
+
+
+def best_candidate(
+    original: object,
+    candidates,
+    excluded=(),
+    sim: SimilarityFunction = similarity,
+) -> tuple[object | None, float]:
+    """The admissible candidate maximising Eq. 7 similarity.
+
+    Skips ``None``, the current value and anything in *excluded* (the
+    cell's prevented list); ties break toward the lexicographically
+    smaller string form, so the choice is order-independent. Returns
+    ``(value, score)``, with ``(None, -1.0)`` when nothing is
+    admissible. A zero-similarity value is still admissible (the
+    paper's own example suggests 'Michigan City' for 'Westville'); it
+    simply carries the lowest possible certainty score.
+    """
+    best_score = -1.0
+    best_value: object | None = None
+    for value in candidates:
+        if value == original or value in excluded or value is None:
+            continue
+        score = sim(original, value)
+        if (
+            best_value is None
+            or score > best_score
+            or (score == best_score and str(value) < str(best_value))
+        ):
+            best_score = score
+            best_value = value
+    return best_value, best_score
 
 
 def token_jaccard(original: object, suggested: object) -> float:

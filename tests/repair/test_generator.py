@@ -176,9 +176,10 @@ class TestGenerateForTuple:
         assert update is not None
         assert update.value == "46825"
 
-    def test_detach_releases_indexes(self, figure1_dirty, figure1_rules):
+    def test_detach_releases_caches(self, figure1_dirty, figure1_rules):
         detector = ViolationDetector(figure1_dirty, figure1_rules)
         gen = UpdateGenerator(figure1_dirty, figure1_rules, detector, RepairState())
         gen.generate_all()
+        assert gen._witness_memo  # scenario-3 lookups populated the memo
         gen.detach()
-        assert gen._indexes == {}
+        assert gen._witness_memo == {}

@@ -5,6 +5,7 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.repair import EditDistanceSimilarity, levenshtein, similarity, token_jaccard
+from repro.repair.similarity import best_candidate
 
 TEXT = st.text(alphabet="abcde ", max_size=12)
 
@@ -120,3 +121,31 @@ class TestEditDistanceSimilarity:
 
     def test_repr(self):
         assert "case_sensitive" in repr(EditDistanceSimilarity())
+
+
+class TestCandidateSelection:
+    def test_best_candidate_picks_highest_similarity(self):
+        value, score = best_candidate("Westvile", ["Westville", "Gary"])
+        assert value == "Westville"
+        assert score == similarity("Westvile", "Westville")
+
+    def test_best_candidate_skips_current_excluded_and_none(self):
+        value, __ = best_candidate(
+            "Westville", ["Westville", None, "Gary", "Hammond"], excluded={"Gary"}
+        )
+        assert value == "Hammond"
+
+    def test_best_candidate_tie_breaks_lexicographically(self):
+        # equal scores: the lexicographically smaller string wins,
+        # independent of candidate order
+        a, __ = best_candidate("ab", ["xb", "yb"])
+        b, __ = best_candidate("ab", ["yb", "xb"])
+        assert a == b == "xb"
+
+    def test_best_candidate_empty_pool(self):
+        assert best_candidate("v", []) == (None, -1.0)
+
+    def test_zero_similarity_still_admissible(self):
+        value, score = best_candidate("Westville", ["Michigan City"])
+        assert value == "Michigan City"
+        assert score == 0.0
