@@ -1,0 +1,98 @@
+"""End-to-end interactive-loop benchmark (the PR 2 acceptance bench).
+
+Times one full ``GDREngine.run()`` — generation, grouping, VOI ranking,
+labelling sessions, learner drain — on a generated hospital-style
+instance, for both pipelines:
+
+* ``test_loop_delta`` — the delta pipeline (incremental refresh, event
+  maintained group index, stamped benefit cache, heap selection);
+* ``test_loop_rebuild`` — the retained rebuild-per-iteration reference.
+
+Both runs must produce identical results (cross-checked inline); the
+recorded medians make the delta/rebuild ratio visible across PRs in
+``BENCH_loop.json``. Scale knobs::
+
+    REPRO_LOOP_N       table size          (default 1000)
+    REPRO_LOOP_BUDGET  user label budget   (default 200)
+
+e.g. ``REPRO_LOOP_N=200 REPRO_LOOP_BUDGET=40`` for a CI smoke run.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core import GDRConfig, GDREngine, GroundTruthOracle
+from repro.datasets import load_dataset
+
+LOOP_N = int(os.environ.get("REPRO_LOOP_N", "1000"))
+LOOP_BUDGET = int(os.environ.get("REPRO_LOOP_BUDGET", "200"))
+LOOP_SEED = int(os.environ.get("REPRO_LOOP_SEED", "0"))
+
+#: Filled per pipeline; the parity test compares the two entries.
+_RESULTS: dict[str, tuple] = {}
+
+
+def _run_loop(pipeline: str):
+    dataset = load_dataset("hospital", n=LOOP_N, seed=LOOP_SEED)
+    db = dataset.fresh_dirty()
+    engine = GDREngine(
+        db,
+        dataset.rules,
+        GroundTruthOracle(dataset.clean),
+        GDRConfig.gdr(seed=LOOP_SEED, pipeline=pipeline),
+        clean_db=dataset.clean,
+    )
+    result = engine.run(feedback_limit=LOOP_BUDGET)
+    return db, result
+
+
+def _signature(db, result):
+    return (
+        result.feedback_used,
+        result.learner_decisions,
+        result.iterations,
+        result.final_loss,
+        tuple((p.feedback, p.learner_decisions, p.loss) for p in result.trajectory),
+        tuple(tuple(row.values) for row in db.rows()),
+    )
+
+
+def _bench_pipeline(benchmark, pipeline: str, rounds: int):
+    db, result = benchmark.pedantic(
+        lambda: _run_loop(pipeline), rounds=rounds, iterations=1, warmup_rounds=0
+    )
+    assert 0 < result.feedback_used <= LOOP_BUDGET
+    assert result.improvement > 0
+    benchmark.extra_info["iterations"] = result.iterations
+    benchmark.extra_info["final_loss"] = result.final_loss
+    _RESULTS[pipeline] = _signature(db, result)
+    return result
+
+
+def test_loop_delta(benchmark):
+    """Full interactive loop on the delta pipeline."""
+    _bench_pipeline(benchmark, "delta", rounds=3)
+
+
+def test_loop_rebuild(benchmark):
+    """Full interactive loop on the rebuild-per-iteration reference."""
+    _bench_pipeline(benchmark, "rebuild", rounds=1)
+
+
+def test_loop_trajectories_identical():
+    """Byte-identical ``GDRResult`` trajectories across the pipelines.
+
+    Relies on the two benchmarks above having populated ``_RESULTS``;
+    falls back to running both once when executed standalone.
+    """
+    for pipeline in ("delta", "rebuild"):
+        if pipeline not in _RESULTS:
+            _RESULTS[pipeline] = _signature(*_run_loop(pipeline))
+    assert _RESULTS["delta"] == _RESULTS["rebuild"]
+
+
+if __name__ == "__main__":  # pragma: no cover - manual convenience
+    raise SystemExit(pytest.main([__file__, "--benchmark-only", "-q"]))

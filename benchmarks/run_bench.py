@@ -1,13 +1,15 @@
-"""Run the micro-benchmarks and record medians for cross-PR tracking.
+"""Run the tracked benchmark suites and record medians for cross-PR diffs.
 
 Entry point::
 
-    python benchmarks/run_bench.py [-o BENCH_micro.json] [-k EXPR]
+    python benchmarks/run_bench.py [--suite micro|loop|all] [-o PATH] [-k EXPR]
 
-Runs ``bench_micro.py`` under ``pytest-benchmark`` and writes a flat
-``benchmark name -> median seconds`` JSON next to this file (by
-default ``benchmarks/BENCH_micro.json``), so the performance trajectory
-of the hot paths is visible across PRs with a one-line diff.
+Each suite runs under ``pytest-benchmark`` and writes a flat
+``benchmark name -> median seconds`` JSON next to this file — by
+default ``benchmarks/BENCH_micro.json`` for the micro suite (hot-path
+substrates) and ``benchmarks/BENCH_loop.json`` for the end-to-end
+interactive loop (``bench_loop.py``, delta vs rebuild pipeline) — so
+the performance trajectory is visible across PRs with a one-line diff.
 """
 
 from __future__ import annotations
@@ -22,11 +24,19 @@ from pathlib import Path
 
 BENCH_DIR = Path(__file__).resolve().parent
 REPO_ROOT = BENCH_DIR.parent
-DEFAULT_OUTPUT = BENCH_DIR / "BENCH_micro.json"
+
+SUITES = {
+    "micro": (BENCH_DIR / "bench_micro.py", BENCH_DIR / "BENCH_micro.json"),
+    "loop": (BENCH_DIR / "bench_loop.py", BENCH_DIR / "BENCH_loop.json"),
+}
+
+# backward-compatible alias: older callers import DEFAULT_OUTPUT
+DEFAULT_OUTPUT = SUITES["micro"][1]
 
 
-def run_micro_benchmarks(selector: str | None = None) -> dict[str, float]:
-    """Run ``bench_micro.py`` and return ``{benchmark name: median seconds}``."""
+def run_suite(suite: str, selector: str | None = None) -> dict[str, float]:
+    """Run one suite and return ``{benchmark name: median seconds}``."""
+    bench_file, __ = SUITES[suite]
     with tempfile.TemporaryDirectory() as tmp:
         raw_path = Path(tmp) / "bench.json"
         env = dict(os.environ)
@@ -37,7 +47,7 @@ def run_micro_benchmarks(selector: str | None = None) -> dict[str, float]:
             sys.executable,
             "-m",
             "pytest",
-            str(BENCH_DIR / "bench_micro.py"),
+            str(bench_file),
             "--benchmark-only",
             "-q",
             f"--benchmark-json={raw_path}",
@@ -54,14 +64,25 @@ def run_micro_benchmarks(selector: str | None = None) -> dict[str, float]:
     }
 
 
+def run_micro_benchmarks(selector: str | None = None) -> dict[str, float]:
+    """Back-compat wrapper: the micro suite."""
+    return run_suite("micro", selector)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--suite",
+        choices=[*SUITES, "all"],
+        default="micro",
+        help="which benchmark suite to run (default: micro)",
+    )
     parser.add_argument(
         "-o",
         "--output",
         type=Path,
-        default=DEFAULT_OUTPUT,
-        help=f"output JSON path (default: {DEFAULT_OUTPUT})",
+        default=None,
+        help="output JSON path (default: the suite's tracked BENCH file)",
     )
     parser.add_argument(
         "-k",
@@ -70,16 +91,22 @@ def main(argv: list[str] | None = None) -> int:
         help="pytest -k expression to run a benchmark subset",
     )
     args = parser.parse_args(argv)
-    medians = run_micro_benchmarks(args.selector)
-    width = max(len(name) for name in medians)
-    for name, median in medians.items():
-        print(f"{name:<{width}}  {median * 1e3:9.3f} ms")
-    if args.selector and args.output == DEFAULT_OUTPUT:
-        # a subset must not clobber the tracked full-run medians
-        print(f"\nsubset run (-k): not overwriting {DEFAULT_OUTPUT}; pass -o to write")
-        return 0
-    args.output.write_text(json.dumps(medians, indent=2, sort_keys=True) + "\n")
-    print(f"\nwrote {args.output}")
+    suites = list(SUITES) if args.suite == "all" else [args.suite]
+    if args.output is not None and len(suites) > 1:
+        parser.error("--output cannot be combined with --suite all")
+    for suite in suites:
+        default_output = SUITES[suite][1]
+        output = args.output if args.output is not None else default_output
+        medians = run_suite(suite, args.selector)
+        width = max(len(name) for name in medians)
+        for name, median in medians.items():
+            print(f"{name:<{width}}  {median * 1e3:9.3f} ms")
+        if args.selector and output == default_output:
+            # a subset must not clobber the tracked full-run medians
+            print(f"\nsubset run (-k): not overwriting {output}; pass -o to write")
+            continue
+        output.write_text(json.dumps(medians, indent=2, sort_keys=True) + "\n")
+        print(f"\nwrote {output}")
     return 0
 
 

@@ -18,11 +18,12 @@ from repro.constraints.parser import (
 )
 from repro.constraints.pattern import ANY, PatternTuple, Wildcard
 from repro.constraints.repository import RuleSet
-from repro.constraints.violations import ViolationDetector, WhatIfOutcome
+from repro.constraints.violations import DirtyDelta, ViolationDetector, WhatIfOutcome
 
 __all__ = [
     "ANY",
     "CFD",
+    "DirtyDelta",
     "IND",
     "PatternTuple",
     "RuleSet",

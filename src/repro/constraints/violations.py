@@ -49,7 +49,7 @@ from repro.db.changelog import CellChange
 from repro.db.columnar import ColumnStore
 from repro.db.database import Database
 
-__all__ = ["ViolationDetector", "WhatIfOutcome"]
+__all__ = ["DirtyDelta", "ViolationDetector", "WhatIfOutcome"]
 
 #: Sentinel distinguishing "no LHS constant on this column" from a
 #: constant that happens to equal ``None``.
@@ -143,6 +143,40 @@ class _OutcomeMap(Mapping):
         return repr(dict(zip(self._rules, self._outcomes)))
 
 
+class DirtyDelta:
+    """Cursor over dirty-set transitions for one delta consumer.
+
+    Handed out by :meth:`ViolationDetector.dirty_delta`; the detector
+    adds every tuple whose dirty status *flips* (clean→dirty or
+    dirty→clean) to the cursor. Consumers call :meth:`poll` to drain
+    what accumulated since their last poll and walk only those tuples
+    instead of the whole dirty set.
+    """
+
+    __slots__ = ("_touched", "_full")
+
+    def __init__(self) -> None:
+        self._touched: set[int] = set()
+        # a fresh cursor has seen nothing yet; the first poll tells the
+        # consumer to do one full sweep, as does any detector rebuild
+        self._full = True
+
+    def poll(self) -> tuple[int, ...] | None:
+        """Tuples whose dirty status flipped since the last poll.
+
+        Returns ``None`` when everything may have changed (first poll,
+        or the detector rebuilt its statistics from scratch) — the
+        consumer must fall back to a full sweep.
+        """
+        if self._full:
+            self._full = False
+            self._touched.clear()
+            return None
+        touched = tuple(sorted(self._touched))
+        self._touched.clear()
+        return touched
+
+
 class _DirtyTracker:
     """Ordered incremental view of the dirty-tuple set.
 
@@ -150,26 +184,35 @@ class _DirtyTracker:
     and keeps the tuples with a positive count in a sorted list — the
     generator and the consistency manager iterate dirty tuples in tid
     order on every refresh, and this view replaces their per-call
-    ``sorted(...)`` over the whole dirty set.
+    ``sorted(...)`` over the whole dirty set. Status flips are fanned
+    out to registered :class:`DirtyDelta` cursors.
     """
 
-    __slots__ = ("_counts", "_ordered")
+    __slots__ = ("_counts", "_ordered", "_sinks")
 
     def __init__(self) -> None:
         self._counts: dict[int, int] = {}
         self._ordered: list[int] = []
+        self._sinks: list[DirtyDelta] = []
+
+    def add_sink(self, sink: DirtyDelta) -> None:
+        self._sinks.append(sink)
 
     def increment(self, tid: int) -> None:
         count = self._counts.get(tid, 0)
         self._counts[tid] = count + 1
         if count == 0:
             insort(self._ordered, tid)
+            for sink in self._sinks:
+                sink._touched.add(tid)
 
     def decrement(self, tid: int) -> None:
         count = self._counts[tid] - 1
         if count == 0:
             del self._counts[tid]
             del self._ordered[bisect_left(self._ordered, tid)]
+            for sink in self._sinks:
+                sink._touched.add(tid)
         else:
             self._counts[tid] = count
 
@@ -180,6 +223,8 @@ class _DirtyTracker:
                 counts[tid] = counts.get(tid, 0) + 1
         self._counts = counts
         self._ordered = sorted(counts)
+        for sink in self._sinks:
+            sink._full = True
 
     def contains(self, tid: int) -> bool:
         return tid in self._counts
@@ -503,6 +548,87 @@ class _ConstantProbePlan:
             results.append(outcomes)
         return results
 
+
+
+class _WritePlan:
+    """Per-attribute dispatch of real writes to the rules they can move.
+
+    The incremental maintenance path used to replay every write through
+    *every* rule state touching the written attribute — on the hospital
+    workload that is 40+ constant CFDs per ``zip`` write, almost all of
+    which are no-ops (the tuple is in neither the old nor the new
+    constant's context). Mirroring :class:`_ConstantProbePlan`, the
+    write plan exploits the sparsity of a single-cell write: setting
+    ``t[A] = new`` (from ``old``) can only move
+
+    * a constant rule with an LHS constant on ``A`` equal to ``old``
+      (the tuple may leave its context) or to ``new`` (it may enter) —
+      one reverse-index lookup ``constant code -> rule states``;
+    * a constant rule with ``A`` as RHS whose single-constant LHS
+      matches the tuple's current row — a reverse index over that LHS
+      column's codes;
+    * variable rules and rare general shapes (multi-constant LHS with
+      the RHS on ``A``, wildcard mixes), which always re-evaluate.
+
+    Rule constants are *encoded into* the column vocabularies at plan
+    build, so code equality is exact value equality even for constants
+    absent from the data.
+    """
+
+    __slots__ = ("_always", "_lhs_by_code", "_rhs_ctx", "_code_of", "_cols")
+
+    def __init__(self, states: list, pos: int, cols: ColumnStore) -> None:
+        self._cols = cols
+        self._code_of = cols.vocabulary(pos).code_of
+        always: list = []
+        lhs_by_code: dict[int, list] = {}
+        rhs_maps: dict[int, dict[int, list]] = {}
+        for state in states:
+            if not isinstance(state, _ConstantRuleState):
+                always.append(state)
+                continue
+            consts = state._lhs_consts
+            consts_on_pos = [c for q, c in consts if q == pos]
+            if state._rhs_pos == pos:
+                if len(consts) == 1 and consts[0][0] != pos:
+                    q, const = consts[0]
+                    code = cols.vocabulary(q).encode(const)
+                    rhs_maps.setdefault(q, {}).setdefault(code, []).append(state)
+                else:
+                    always.append(state)
+            elif consts_on_pos:
+                code = cols.vocabulary(pos).encode(consts_on_pos[0])
+                lhs_by_code.setdefault(code, []).append(state)
+            else:
+                # constant rule listed under A without a constant on A
+                # and with its RHS elsewhere — defensively re-evaluate
+                always.append(state)
+        self._always = always
+        self._lhs_by_code = lhs_by_code
+        self._rhs_ctx = list(rhs_maps.items())
+
+    def affected(self, tid: int, old: object, new: object) -> list:
+        """Rule states whose statistics the write ``old -> new`` may move."""
+        states = list(self._always)
+        lhs = self._lhs_by_code
+        if lhs:
+            # old != new is guaranteed by set_value's no-op check, and
+            # vocabulary codes follow dict equality, so the two lookups
+            # can never return the same bucket
+            hits = lhs.get(self._code_of(old))
+            if hits:
+                states.extend(hits)
+            hits = lhs.get(self._code_of(new))
+            if hits:
+                states.extend(hits)
+        if self._rhs_ctx:
+            cols = self._cols
+            row = cols.position_of(tid)
+            for q, cmap in self._rhs_ctx:
+                hits = cmap.get(cols.code_at(row, q))
+                if hits:
+                    states.extend(hits)
+        return states
 
 
 class _Group:
@@ -942,6 +1068,12 @@ class ViolationDetector:
         # bumped on every statistics change; probe plans re-snapshot
         # their cached per-rule aggregates when it moves
         self._epoch = 0
+        # per-attribute statistics versions: an attribute's version
+        # moves whenever a rule touching it had its statistics
+        # re-evaluated, so ranking caches can skip groups whose
+        # underlying partition stats provably did not change
+        self._attr_versions: dict[str, int] = {a: 0 for a in db.schema.attributes}
+        self._write_plans: dict[str, _WritePlan] = {}
         self._probe_plans: dict[
             str,
             tuple[
@@ -978,6 +1110,7 @@ class ViolationDetector:
         if build not in ("columnar", "reference"):
             raise ValueError(f"build must be 'columnar' or 'reference', got {build!r}")
         self._epoch += 1
+        self._bump_all_attr_versions()
         for state in self._states:
             state.reset()
         if build == "columnar":
@@ -1003,9 +1136,48 @@ class ViolationDetector:
         if not states:
             return
         self._epoch += 1
-        values = self.db.values_snapshot(change.tid)
-        for state in states:
+        plan = self._write_plans.get(change.attribute)
+        if plan is None:
+            plan = self._write_plans[change.attribute] = _WritePlan(
+                states, self.db.schema.position(change.attribute), self.db.columns
+            )
+        affected = plan.affected(change.tid, change.old, change.new)
+        if not affected:
+            return
+        # live row view, not a snapshot: update_cell only reads
+        # positionally and never retains the sequence
+        values = self.db.values_view(change.tid)
+        versions = self._attr_versions
+        for state in affected:
             state.update_cell(change.tid, values)
+            for attr in state.rule.attributes:
+                versions[attr] += 1
+
+    def _bump_all_attr_versions(self) -> None:
+        for attr in self._attr_versions:
+            self._attr_versions[attr] += 1
+
+    def attr_stats_version(self, attribute: str) -> int:
+        """Statistics version of one attribute.
+
+        Moves whenever a rule touching *attribute* had its statistics
+        re-evaluated (and on every full rebuild). Consumers caching
+        quantities derived from those statistics — Eq. 6 group benefits,
+        rule weights — compare versions instead of recomputing.
+        """
+        return self._attr_versions.get(attribute, 0)
+
+    def dirty_delta(self) -> DirtyDelta:
+        """Register and return a dirty-set delta cursor.
+
+        The cursor accumulates every tuple whose dirty status flips;
+        :meth:`DirtyDelta.poll` drains it. Used by the consistency
+        manager to refresh suggestions in O(delta) instead of walking
+        every dirty tuple.
+        """
+        cursor = DirtyDelta()
+        self._tracker.add_sink(cursor)
+        return cursor
 
     def add_tuple(self, tid: int) -> None:
         """Start tracking a tuple inserted after construction.
@@ -1015,6 +1187,7 @@ class ViolationDetector:
         GDR can suggest updates during data entry.
         """
         self._epoch += 1
+        self._bump_all_attr_versions()
         values = self.db.values_snapshot(tid)
         for state in self._states:
             state.update_cell(tid, values)
@@ -1022,6 +1195,7 @@ class ViolationDetector:
     def remove_tuple(self, tid: int) -> None:
         """Stop tracking a tuple that is about to be deleted."""
         self._epoch += 1
+        self._bump_all_attr_versions()
         for state in self._states:
             state.drop_tuple(tid)
 

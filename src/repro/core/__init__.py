@@ -2,14 +2,14 @@
 
 from repro.core.effort import EffortPolicy, FeedbackBudget
 from repro.core.gdr import GDRConfig, GDREngine, GDRResult
-from repro.core.grouping import UpdateGroup, group_updates
+from repro.core.grouping import GroupIndex, UpdateGroup, group_sort_key, group_updates
 from repro.core.learner import FeedbackLearner, LearnerPrediction
 from repro.core.metrics import RepairReport, TrajectoryPoint, evaluate_repair
 from repro.core.quality import QualityEvaluator, quality_improvement
 from repro.core.ranking import GreedyRanking, RandomRanking, RankingStrategy, VOIRanking
 from repro.core.session import InteractiveSession, SessionReport
 from repro.core.user import CallbackOracle, GroundTruthOracle, NoisyOracle, UserOracle
-from repro.core.voi import VOIEstimator
+from repro.core.voi import GroupBenefitCache, VOIEstimator
 
 __all__ = [
     "CallbackOracle",
@@ -21,6 +21,8 @@ __all__ = [
     "GDRResult",
     "GreedyRanking",
     "GroundTruthOracle",
+    "GroupBenefitCache",
+    "GroupIndex",
     "InteractiveSession",
     "LearnerPrediction",
     "NoisyOracle",
@@ -35,6 +37,7 @@ __all__ = [
     "VOIEstimator",
     "VOIRanking",
     "evaluate_repair",
+    "group_sort_key",
     "group_updates",
     "quality_improvement",
 ]

@@ -23,14 +23,14 @@ from dataclasses import dataclass, field
 from repro.constraints.repository import RuleSet
 from repro.constraints.violations import ViolationDetector
 from repro.core.effort import EffortPolicy, FeedbackBudget
-from repro.core.grouping import group_updates
+from repro.core.grouping import GroupIndex, UpdateGroup, group_sort_key, group_updates
 from repro.core.learner import FeedbackLearner
 from repro.core.metrics import RepairReport, TrajectoryPoint, evaluate_repair
 from repro.core.quality import QualityEvaluator, quality_improvement
 from repro.core.ranking import GreedyRanking, RandomRanking, RankingStrategy, VOIRanking
 from repro.core.session import InteractiveSession
 from repro.core.user import UserOracle
-from repro.core.voi import VOIEstimator
+from repro.core.voi import GroupBenefitCache, VOIEstimator
 from repro.db.database import Database
 from repro.errors import ConfigError
 from repro.repair.candidate import CandidateUpdate
@@ -43,6 +43,7 @@ __all__ = ["GDRConfig", "GDREngine", "GDRResult"]
 
 _RANKINGS = ("voi", "greedy", "random")
 _LEARNINGS = ("active", "passive", "none")
+_PIPELINES = ("delta", "rebuild")
 
 
 @dataclass(slots=True)
@@ -71,6 +72,15 @@ class GDRConfig:
         Master seed for every stochastic component.
     max_iterations:
         Safety cap on interactive iterations.
+    pipeline:
+        ``"delta"`` (default) drives each iteration from incremental
+        structures — O(delta) suggestion refresh, the event-maintained
+        :class:`~repro.core.grouping.GroupIndex` and the stamped
+        :class:`~repro.core.voi.GroupBenefitCache` — so iteration cost
+        scales with what the last batch touched. ``"rebuild"`` re-scans,
+        re-groups and re-scores everything per iteration: the original
+        reference path, kept because the delta path is required (and
+        tested) to reproduce its results byte-for-byte.
     """
 
     ranking: str = "voi"
@@ -94,6 +104,7 @@ class GDRConfig:
     voi_prior: str = "score"
     seed: int = 0
     max_iterations: int = 100_000
+    pipeline: str = "delta"
 
     def __post_init__(self) -> None:
         if self.ranking not in _RANKINGS:
@@ -102,6 +113,8 @@ class GDRConfig:
             raise ConfigError(f"learning must be one of {_LEARNINGS}, got {self.learning!r}")
         if self.voi_prior not in ("score", "uniform"):
             raise ConfigError(f"voi_prior must be 'score' or 'uniform', got {self.voi_prior!r}")
+        if self.pipeline not in _PIPELINES:
+            raise ConfigError(f"pipeline must be one of {_PIPELINES}, got {self.pipeline!r}")
 
     # ------------------------------------------------------------------
     @classmethod
@@ -239,12 +252,47 @@ class GDREngine:
         if clean_db is not None:
             self.evaluator = QualityEvaluator(clean_db, rules)
 
+        # delta pipeline substrate: the incrementally maintained group
+        # partition, and (for VOI ranking) the stamped benefit cache.
+        # Attached before the initial generation pass so every
+        # suggestion flows through the event stream.
+        self.group_index: GroupIndex | None = None
+        self.benefit_cache: GroupBenefitCache | None = None
+        if self.config.pipeline == "delta":
+            self.group_index = GroupIndex(self.state, grouping=self.config.grouping)
+            if self.config.ranking == "voi":
+                self.benefit_cache = GroupBenefitCache(
+                    self.voi,
+                    self.group_index,
+                    self.detector,
+                    db,
+                    self.learner,
+                    probability_many=self.probability_many,
+                )
+
         self.generator.generate_all()
         self.initial_dirty = self.detector.dirty_count()
         # group keys the user has given feedback on; the learner only
         # ever decides inside these contexts (the paper's grouping
         # locality: models "adapt locally to the current group")
         self._visited_groups: set[tuple[str, object]] = set()
+
+    # ------------------------------------------------------------------
+    def detach(self) -> None:
+        """Release every listener the engine's substrate registered.
+
+        Call when the database (or repair state) outlives the engine —
+        e.g. when constructing several engines over one instance to
+        compare configurations — so discarded engines stop receiving
+        write and state events.
+        """
+        self.detector.detach()
+        self.manager.detach()
+        self.generator.detach()
+        if self.group_index is not None:
+            self.group_index.detach()
+        if self.benefit_cache is not None:
+            self.benefit_cache.detach()
 
     # ------------------------------------------------------------------
     def _build_strategy(self) -> RankingStrategy:
@@ -264,6 +312,24 @@ class GDREngine:
         if prediction.feedback is None:
             return prior
         return prediction.confirm_probability
+
+    def probability_many(self, updates: list[CandidateUpdate]) -> list[float]:
+        """``p̃`` for many updates at once (same values as :meth:`probability`).
+
+        Batches the committee passes per attribute; used by the benefit
+        cache to fill probability-memo misses without one single-row
+        forest pass per update.
+        """
+        use_score = self.config.voi_prior == "score"
+        priors = [update.score if use_score else 0.5 for update in updates]
+        if self.learner is None:
+            return priors
+        rows = [self.db.values_snapshot(update.tid) for update in updates]
+        predictions = self.learner.predict_many(updates, rows)
+        return [
+            prior if prediction.feedback is None else prediction.confirm_probability
+            for prior, prediction in zip(priors, predictions)
+        ]
 
     def current_loss(self) -> float:
         """Eq. 3 loss now (vs ground truth when available)."""
@@ -319,16 +385,24 @@ class GDREngine:
             max_decision_uncertainty=self.config.max_decision_uncertainty,
         )
 
+        delta = self.group_index is not None
         stalled = 0
         while not budget.exhausted and result.iterations < self.config.max_iterations:
-            self.manager.refresh_suggestions()
-            updates = self.state.updates()
-            if not updates:
-                break
-            groups = group_updates(updates, grouping=self.config.grouping)
-            ranked = self.strategy.rank(groups, self.probability)
-            group, benefit = ranked[0]
-            max_benefit = max(score for __, score in ranked)
+            if delta:
+                self.manager.refresh_suggestions()
+                if len(self.state) == 0:
+                    break
+                group, benefit, max_benefit, group_count = self._pick_top_group()
+            else:
+                self.manager.refresh_suggestions_full()
+                updates = self.state.updates()
+                if not updates:
+                    break
+                groups = group_updates(updates, grouping=self.config.grouping)
+                ranked = self.strategy.rank(groups, self.probability)
+                group, benefit = ranked[0]
+                max_benefit = max(score for __, score in ranked)
+                group_count = len(groups)
             if self.config.learning == "none" or not self.config.use_benefit_quota:
                 quota = group.size
             else:
@@ -343,7 +417,7 @@ class GDREngine:
             result.iterations += 1
             if report.labeled == 0 and report.learner_decided == 0:
                 stalled += 1
-                if stalled >= len(groups):
+                if stalled >= group_count:
                     break  # nothing labelable or decidable remains
             else:
                 stalled = 0
@@ -361,6 +435,36 @@ class GDREngine:
         return result
 
     # ------------------------------------------------------------------
+    def _pick_top_group(self) -> tuple[UpdateGroup, float, float, int]:
+        """Delta-path group selection: ``(group, benefit, max benefit, #groups)``.
+
+        Reproduces the rebuild path's ``strategy.rank(...)[0]`` choice
+        without re-scoring the world:
+
+        * VOI — the benefit cache re-scores only stale groups and
+          heap-selects the top; the top's benefit *is* the maximum
+          (benefit is the primary sort key).
+        * Greedy — largest group first straight off the maintained
+          index; the score (and thus the maximum score) is the top
+          group's size.
+        * Random — one permutation over the index's group list,
+          consuming the RNG exactly like the rebuild path.
+        """
+        index = self.group_index
+        if self.benefit_cache is not None:
+            group, benefit = self.benefit_cache.top(self.probability)
+            return group, benefit, benefit, len(index)
+        if self.config.ranking == "greedy":
+            group = min(
+                (index.group(key) for key in index.keys()),
+                key=lambda g: (-g.size, *group_sort_key(g.key)),
+            )
+            return group, float(group.size), float(group.size), len(index)
+        ranked = self.strategy.rank(index.groups(), self.probability)
+        group, benefit = ranked[0]
+        return group, benefit, max(score for __, score in ranked), len(ranked)
+
+    # ------------------------------------------------------------------
     def _drain_with_learner(self, on_learner_decision, max_passes: int = 25) -> int:
         """After the user stops, let the learner decide what remains.
 
@@ -375,9 +479,14 @@ class GDREngine:
         """
         decided = 0
         restrict = self.config.grouping
+        delta = self.group_index is not None
         for _pass in range(max_passes):
-            self.manager.refresh_suggestions()
-            updates = self.state.updates()
+            if delta:
+                self.manager.refresh_suggestions()
+                updates = self._drain_candidates(restrict)
+            else:
+                self.manager.refresh_suggestions_full()
+                updates = self.state.updates()
             if not updates:
                 break
             progress = 0
@@ -405,3 +514,21 @@ class GDREngine:
             if progress == 0:
                 break
         return decided
+
+    def _drain_candidates(self, restrict: bool) -> list[CandidateUpdate]:
+        """Live updates the drain may decide, in cell order.
+
+        With grouping locality active, reads only the visited groups'
+        members off the index instead of filtering the whole pool —
+        the same set (and order) the rebuild path's filtered scan
+        visits.
+        """
+        if not restrict:
+            return self.state.updates()
+        members: list[CandidateUpdate] = []
+        for key in self._visited_groups:
+            group = self.group_index.group(key)
+            if group is not None:
+                members.extend(group.updates)
+        members.sort(key=lambda u: u.cell)
+        return members

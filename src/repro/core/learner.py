@@ -28,6 +28,7 @@ import numpy as np
 from repro.db.schema import Schema
 from repro.ml.encoding import FEEDBACK_CLASSES, UpdateExampleEncoder, feedback_to_class
 from repro.ml.forest import RandomForestClassifier
+from repro.ml.metrics import vote_entropy
 from repro.repair.candidate import CandidateUpdate
 from repro.repair.feedback import Feedback
 from repro.repair.similarity import SimilarityFunction, similarity
@@ -109,6 +110,10 @@ class FeedbackLearner:
         self._models: dict[str, RandomForestClassifier | None] = {
             a: None for a in schema.attributes
         }
+        # bumped whenever an attribute's committee is refitted — the
+        # cheap staleness check for caches of model-derived quantities
+        # (the delta pipeline's p̃ memo)
+        self._model_versions: dict[str, int] = {a: 0 for a in schema.attributes}
         self._stale: set[str] = set()
         # rolling record of "was the model's prediction confirmed by the
         # user?" — the basis of the paper's is-the-classifier-accurate
@@ -178,8 +183,18 @@ class FeedbackLearner:
         )
         model.fit(X, y, n_classes=len(FEEDBACK_CLASSES))
         self._models[attribute] = model
+        self._model_versions[attribute] += 1
         self._stale.discard(attribute)
         return True
+
+    def model_version(self, attribute: str) -> int:
+        """Fit counter of the attribute's committee (0 while unfitted).
+
+        Predictions for an update on *attribute* can only change when
+        this version moves or the tuple's row values change — the
+        invariant backing the cached VOI ranking.
+        """
+        return self._model_versions.get(attribute, 0)
 
     def retrain_all(self) -> int:
         """Refit every stale, ready model; returns the number fitted."""
@@ -213,6 +228,49 @@ class FeedbackLearner:
             confirm_probability=float(fractions[feedback_to_class(Feedback.CONFIRM)]),
             uncertainty=float(uncertainty),
         )
+
+    def predict_many(
+        self,
+        updates: Sequence[CandidateUpdate],
+        rows: Sequence[Sequence[object]],
+    ) -> list[LearnerPrediction]:
+        """Model opinions for many suggestions, batching per attribute.
+
+        Equivalent to calling :meth:`predict` per update (the committee
+        arithmetic is row-independent, so the results are identical),
+        but all updates sharing an attribute go through one vectorized
+        committee pass instead of one single-row pass each — the hot
+        path of the cached VOI ranking and the in-session uncertainty
+        ordering. Callers must ensure *rows* are the current snapshots;
+        do not batch across interleaved database writes.
+        """
+        results: list[LearnerPrediction | None] = [None] * len(updates)
+        by_attr: dict[str, list[int]] = {}
+        for i, update in enumerate(updates):
+            if self._models[update.attribute] is None:
+                results[i] = LearnerPrediction(
+                    feedback=None,
+                    confirm_probability=update.score,
+                    uncertainty=1.0,
+                )
+            else:
+                by_attr.setdefault(update.attribute, []).append(i)
+        confirm_class = feedback_to_class(Feedback.CONFIRM)
+        for attr, indices in by_attr.items():
+            model = self._models[attr]
+            X = np.vstack(
+                [self.encoder.encode(rows[i], attr, updates[i].value) for i in indices]
+            )
+            fractions = model.vote_fractions(X)
+            labels = np.argmax(fractions, axis=1)
+            for j, i in enumerate(indices):
+                row_fractions = fractions[j]
+                results[i] = LearnerPrediction(
+                    feedback=FEEDBACK_CLASSES[int(labels[j])],
+                    confirm_probability=float(row_fractions[confirm_class]),
+                    uncertainty=float(vote_entropy(row_fractions, model.n_classes_)),
+                )
+        return results
 
     def confirm_probability(
         self, update: CandidateUpdate, row_values: Sequence[object]

@@ -13,7 +13,7 @@ from collections.abc import Callable
 
 import numpy as np
 
-from repro.core.grouping import UpdateGroup
+from repro.core.grouping import UpdateGroup, group_sort_key
 from repro.core.voi import VOIEstimator
 from repro.repair.candidate import CandidateUpdate
 
@@ -74,11 +74,11 @@ class GreedyRanking(RankingStrategy):
         self, groups: list[UpdateGroup], probability: ProbabilityFn
     ) -> list[tuple[UpdateGroup, float]]:
         if self.estimator is None:
-            ordered = sorted(groups, key=lambda g: (-g.size, g.attribute, str(g.value)))
+            ordered = sorted(groups, key=lambda g: (-g.size, *group_sort_key(g.key)))
             return [(group, float(group.size)) for group in ordered]
         benefit = {id(g): score for g, score in self.estimator.rank_groups(groups, probability)}
         ordered = sorted(
-            groups, key=lambda g: (-g.size, -benefit[id(g)], g.attribute, str(g.value))
+            groups, key=lambda g: (-g.size, -benefit[id(g)], *group_sort_key(g.key))
         )
         return [(group, float(group.size)) for group in ordered]
 

@@ -180,11 +180,13 @@ class InteractiveSession:
         # Uncertainty first; ties (e.g. a cold model answering 1.0 for
         # everything) break toward high repair scores so early labels
         # land on probable genuine fixes rather than arbitrary cells.
-        scored = []
-        for update in updates:
-            row = self.db.values_snapshot(update.tid)
-            prediction = self.learner.predict(update, row)
-            scored.append((-prediction.uncertainty, -update.score, update.cell, update))
+        # No writes happen while ordering, so predictions batch safely.
+        rows = [self.db.values_snapshot(update.tid) for update in updates]
+        predictions = self.learner.predict_many(updates, rows)
+        scored = [
+            (-prediction.uncertainty, -update.score, update.cell, update)
+            for update, prediction in zip(updates, predictions)
+        ]
         scored.sort(key=lambda item: (item[0], item[1], item[2]))
         return [update for __, __, __, update in scored]
 

@@ -23,15 +23,19 @@ statistics; plain scalar providers fall back to per-update probes.
 
 from __future__ import annotations
 
+import heapq
 from collections.abc import Callable, Mapping, Sequence
 from typing import Protocol
 
 from repro.constraints.cfd import CFD
-from repro.constraints.violations import WhatIfOutcome
-from repro.core.grouping import UpdateGroup
+from repro.constraints.violations import ViolationDetector, WhatIfOutcome
+from repro.core.grouping import GroupIndex, UpdateGroup, group_sort_key
+from repro.core.learner import FeedbackLearner
+from repro.db.changelog import CellChange
+from repro.db.database import Database
 from repro.repair.candidate import CandidateUpdate
 
-__all__ = ["UpdateStatsProvider", "VOIEstimator"]
+__all__ = ["GroupBenefitCache", "UpdateStatsProvider", "VOIEstimator"]
 
 #: Maps an update to its confirm probability ``p̃``.
 ProbabilityFn = Callable[[CandidateUpdate], float]
@@ -186,5 +190,223 @@ class VOIEstimator:
         scored = [
             (group, sum(benefits[start:end])) for group, (start, end) in zip(groups, spans)
         ]
-        scored.sort(key=lambda pair: (-pair[1], -pair[0].size, pair[0].attribute, str(pair[0].value)))
+        scored.sort(key=lambda pair: (-pair[1], -pair[0].size, *group_sort_key(pair[0].key)))
+        return scored
+
+
+class GroupBenefitCache:
+    """Cached Eq. 6 group benefits over an incremental group index.
+
+    The interactive loop used to re-score *every* group through the
+    estimator each iteration — every member update costing a committee
+    prediction (``p̃``) plus a what-if probe — even though one labelling
+    session only perturbs a handful of groups. The cache re-scores a
+    group only when something its benefit depends on provably moved:
+
+    * **membership** — the group index's per-key version (suggestions
+      added/removed/replaced);
+    * **partition statistics** — the detector's per-attribute stats
+      version (a rule touching the group's attribute re-evaluated,
+      which also covers the rule weights ``w_i``);
+    * **the learner** — the attribute committee's fit counter;
+    * **rows** — any member tuple written since the last scoring
+      (committee features read the row);
+    * **instance size** — ``len(db)`` (the weight denominator).
+
+    ``p̃`` values are additionally memoised per ``(cell, value, score)``
+    against row/model versions, so re-scoring a group whose partition
+    stats moved but whose rows and model did not costs only what-if
+    arithmetic, no forest predictions.
+
+    Selection is a lazy max-heap ordered exactly like
+    :meth:`VOIEstimator.rank_groups` — entries are pushed on every
+    (re)scoring and validated against a per-key token on pop — so
+    picking the top group costs O(stale · log G) instead of a full
+    sort.
+    """
+
+    def __init__(
+        self,
+        estimator: VOIEstimator,
+        index: GroupIndex,
+        detector: ViolationDetector,
+        db: Database,
+        learner: FeedbackLearner | None = None,
+        probability_many: Callable[[list[CandidateUpdate]], list[float]] | None = None,
+    ) -> None:
+        self._estimator = estimator
+        self._index = index
+        self._detector = detector
+        self._db = db
+        self._learner = learner
+        # optional batched p̃ evaluator for memo misses (must agree
+        # value-for-value with the scalar probability function)
+        self._probability_many = probability_many
+        self._cursor = index.dirty_cursor()
+        self._benefit: dict[tuple[str, object], float] = {}
+        # key -> (member version, attr stats version, model version, db size)
+        self._stamp: dict[tuple[str, object], tuple[int, int, int, int]] = {}
+        # lazy-heap bookkeeping: entry valid iff its token is current
+        self._token: dict[tuple[str, object], int] = {}
+        self._token_counter = 0
+        self._heap: list[tuple] = []
+        # row staleness: tuples written since the last refresh, and a
+        # per-tuple write counter guarding the p̃ memo
+        self._written: set[int] = set()
+        self._row_versions: dict[int, int] = {}
+        # (tid, attribute, value, score) -> (row version, model version, p̃)
+        self._prob_memo: dict[tuple, tuple[int, int, float]] = {}
+        db.add_listener(self._on_db_change)
+
+    def detach(self) -> None:
+        """Stop listening to database writes."""
+        self._db.remove_listener(self._on_db_change)
+
+    def _on_db_change(self, change: CellChange) -> None:
+        self._written.add(change.tid)
+        self._row_versions[change.tid] = self._row_versions.get(change.tid, 0) + 1
+
+    # ------------------------------------------------------------------
+    def _model_version(self, attribute: str) -> int:
+        if self._learner is None:
+            return 0
+        return self._learner.model_version(attribute)
+
+    def _probabilities(
+        self, updates: list[CandidateUpdate], probability: ProbabilityFn
+    ) -> list[float]:
+        """Memoised ``p̃`` per update; misses evaluated in one batch."""
+        memo = self._prob_memo
+        values: list[float | None] = [None] * len(updates)
+        misses: list[int] = []
+        miss_stamps: list[tuple[int, int]] = []
+        for i, update in enumerate(updates):
+            memo_key = (update.tid, update.attribute, update.value, update.score)
+            row_version = self._row_versions.get(update.tid, 0)
+            model_version = self._model_version(update.attribute)
+            hit = memo.get(memo_key)
+            if hit is not None and hit[0] == row_version and hit[1] == model_version:
+                values[i] = hit[2]
+            else:
+                misses.append(i)
+                miss_stamps.append((row_version, model_version))
+        if misses:
+            missed_updates = [updates[i] for i in misses]
+            if self._probability_many is not None:
+                fresh = self._probability_many(missed_updates)
+            else:
+                fresh = [probability(update) for update in missed_updates]
+            for i, (row_version, model_version), value in zip(misses, miss_stamps, fresh):
+                update = updates[i]
+                memo[(update.tid, update.attribute, update.value, update.score)] = (
+                    row_version,
+                    model_version,
+                    value,
+                )
+                values[i] = value
+        return values
+
+    def _current_stamp(self, key: tuple[str, object]) -> tuple[int, int, int, int]:
+        attribute = key[0]
+        return (
+            self._index.version(key),
+            self._detector.attr_stats_version(attribute),
+            self._model_version(attribute),
+            len(self._db),
+        )
+
+    def refresh(self, probability: ProbabilityFn) -> int:
+        """Re-score every group whose benefit inputs moved.
+
+        Returns the number of groups re-scored. All stale groups are
+        evaluated through one batched
+        :meth:`VOIEstimator.update_benefits_many` pass, preserving the
+        per-cell probe batching of the full ranking.
+        """
+        index = self._index
+        stale = index.poll_dirty_keys(self._cursor)
+        if self._written:
+            for tid in self._written:
+                stale.update(index.keys_for_tid(tid))
+            self._written.clear()
+        live = index.keys()
+        live_set = set(live)
+        # drop cache rows for groups that emptied
+        for key in [k for k in self._benefit if k not in live_set]:
+            del self._benefit[key]
+            del self._stamp[key]
+            self._token.pop(key, None)
+        stamps = {}
+        for key in live:
+            if key in stale:
+                continue
+            stamp = self._current_stamp(key)
+            if self._stamp.get(key) != stamp:
+                stale.add(key)
+            else:
+                continue
+            stamps[key] = stamp
+        stale &= live_set
+        # the ungrouped pseudo-group spans attributes; its versions are
+        # not meaningful, so it is always re-scored
+        for key in live:
+            if key[0] == "*":
+                stale.add(key)
+        if not stale:
+            return 0
+        groups = [index.group(key) for key in sorted(stale, key=group_sort_key)]
+        flat: list[CandidateUpdate] = []
+        spans: list[tuple[int, int]] = []
+        for group in groups:
+            start = len(flat)
+            flat.extend(group.updates)
+            spans.append((start, len(flat)))
+        probabilities = self._probabilities(flat, probability)
+        benefits = self._estimator.update_benefits_many(flat, probabilities)
+        for group, (start, end) in zip(groups, spans):
+            key = group.key
+            benefit = sum(benefits[start:end])
+            self._benefit[key] = benefit
+            self._stamp[key] = stamps.get(key) or self._current_stamp(key)
+            self._token_counter += 1
+            self._token[key] = self._token_counter
+            heapq.heappush(
+                self._heap,
+                (-benefit, -group.size, group_sort_key(key), self._token_counter, key),
+            )
+        # bound heap growth from repeated re-scorings
+        if len(self._heap) > 4 * max(16, len(live)):
+            self._heap = [
+                entry for entry in self._heap if self._token.get(entry[4]) == entry[3]
+            ]
+            heapq.heapify(self._heap)
+        return len(groups)
+
+    def top(self, probability: ProbabilityFn) -> tuple[UpdateGroup, float] | None:
+        """The most beneficial group and its benefit (``None`` if empty).
+
+        Ordered exactly like :meth:`VOIEstimator.rank_groups`[0]:
+        highest benefit, ties toward larger groups, then the
+        type-aware key order.
+        """
+        self.refresh(probability)
+        heap = self._heap
+        while heap:
+            entry = heap[0]
+            key = entry[4]
+            if self._token.get(key) != entry[3]:
+                heapq.heappop(heap)  # superseded or vanished
+                continue
+            return self._index.group(key), self._benefit[key]
+        return None
+
+    def rank_all(self, probability: ProbabilityFn) -> list[tuple[UpdateGroup, float]]:
+        """All groups with benefits, ordered like ``rank_groups``.
+
+        Primarily for parity testing the cache against the
+        rebuild-from-scratch ranking.
+        """
+        self.refresh(probability)
+        scored = [(self._index.group(key), self._benefit[key]) for key in self._index.keys()]
+        scored.sort(key=lambda pair: (-pair[1], -pair[0].size, *group_sort_key(pair[0].key)))
         return scored

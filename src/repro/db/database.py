@@ -229,6 +229,19 @@ class Database:
         except KeyError:
             raise UnknownTupleError(tid) from None
 
+    def values_view(self, tid: int) -> Sequence[object]:
+        """Tuple *tid*'s live value list, in schema order — **read only**.
+
+        Unlike :meth:`values_snapshot` this does not copy; the returned
+        sequence aliases the stored row and mutates under later writes.
+        For hot paths (the violation detector's per-write maintenance)
+        that only read positionally and never retain the sequence.
+        """
+        try:
+            return self._rows[tid]
+        except KeyError:
+            raise UnknownTupleError(tid) from None
+
     def tids(self) -> list[int]:
         """All live tuple ids (ascending)."""
         return sorted(self._rows)

@@ -13,17 +13,19 @@ from repro.repair.similarity import (
     similarity,
     token_jaccard,
 )
-from repro.repair.state import RepairState
+from repro.repair.state import EventKind, RepairState, StateEvent
 
 __all__ = [
     "AppliedFeedback",
     "CandidateUpdate",
     "ConsistencyManager",
     "EditDistanceSimilarity",
+    "EventKind",
     "Feedback",
     "HeuristicRepairResult",
     "RepairState",
     "SimilarityFunction",
+    "StateEvent",
     "UpdateGenerator",
     "UserFeedback",
     "batch_repair",

@@ -16,6 +16,18 @@ maintains violations incrementally via database listeners, invariant
 status the write could have altered: the written tuple itself and the
 tuples that shared (before or after the write) a variable-CFD partition
 with it.
+
+Step 9 of the GDR process (cover newly dirty tuples, prune clean ones)
+runs in **O(delta)**: the manager holds a
+:class:`~repro.constraints.violations.DirtyDelta` cursor over the
+detector's dirty-set transitions, listens to
+:class:`~repro.repair.state.RepairState` events for coverage changes,
+and records the tuples its own writes revisited — each
+:meth:`ConsistencyManager.refresh_suggestions` walks only that union
+(plus the persistent set of dirty-but-uncoverable tuples, which the
+paper's process re-attempts every round). The full sweep survives as
+:meth:`ConsistencyManager.refresh_suggestions_full`, the
+cross-checked reference path.
 """
 
 from __future__ import annotations
@@ -29,7 +41,7 @@ from repro.db.database import Database
 from repro.repair.candidate import CandidateUpdate
 from repro.repair.feedback import Feedback, UserFeedback
 from repro.repair.generator import UpdateGenerator
-from repro.repair.state import RepairState
+from repro.repair.state import EventKind, RepairState, StateEvent
 
 __all__ = ["AppliedFeedback", "ConsistencyManager"]
 
@@ -87,11 +99,31 @@ class ConsistencyManager:
         # manager itself performs are handled by the feedback path and
         # suppressed here.
         self._suspend_trigger = False
+        # --- O(delta) refresh bookkeeping -----------------------------
+        # dirty-status flips since the last refresh, straight from the
+        # detector's tracker
+        self._dirty_cursor = detector.dirty_delta()
+        # tuples whose coverage or suggestion values may have drifted:
+        # revisited by our own writes, touched by external writes, or
+        # stripped of a suggestion (state REMOVED events)
+        self._touched: set[int] = set()
+        # dirty tuples for which generation produced nothing — the full
+        # sweep re-attempts them every round (the database may have
+        # changed elsewhere, opening new candidate values), so the delta
+        # path must too
+        self._uncovered: set[int] = set()
+        # the delta machinery ignores state events the refresh itself
+        # causes: every mutation inside a refresh concerns a tuple the
+        # sweep is already processing
+        self._in_refresh = False
+        self._need_full = False
+        state.add_listener(self._on_state_event)
         db.add_listener(self._on_external_change)
 
     def detach(self) -> None:
-        """Stop watching out-of-band database edits."""
+        """Stop watching out-of-band database edits and state events."""
         self.db.remove_listener(self._on_external_change)
+        self.state.remove_listener(self._on_state_event)
 
     def _on_external_change(self, change: CellChange) -> None:
         if self._suspend_trigger:
@@ -100,6 +132,19 @@ class ConsistencyManager:
         # set_value, before listeners fire, so regeneration below always
         # sees the post-write instance
         self._revisit_after_write(change.tid, change.attribute, exclude=None)
+
+    def _on_state_event(self, event: StateEvent) -> None:
+        if self._in_refresh:
+            return
+        if event.kind is EventKind.CLEARED:
+            # the pool was wiped wholesale — delta bookkeeping is void
+            self._need_full = True
+            self._touched.clear()
+            self._uncovered.clear()
+        elif event.kind is EventKind.REMOVED:
+            # a tuple may have lost its last suggestion while staying
+            # dirty; the next refresh re-examines it
+            self._touched.add(event.cell[0])
 
     # ------------------------------------------------------------------
     def apply_feedback(
@@ -191,6 +236,9 @@ class ConsistencyManager:
             revisit_attrs.update(rule.attributes)
             if rule.is_variable:
                 affected.update(self.detector.partners(tid, rule))
+        # these tuples' suggestions and coverage may drift; the next
+        # delta refresh re-examines them
+        self._touched.update(affected)
         revisited: list[tuple[int, str]] = []
         for other_tid in sorted(affected):
             for other_attr in sorted(revisit_attrs):
@@ -211,23 +259,92 @@ class ConsistencyManager:
 
         Generates suggestions for every dirty tuple that currently has
         no live suggestion on any changeable cell, and prunes
-        suggestions for tuples that became clean. Returns the number of
-        suggestions generated.
+        suggestions for tuples that became clean or whose suggested
+        value was written. Walks only the tuples that could have
+        changed since the last refresh — dirty-status flips, tuples
+        revisited by writes, tuples that lost suggestions, and the
+        standing uncoverable set — falling back to one full sweep on
+        the first call (or after a detector rebuild / state clear).
+        Returns the number of suggestions generated.
+        """
+        delta = self._dirty_cursor.poll()
+        if delta is None or self._need_full:
+            self._need_full = False
+            self._touched.clear()
+            return self.refresh_suggestions_full()
+        candidates = set(delta)
+        candidates.update(self._touched)
+        self._touched.clear()
+        candidates.update(self._uncovered)
+        if not candidates:
+            return 0
+        produced = 0
+        detector = self.detector
+        state = self.state
+        db = self.db
+        uncovered = self._uncovered
+        self._in_refresh = True
+        try:
+            for tid in sorted(candidates):
+                if not detector.is_dirty(tid):
+                    for update in state.updates_for_tuple(tid):
+                        state.remove(update.cell)
+                    uncovered.discard(tid)
+                    continue
+                for update in state.updates_for_tuple(tid):
+                    if update.value == db.value(*update.cell):
+                        state.remove(update.cell)
+                if state.covers_tuple(tid):
+                    uncovered.discard(tid)
+                    continue
+                produced += len(self.generator.generate_for_tuple(tid))
+                if state.covers_tuple(tid):
+                    uncovered.discard(tid)
+                else:
+                    uncovered.add(tid)
+        finally:
+            self._in_refresh = False
+        return produced
+
+    def refresh_suggestions_full(self) -> int:
+        """The rebuild-from-scratch reference for :meth:`refresh_suggestions`.
+
+        One pass over the live suggestion pool classifies every
+        suggestion as stale (tuple clean, or value already written) or
+        covering; stale suggestions are pruned and every uncovered
+        dirty tuple gets a generation attempt.
         """
         produced = 0
         detector = self.detector
-        # prune suggestions whose tuples are now clean or out of date
-        for update in self.state.updates():
-            if not detector.is_dirty(update.tid):
-                self.state.remove(update.cell)
-            elif update.value == self.db.value(*update.cell):
-                self.state.remove(update.cell)
-        covered = {u.tid for u in self.state.updates()}
-        # the detector maintains the dirty set pre-sorted; iterate the
-        # incremental ordered view instead of re-sorting per refresh
-        for tid in detector.dirty_tuples_ordered():
-            if tid not in covered:
-                produced += len(self.generator.generate_for_tuple(tid))
+        state = self.state
+        db = self.db
+        # drain delta bookkeeping: after a full sweep everything below
+        # is consistent with the current instance
+        self._dirty_cursor.poll()
+        self._touched.clear()
+        stale: list[tuple[int, str]] = []
+        covered: set[int] = set()
+        self._in_refresh = True
+        try:
+            for update in state.live_updates():
+                if not detector.is_dirty(update.tid) or update.value == db.value(*update.cell):
+                    stale.append(update.cell)
+                else:
+                    covered.add(update.tid)
+            for cell in stale:
+                state.remove(cell)
+            uncovered: set[int] = set()
+            # the detector maintains the dirty set pre-sorted; iterate
+            # the incremental ordered view instead of re-sorting
+            for tid in detector.dirty_tuples_ordered():
+                if tid not in covered:
+                    generated = len(self.generator.generate_for_tuple(tid))
+                    produced += generated
+                    if not state.covers_tuple(tid):
+                        uncovered.add(tid)
+            self._uncovered = uncovered
+        finally:
+            self._in_refresh = False
         return produced
 
     def check_invariants(self) -> list[str]:

@@ -9,15 +9,66 @@ The paper keeps three pieces of state per cell ``⟨t, B⟩``:
 
 :class:`RepairState` centralises that bookkeeping for the generator,
 the consistency manager and the GDR engine.
+
+Delta pipeline: every mutation of the suggestion pool emits a typed
+:class:`StateEvent` to registered listeners, so downstream consumers
+(the incremental :class:`~repro.core.grouping.GroupIndex`, the
+consistency manager's O(delta) refresh) can maintain derived structures
+without re-scanning the pool. A per-tuple index makes "which cells of
+tuple *t* carry suggestions" an O(1) lookup instead of a pool scan.
 """
 
 from __future__ import annotations
 
+from collections.abc import Callable
+from enum import Enum
+from typing import NamedTuple
+
 from repro.repair.candidate import CandidateUpdate
 
-__all__ = ["RepairState"]
+__all__ = ["EventKind", "RepairState", "StateEvent"]
 
 Cell = tuple[int, str]
+
+
+class EventKind(Enum):
+    """What happened to the suggestion pool."""
+
+    #: A suggestion became the live one for its cell (possibly
+    #: replacing another — a replacement emits REMOVED then ADDED).
+    ADDED = "added"
+    #: A live suggestion left the pool (removed, discarded, replaced,
+    #: or dropped by a freeze).
+    REMOVED = "removed"
+    #: A cell became unchangeable. Fired *after* the REMOVED event for
+    #: any suggestion the freeze dropped.
+    FROZEN = "frozen"
+    #: The whole pool was dropped at once (``clear_updates``/``reset``);
+    #: per-suggestion REMOVED events are *not* fired — consumers should
+    #: rebuild from scratch.
+    CLEARED = "cleared"
+
+
+class StateEvent(NamedTuple):
+    """One typed mutation of the repair state.
+
+    Attributes
+    ----------
+    kind:
+        The mutation type.
+    cell:
+        The affected ``(tid, attribute)`` cell (``None`` for CLEARED).
+    update:
+        The suggestion added or removed (``None`` for FROZEN on a cell
+        without a live suggestion, and for CLEARED).
+    """
+
+    kind: EventKind
+    cell: Cell | None
+    update: CandidateUpdate | None
+
+
+StateListener = Callable[[StateEvent], None]
 
 
 class RepairState:
@@ -27,6 +78,31 @@ class RepairState:
         self._prevented: dict[Cell, set[object]] = {}
         self._frozen: set[Cell] = set()
         self._possible: dict[Cell, CandidateUpdate] = {}
+        # tid -> attributes of that tuple currently carrying a live
+        # suggestion (the per-tuple coverage index)
+        self._by_tid: dict[int, set[str]] = {}
+        self._listeners: list[StateListener] = []
+
+    # ------------------------------------------------------------------
+    # listeners
+    # ------------------------------------------------------------------
+    def add_listener(self, listener: StateListener) -> None:
+        """Register a callback fired on every suggestion-pool mutation."""
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener: StateListener) -> None:
+        """Unregister a previously added callback (no-op if absent)."""
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def _emit(self, kind: EventKind, cell: Cell | None, update: CandidateUpdate | None) -> None:
+        if not self._listeners:
+            return
+        event = StateEvent(kind, cell, update)
+        for listener in self._listeners:
+            listener(event)
 
     # ------------------------------------------------------------------
     # changeable flag
@@ -38,7 +114,8 @@ class RepairState:
     def freeze(self, cell: Cell) -> None:
         """Mark the cell unchangeable and drop any live suggestion."""
         self._frozen.add(cell)
-        self._possible.pop(cell, None)
+        dropped = self._pop(cell)
+        self._emit(EventKind.FROZEN, cell, dropped)
 
     def frozen_cells(self) -> set[Cell]:
         """All cells whose values are confirmed (copy)."""
@@ -62,9 +139,26 @@ class RepairState:
     # ------------------------------------------------------------------
     # possible updates (at most one live suggestion per cell)
     # ------------------------------------------------------------------
+    def _pop(self, cell: Cell) -> CandidateUpdate | None:
+        """Drop the live suggestion for *cell*, emitting REMOVED."""
+        dropped = self._possible.pop(cell, None)
+        if dropped is not None:
+            attrs = self._by_tid[cell[0]]
+            attrs.discard(cell[1])
+            if not attrs:
+                del self._by_tid[cell[0]]
+            self._emit(EventKind.REMOVED, cell, dropped)
+        return dropped
+
     def put(self, update: CandidateUpdate) -> None:
         """Insert or replace the live suggestion for the update's cell."""
-        self._possible[update.cell] = update
+        cell = update.cell
+        existing = self._possible.get(cell)
+        if existing is not None and existing != update:
+            self._pop(cell)
+        self._possible[cell] = update
+        self._by_tid.setdefault(cell[0], set()).add(cell[1])
+        self._emit(EventKind.ADDED, cell, update)
 
     def get(self, cell: Cell) -> CandidateUpdate | None:
         """The live suggestion for *cell*, if any."""
@@ -72,12 +166,12 @@ class RepairState:
 
     def remove(self, cell: Cell) -> CandidateUpdate | None:
         """Drop and return the live suggestion for *cell*, if any."""
-        return self._possible.pop(cell, None)
+        return self._pop(cell)
 
     def discard(self, update: CandidateUpdate) -> bool:
         """Remove *update* only if it is still the live suggestion."""
         if self._possible.get(update.cell) == update:
-            del self._possible[update.cell]
+            self._pop(update.cell)
             return True
         return False
 
@@ -89,9 +183,25 @@ class RepairState:
         """All live suggestions, ordered by (tid, attribute)."""
         return [self._possible[cell] for cell in sorted(self._possible)]
 
+    def live_updates(self) -> list[CandidateUpdate]:
+        """All live suggestions in pool order (no sort — cheap view).
+
+        For consumers that only aggregate over the pool (coverage sets,
+        staleness sweeps) and do not need the deterministic
+        ``(tid, attribute)`` order of :meth:`updates`.
+        """
+        return list(self._possible.values())
+
     def updates_for_tuple(self, tid: int) -> list[CandidateUpdate]:
-        """Live suggestions targeting tuple *tid*."""
-        return [u for cell, u in sorted(self._possible.items()) if cell[0] == tid]
+        """Live suggestions targeting tuple *tid* (cell order)."""
+        attrs = self._by_tid.get(tid)
+        if not attrs:
+            return []
+        return [self._possible[(tid, attr)] for attr in sorted(attrs)]
+
+    def covers_tuple(self, tid: int) -> bool:
+        """True when tuple *tid* has at least one live suggestion."""
+        return tid in self._by_tid
 
     def __len__(self) -> int:
         return len(self._possible)
@@ -99,12 +209,16 @@ class RepairState:
     def clear_updates(self) -> None:
         """Drop every live suggestion (flags are kept)."""
         self._possible.clear()
+        self._by_tid.clear()
+        self._emit(EventKind.CLEARED, None, None)
 
     def reset(self) -> None:
         """Forget everything: suggestions, prevented values and flags."""
         self._possible.clear()
+        self._by_tid.clear()
         self._prevented.clear()
         self._frozen.clear()
+        self._emit(EventKind.CLEARED, None, None)
 
     def __repr__(self) -> str:
         return (

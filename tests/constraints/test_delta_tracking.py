@@ -1,0 +1,162 @@
+"""Tests for the detector's delta machinery: dirty-set cursors,
+per-attribute stats versions and the write-plan dispatch."""
+
+import random
+
+import pytest
+
+from repro.constraints import DirtyDelta, RuleSet, ViolationDetector, parse_rules
+from repro.datasets import load_dataset
+from repro.db import Database, Schema
+
+
+@pytest.fixture()
+def small():
+    schema = Schema("r", ["zip", "city", "state"])
+    db = Database(
+        schema,
+        [
+            ["46360", "Westville", "IN"],
+            ["46360", "Michigan City", "IN"],
+            ["46774", "New Haven", "IN"],
+        ],
+    )
+    rules = RuleSet(
+        parse_rules(
+            """
+            (zip -> city, {46360 || 'Michigan City'})
+            (zip -> city, {46774 || 'New Haven'})
+            (zip -> state, {46360 || IN})
+            (city -> zip, {- || -})
+            """
+        ),
+        schema=schema,
+    )
+    detector = ViolationDetector(db, rules)
+    return db, rules, detector
+
+
+class TestDirtyDelta:
+    def test_first_poll_requests_full_sweep(self, small):
+        __, __, detector = small
+        cursor = detector.dirty_delta()
+        assert cursor.poll() is None
+        assert cursor.poll() == ()
+
+    def test_flips_are_reported_once(self, small):
+        db, __, detector = small
+        cursor = detector.dirty_delta()
+        cursor.poll()
+        assert detector.is_dirty(0)
+        db.set_value(0, "city", "Michigan City")  # tuple 0 becomes clean
+        assert not detector.is_dirty(0)
+        assert cursor.poll() == (0,)
+        assert cursor.poll() == ()
+
+    def test_non_flipping_writes_not_reported(self, small):
+        db, __, detector = small
+        cursor = detector.dirty_delta()
+        cursor.poll()
+        assert detector.is_dirty(0)
+        db.set_value(0, "city", "Westvile")  # still violating
+        assert detector.is_dirty(0)
+        assert cursor.poll() == ()
+
+    def test_rebuild_resets_cursor_to_full(self, small):
+        __, __, detector = small
+        cursor = detector.dirty_delta()
+        cursor.poll()
+        detector.recompute()
+        assert cursor.poll() is None
+
+    def test_independent_cursors(self, small):
+        db, __, detector = small
+        first = detector.dirty_delta()
+        second = detector.dirty_delta()
+        first.poll()
+        second.poll()
+        db.set_value(0, "city", "Michigan City")
+        assert first.poll() == (0,)
+        # the second cursor still sees the flip
+        assert second.poll() == (0,)
+
+
+class TestAttrStatsVersions:
+    def test_write_bumps_touched_rule_attributes_only(self, small):
+        db, __, detector = small
+        before = {a: detector.attr_stats_version(a) for a in ("zip", "city", "state")}
+        db.set_value(0, "city", "Michigan City")
+        # rules touching city (zip->city consts, city->zip variable)
+        assert detector.attr_stats_version("city") > before["city"]
+        assert detector.attr_stats_version("zip") > before["zip"]
+        # no rule linking city and state was re-evaluated by this write
+        assert detector.attr_stats_version("state") == before["state"]
+
+    def test_unrelated_constant_rules_not_bumped(self, small):
+        db, __, detector = small
+        # a zip write from/to codes matching no rule constant moves only
+        # the variable rule (city -> zip), not the constant zip rules'
+        # other attributes... state is only on zip-constant rules
+        before_state = detector.attr_stats_version("state")
+        db.set_value(2, "zip", "99999")
+        assert detector.attr_stats_version("state") == before_state
+
+    def test_recompute_bumps_everything(self, small):
+        __, __, detector = small
+        before = {a: detector.attr_stats_version(a) for a in ("zip", "city", "state")}
+        detector.recompute()
+        for attr, version in before.items():
+            assert detector.attr_stats_version(attr) > version
+
+    def test_unknown_attribute_defaults_to_zero(self, small):
+        __, __, detector = small
+        assert detector.attr_stats_version("*") == 0
+
+
+class TestWritePlanCorrectness:
+    def test_random_churn_stays_verified(self, small):
+        db, __, detector = small
+        rng = random.Random(99)
+        values = {
+            "zip": ["46360", "46774", "99999", "00000"],
+            "city": ["Michigan City", "New Haven", "Westville", "X"],
+            "state": ["IN", "OH", "XX"],
+        }
+        for step in range(120):
+            tid = rng.randrange(3)
+            attr = rng.choice(["zip", "city", "state"])
+            db.set_value(tid, attr, rng.choice(values[attr]))
+            if step % 20 == 0:
+                assert detector.verify(), f"diverged at step {step}"
+        assert detector.verify()
+
+    def test_hospital_churn_stays_verified(self):
+        ds = load_dataset("hospital", n=120, seed=1)
+        db = ds.fresh_dirty()
+        detector = ViolationDetector(db, ds.rules)
+        rng = random.Random(7)
+        tids = db.tids()
+        domain = {attr: sorted(map(str, db.domain(attr)))[:8] for attr in db.schema.attributes}
+        for __step in range(150):
+            tid = tids[rng.randrange(len(tids))]
+            attr = rng.choice(list(db.schema.attributes))
+            db.set_value(tid, attr, rng.choice(domain[attr] + ["@@novel@@"]))
+        assert detector.verify()
+
+    def test_constant_never_stored_still_exact(self):
+        """Rule constants absent from the data are encoded at plan build."""
+        schema = Schema("r", ["zip", "city"])
+        db = Database(schema, [["00000", "Nowhere"]])
+        rules = RuleSet(
+            parse_rules("(zip -> city, {46360 || 'Michigan City'})"), schema=schema
+        )
+        detector = ViolationDetector(db, rules)
+        assert not detector.is_dirty(0)
+        db.set_value(0, "zip", "46360")  # enters the constant's context
+        assert detector.is_dirty(0)
+        db.set_value(0, "city", "Michigan City")
+        assert not detector.is_dirty(0)
+        assert detector.verify()
+
+    def test_dirty_delta_type_importable(self):
+        assert DirtyDelta is not None

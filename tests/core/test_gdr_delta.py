@@ -1,0 +1,244 @@
+"""Delta-pipeline tests: rebuild parity and the learner drain.
+
+The rebuild pipeline is the retained reference implementation; the
+delta pipeline must reproduce its :class:`GDRResult` byte-for-byte for
+fixed seeds — same labels, same learner decisions, same trajectory,
+same final instance.
+"""
+
+import pytest
+
+from repro.core import GDRConfig, GDREngine, GroundTruthOracle, LearnerPrediction
+from repro.datasets import load_dataset
+from repro.errors import ConfigError
+from repro.repair import Feedback
+
+
+def _run(pipeline, preset, n=150, budget=40, data_seed=7, config_seed=3, **overrides):
+    ds = load_dataset("hospital", n=n, seed=data_seed)
+    db = ds.fresh_dirty()
+    config = preset(seed=config_seed, pipeline=pipeline, **overrides)
+    engine = GDREngine(db, ds.rules, GroundTruthOracle(ds.clean), config, clean_db=ds.clean)
+    result = engine.run(feedback_limit=budget)
+    return db, result, engine
+
+
+def _trajectory(result):
+    return [(p.feedback, p.learner_decisions, p.loss) for p in result.trajectory]
+
+
+class TestPipelineConfig:
+    def test_default_is_delta(self):
+        assert GDRConfig().pipeline == "delta"
+
+    def test_invalid_pipeline_rejected(self):
+        with pytest.raises(ConfigError):
+            GDRConfig(pipeline="bogus")
+
+    def test_rebuild_engine_builds_no_index(self):
+        ds = load_dataset("hospital", n=60, seed=0)
+        engine = GDREngine(
+            ds.fresh_dirty(),
+            ds.rules,
+            GroundTruthOracle(ds.clean),
+            GDRConfig.gdr(pipeline="rebuild"),
+        )
+        assert engine.group_index is None
+        assert engine.benefit_cache is None
+
+    def test_delta_engine_builds_index_and_cache(self):
+        ds = load_dataset("hospital", n=60, seed=0)
+        engine = GDREngine(
+            ds.fresh_dirty(), ds.rules, GroundTruthOracle(ds.clean), GDRConfig.gdr()
+        )
+        assert engine.group_index is not None
+        assert engine.benefit_cache is not None
+        assert engine.group_index.verify()
+
+
+class TestByteIdenticalParity:
+    @pytest.mark.parametrize(
+        "preset",
+        [GDRConfig.gdr, GDRConfig.s_learning, GDRConfig.active_learning, GDRConfig.no_learning],
+        ids=["gdr", "s_learning", "active_learning", "no_learning"],
+    )
+    def test_delta_matches_rebuild(self, preset):
+        db_delta, result_delta, __ = _run("delta", preset)
+        db_rebuild, result_rebuild, __ = _run("rebuild", preset)
+        assert db_delta.equals_data(db_rebuild)
+        assert result_delta.feedback_used == result_rebuild.feedback_used
+        assert result_delta.learner_decisions == result_rebuild.learner_decisions
+        assert result_delta.iterations == result_rebuild.iterations
+        assert result_delta.initial_loss == result_rebuild.initial_loss
+        assert result_delta.final_loss == result_rebuild.final_loss
+        assert _trajectory(result_delta) == _trajectory(result_rebuild)
+        assert result_delta.remaining_dirty == result_rebuild.remaining_dirty
+
+    @pytest.mark.parametrize("ranking", ["greedy", "random"])
+    def test_baseline_rankings_match(self, ranking):
+        kwargs = dict(ranking=ranking, learning="none", use_benefit_quota=False)
+        db_delta, result_delta, __ = _run("delta", GDRConfig, **kwargs)
+        db_rebuild, result_rebuild, __ = _run("rebuild", GDRConfig, **kwargs)
+        assert db_delta.equals_data(db_rebuild)
+        assert _trajectory(result_delta) == _trajectory(result_rebuild)
+
+    def test_adult_dataset_parity(self):
+        def run(pipeline):
+            ds = load_dataset("adult", n=120, seed=2)
+            db = ds.fresh_dirty()
+            engine = GDREngine(
+                db,
+                ds.rules,
+                GroundTruthOracle(ds.clean),
+                GDRConfig.gdr(seed=1, pipeline=pipeline),
+                clean_db=ds.clean,
+            )
+            return db, engine.run(feedback_limit=30)
+
+        db_delta, result_delta = run("delta")
+        db_rebuild, result_rebuild = run("rebuild")
+        assert db_delta.equals_data(db_rebuild)
+        assert _trajectory(result_delta) == _trajectory(result_rebuild)
+
+    def test_substrate_stays_verified_after_run(self):
+        __, __, engine = _run("delta", GDRConfig.gdr)
+        assert engine.detector.verify()
+        assert engine.group_index.verify()
+
+    def test_detach_releases_all_listeners(self):
+        ds = load_dataset("hospital", n=60, seed=0)
+        db = ds.fresh_dirty()
+        first = GDREngine(
+            db, ds.rules, GroundTruthOracle(ds.clean), GDRConfig.gdr()
+        )
+        first.detach()
+        # a detached engine no longer observes writes...
+        db.set_value(db.tids()[0], "city", "Nowhere")
+        assert len(db._listeners) == 0
+        # ...and a second engine over the same instance runs normally
+        second = GDREngine(
+            db, ds.rules, GroundTruthOracle(ds.clean), GDRConfig.gdr(), clean_db=ds.clean
+        )
+        result = second.run(feedback_limit=10)
+        assert result.feedback_used > 0
+
+
+class _ScriptedLearner:
+    """Minimal learner double: always decides, always trusted."""
+
+    def __init__(self, feedback=Feedback.CONFIRM, uncertainty=0.0, trusted=True):
+        self.feedback = feedback
+        self.uncertainty = uncertainty
+        self.trusted = trusted
+        self.predictions = 0
+
+    def predict(self, update, row):
+        self.predictions += 1
+        return LearnerPrediction(
+            feedback=self.feedback,
+            confirm_probability=1.0 if self.feedback is Feedback.CONFIRM else 0.0,
+            uncertainty=self.uncertainty,
+        )
+
+    def predict_many(self, updates, rows):
+        return [self.predict(u, r) for u, r in zip(updates, rows)]
+
+    def is_trusted(self, attribute):
+        return self.trusted
+
+    def model_version(self, attribute):
+        return 0
+
+
+def _drain_engine(grouping=True, pipeline="delta"):
+    ds = load_dataset("hospital", n=80, seed=4)
+    db = ds.fresh_dirty()
+    config = GDRConfig(
+        ranking="voi", learning="none", grouping=grouping,
+        use_benefit_quota=False, pipeline=pipeline,
+    )
+    engine = GDREngine(db, ds.rules, GroundTruthOracle(ds.clean), config, clean_db=ds.clean)
+    return engine
+
+
+class TestDrainWithLearner:
+    def test_zero_passes_decides_nothing(self):
+        engine = _drain_engine()
+        engine.learner = _ScriptedLearner()
+        decided = engine._drain_with_learner(lambda: None, max_passes=0)
+        assert decided == 0
+
+    def test_locality_restriction_blocks_unvisited_groups(self):
+        engine = _drain_engine(grouping=True)
+        engine.learner = _ScriptedLearner()
+        assert len(engine.state) > 0
+        decided = engine._drain_with_learner(lambda: None)
+        assert decided == 0  # no group was ever visited by the user
+        assert engine.learner.predictions == 0
+
+    def test_locality_allows_visited_groups_only(self):
+        engine = _drain_engine(grouping=True)
+        engine.learner = _ScriptedLearner(feedback=Feedback.RETAIN)
+        key = engine.group_index.keys()[0]
+        visited_size = engine.group_index.size(key)
+        engine._visited_groups.add(key)
+        decided = engine._drain_with_learner(lambda: None, max_passes=1)
+        assert decided == visited_size  # retained every member, nothing else
+
+    def test_no_grouping_drains_whole_pool(self):
+        engine = _drain_engine(grouping=False)
+        engine.learner = _ScriptedLearner(feedback=Feedback.RETAIN)
+        pool = len(engine.state)
+        decided = engine._drain_with_learner(lambda: None, max_passes=1)
+        assert decided == pool
+
+    def test_fixpoint_termination_and_idempotence(self):
+        engine = _drain_engine(grouping=False)
+        engine.learner = _ScriptedLearner(feedback=Feedback.CONFIRM)
+        counter = [0]
+        decided = engine._drain_with_learner(lambda: counter.__setitem__(0, counter[0] + 1))
+        assert decided > 0
+        assert counter[0] == decided
+        # a second drain finds a fixpoint immediately
+        assert engine._drain_with_learner(lambda: None) == 0
+
+    def test_max_passes_caps_multi_pass_drains(self):
+        capped = _drain_engine(grouping=False)
+        capped.learner = _ScriptedLearner(feedback=Feedback.CONFIRM)
+        decided_capped = capped._drain_with_learner(lambda: None, max_passes=1)
+
+        free = _drain_engine(grouping=False)
+        free.learner = _ScriptedLearner(feedback=Feedback.CONFIRM)
+        decided_free = free._drain_with_learner(lambda: None, max_passes=25)
+        # confirms regenerate suggestions, so the uncapped drain keeps
+        # going past the first pass
+        assert decided_free > decided_capped > 0
+
+    def test_uncertain_predictions_not_decided(self):
+        engine = _drain_engine(grouping=False)
+        engine.learner = _ScriptedLearner(uncertainty=0.9)
+        assert engine._drain_with_learner(lambda: None) == 0
+
+    def test_untrusted_confirms_not_applied(self):
+        engine = _drain_engine(grouping=False)
+        engine.learner = _ScriptedLearner(feedback=Feedback.CONFIRM, trusted=False)
+        assert engine._drain_with_learner(lambda: None) == 0
+
+    def test_drain_parity_across_pipelines(self):
+        from repro.core import group_updates
+
+        outcomes = {}
+        for pipeline in ("delta", "rebuild"):
+            engine = _drain_engine(grouping=True, pipeline=pipeline)
+            engine.learner = _ScriptedLearner(feedback=Feedback.CONFIRM)
+            if engine.group_index is not None:
+                keys = engine.group_index.keys()
+            else:
+                keys = [g.key for g in group_updates(engine.state.updates())]
+            engine._visited_groups.update(keys[:2])
+            decided = engine._drain_with_learner(lambda: None, max_passes=3)
+            outcomes[pipeline] = (decided, engine.db.snapshot())
+        decided_delta, db_delta = outcomes["delta"]
+        decided_rebuild, db_rebuild = outcomes["rebuild"]
+        assert decided_delta == decided_rebuild
+        assert db_delta.equals_data(db_rebuild)

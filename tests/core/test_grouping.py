@@ -36,6 +36,25 @@ class TestGroupUpdates:
         assert groups[0].size == 2
         assert groups[0].attribute == "*"
 
+    def test_mixed_type_values_order_deterministically(self):
+        """Regression: ``1`` and ``"1"`` share ``str()`` and used to tie.
+
+        The old ``(attribute, str(value))`` sort key left the relative
+        order of same-string, different-type group keys to dict
+        insertion order; the type-aware tie-break must produce the same
+        group order regardless of input order.
+        """
+        updates = [
+            _u(1, attr="zip", value=1),
+            _u(2, attr="zip", value="1"),
+            _u(3, attr="zip", value=2),
+            _u(4, attr="zip", value="2"),
+        ]
+        forward = [g.key for g in group_updates(updates)]
+        backward = [g.key for g in group_updates(list(reversed(updates)))]
+        assert forward == backward
+        assert len(forward) == 4  # int 1 and str "1" are distinct groups
+
     def test_deterministic_given_same_input(self):
         updates = [_u(3), _u(1), _u(2, value="New Haven")]
         assert [g.key for g in group_updates(updates)] == [

@@ -1,0 +1,137 @@
+"""Parity tests for the cached VOI ranking (:class:`GroupBenefitCache`).
+
+The acceptance property of the delta pipeline: at any point in an
+interactive scenario, the cache must reproduce the rebuild-from-scratch
+ranking — same groups, same order, byte-identical benefits.
+"""
+
+import random
+
+import pytest
+
+from repro.constraints import ViolationDetector
+from repro.core import GroupBenefitCache, GroupIndex, VOIEstimator, group_updates
+from repro.datasets import load_dataset
+from repro.repair import (
+    ConsistencyManager,
+    Feedback,
+    RepairState,
+    UpdateGenerator,
+    UserFeedback,
+)
+
+
+@pytest.fixture()
+def substrate():
+    ds = load_dataset("hospital", n=120, seed=5)
+    db = ds.fresh_dirty()
+    detector = ViolationDetector(db, ds.rules)
+    state = RepairState()
+    index = GroupIndex(state)
+    generator = UpdateGenerator(db, ds.rules, detector, state)
+    manager = ConsistencyManager(db, ds.rules, detector, state, generator)
+    estimator = VOIEstimator(detector)
+    generator.generate_all()
+    return ds, db, detector, state, index, generator, manager, estimator
+
+
+def _score_probability(update):
+    """p̃ = the update score (the engine's cold-start prior)."""
+    return update.score
+
+
+class TestCacheParity:
+    def test_initial_ranking_matches_rebuild(self, substrate):
+        __, db, detector, state, index, __, __, estimator = substrate
+        cache = GroupBenefitCache(estimator, index, detector, db)
+        cached = cache.rank_all(_score_probability)
+        reference = estimator.rank_groups(group_updates(state.updates()), _score_probability)
+        assert [(g.key, b) for g, b in cached] == [(g.key, b) for g, b in reference]
+        top = cache.top(_score_probability)
+        assert top is not None
+        assert top[0].key == reference[0][0].key
+        assert top[1] == reference[0][1]
+
+    def test_parity_through_interactive_scenario(self, substrate):
+        ds, db, detector, state, index, __, manager, estimator = substrate
+        cache = GroupBenefitCache(estimator, index, detector, db)
+        rng = random.Random(42)
+        rounds = 0
+        while rounds < 25 and len(state):
+            updates = state.updates()
+            update = updates[rng.randrange(len(updates))]
+            clean_value = ds.clean.value(update.tid, update.attribute)
+            roll = rng.random()
+            if roll < 0.5:
+                feedback = UserFeedback(Feedback.CONFIRM)
+            elif roll < 0.75:
+                feedback = UserFeedback(Feedback.REJECT, correction=clean_value)
+            elif roll < 0.9:
+                feedback = UserFeedback(Feedback.REJECT)
+            else:
+                feedback = UserFeedback(Feedback.RETAIN)
+            manager.apply_feedback(update, feedback)
+            manager.refresh_suggestions()
+            assert index.verify()
+            cached = cache.rank_all(_score_probability)
+            reference = estimator.rank_groups(
+                group_updates(state.updates()), _score_probability
+            )
+            assert [(g.key, b) for g, b in cached] == [
+                (g.key, b) for g, b in reference
+            ], f"diverged at round {rounds}"
+            if reference:
+                top = cache.top(_score_probability)
+                assert top[0].key == reference[0][0].key
+                assert top[1] == reference[0][1]
+            rounds += 1
+        assert rounds > 5  # the scenario actually exercised the cache
+
+    def test_row_dependent_probability_invalidates_on_write(self, substrate):
+        __, db, detector, state, index, __, manager, estimator = substrate
+        cache = GroupBenefitCache(estimator, index, detector, db)
+
+        def row_probability(update):
+            # depends on the tuple's current zip value: exercises the
+            # written-row staleness path
+            zip_value = str(db.value(update.tid, "zip"))
+            return min(1.0, 0.1 + (len(zip_value) % 7) / 10 + update.score / 2)
+
+        first = cache.rank_all(row_probability)
+        assert first
+        # out-of-band write through the manager's trigger path
+        update = state.updates()[0]
+        db.set_value(update.tid, "zip", "00000")
+        manager.refresh_suggestions()
+        cached = cache.rank_all(row_probability)
+        reference = estimator.rank_groups(group_updates(state.updates()), row_probability)
+        assert [(g.key, b) for g, b in cached] == [(g.key, b) for g, b in reference]
+
+    def test_external_write_parity(self, substrate):
+        ds, db, detector, state, index, __, manager, estimator = substrate
+        cache = GroupBenefitCache(estimator, index, detector, db)
+        cache.rank_all(_score_probability)
+        rng = random.Random(9)
+        tids = db.tids()
+        for __round in range(10):
+            tid = tids[rng.randrange(len(tids))]
+            db.set_value(tid, "city", rng.choice(["Ax", "Bx", "Cx"]))
+            manager.refresh_suggestions()
+            cached = cache.rank_all(_score_probability)
+            reference = estimator.rank_groups(
+                group_updates(state.updates()), _score_probability
+            )
+            assert [(g.key, b) for g, b in cached] == [(g.key, b) for g, b in reference]
+
+    def test_refresh_rescored_count_shrinks(self, substrate):
+        """The whole point: after one touch, most groups stay cached."""
+        __, db, detector, state, index, __, manager, estimator = substrate
+        cache = GroupBenefitCache(estimator, index, detector, db)
+        first = cache.refresh(_score_probability)
+        assert first == len(index)
+        assert cache.refresh(_score_probability) == 0  # nothing moved
+        update = state.updates()[0]
+        manager.apply_feedback(update, UserFeedback(Feedback.CONFIRM))
+        manager.refresh_suggestions()
+        rescored = cache.refresh(_score_probability)
+        assert 0 < rescored < len(index)
