@@ -1,0 +1,115 @@
+"""Drain-phase benchmark: wave-batched vs sequential learner drain.
+
+Times **only** the Figure 5 automatic phase — "GDR decides about the
+rest of the updates automatically" — by running the interactive phase
+to budget exhaustion in the (untimed) setup and then benchmarking
+``GDREngine.drain_remaining(restrict=False)`` alone:
+
+* ``test_drain_batched`` — wave-partitioned ``predict_many`` batches
+  against a copy-on-write snapshot view (``GDRConfig.drain="batched"``,
+  the default);
+* ``test_drain_sequential`` — the retained predict-one-apply-one
+  reference.
+
+Both paths must produce identical decisions and final instances
+(cross-checked by ``test_drain_parity``); the recorded medians make the
+batched/sequential ratio visible across PRs in ``BENCH_drain.json``,
+alongside the benefit cache's hit/eviction counters. Scale knobs::
+
+    REPRO_DRAIN_N       table size          (default 1000)
+    REPRO_DRAIN_BUDGET  user label budget   (default 200)
+
+e.g. ``REPRO_DRAIN_N=200 REPRO_DRAIN_BUDGET=40`` for a CI smoke run.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core import GDRConfig, GDREngine, GroundTruthOracle
+from repro.datasets import load_dataset
+
+DRAIN_N = int(os.environ.get("REPRO_DRAIN_N", "1000"))
+DRAIN_BUDGET = int(os.environ.get("REPRO_DRAIN_BUDGET", "200"))
+DRAIN_SEED = int(os.environ.get("REPRO_DRAIN_SEED", "0"))
+
+#: Filled per drain mode; the parity test compares the two entries.
+_RESULTS: dict[str, tuple] = {}
+
+
+def _prepare(drain: str) -> GDREngine:
+    """Run the interactive phase to budget exhaustion; stop pre-drain."""
+    dataset = load_dataset("hospital", n=DRAIN_N, seed=DRAIN_SEED)
+    db = dataset.fresh_dirty()
+    engine = GDREngine(
+        db,
+        dataset.rules,
+        GroundTruthOracle(dataset.clean),
+        GDRConfig.gdr(seed=DRAIN_SEED, drain=drain),
+        clean_db=dataset.clean,
+    )
+    engine.run(feedback_limit=DRAIN_BUDGET, drain=False)
+    return engine
+
+
+def _drain(engine: GDREngine) -> tuple:
+    # restrict=False: the literal Figure 5 protocol — after F labels,
+    # the learner decides the whole remaining pool, not just the
+    # group contexts the user happened to visit
+    decided = engine.drain_remaining(restrict=False)
+    return (
+        decided,
+        engine.detector.dirty_count(),
+        tuple(tuple(row.values) for row in engine.db.rows()),
+        engine.benefit_cache.stats if engine.benefit_cache is not None else {},
+    )
+
+
+def _bench_drain(benchmark, drain: str, rounds: int):
+    outcomes: list[tuple] = []
+
+    def setup():
+        return (_prepare(drain),), {}
+
+    def target(engine):
+        outcome = _drain(engine)
+        outcomes.append(outcome)
+        return outcome
+
+    benchmark.pedantic(target, setup=setup, rounds=rounds, iterations=1, warmup_rounds=0)
+    decided, remaining_dirty, rows, cache_stats = outcomes[-1]
+    assert decided > 0, "drain-dominated bench requires learner decisions"
+    benchmark.extra_info["decisions"] = decided
+    benchmark.extra_info["remaining_dirty"] = remaining_dirty
+    for key, value in cache_stats.items():
+        benchmark.extra_info[f"cache.{key}"] = value
+    _RESULTS[drain] = (decided, rows)
+
+
+def test_drain_batched(benchmark):
+    """Wave-batched drain (snapshot view + predict_many per wave)."""
+    _bench_drain(benchmark, "batched", rounds=3)
+
+
+def test_drain_sequential(benchmark):
+    """Sequential reference drain (one committee prediction per update)."""
+    _bench_drain(benchmark, "sequential", rounds=1)
+
+
+def test_drain_parity():
+    """Identical decision counts and final instances across drain modes.
+
+    Relies on the two benchmarks above having populated ``_RESULTS``;
+    falls back to running both once when executed standalone.
+    """
+    for drain in ("batched", "sequential"):
+        if drain not in _RESULTS:
+            outcome = _drain(_prepare(drain))
+            _RESULTS[drain] = (outcome[0], outcome[2])
+    assert _RESULTS["batched"] == _RESULTS["sequential"]
+
+
+if __name__ == "__main__":  # pragma: no cover - manual convenience
+    raise SystemExit(pytest.main([__file__, "--benchmark-only", "-q"]))

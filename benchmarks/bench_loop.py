@@ -46,7 +46,7 @@ def _run_loop(pipeline: str):
         clean_db=dataset.clean,
     )
     result = engine.run(feedback_limit=LOOP_BUDGET)
-    return db, result
+    return db, result, engine
 
 
 def _signature(db, result):
@@ -61,13 +61,16 @@ def _signature(db, result):
 
 
 def _bench_pipeline(benchmark, pipeline: str, rounds: int):
-    db, result = benchmark.pedantic(
+    db, result, engine = benchmark.pedantic(
         lambda: _run_loop(pipeline), rounds=rounds, iterations=1, warmup_rounds=0
     )
     assert 0 < result.feedback_used <= LOOP_BUDGET
     assert result.improvement > 0
     benchmark.extra_info["iterations"] = result.iterations
     benchmark.extra_info["final_loss"] = result.final_loss
+    if engine.benefit_cache is not None:
+        for key, value in engine.benefit_cache.stats.items():
+            benchmark.extra_info[f"cache.{key}"] = value
     _RESULTS[pipeline] = _signature(db, result)
     return result
 
@@ -90,7 +93,8 @@ def test_loop_trajectories_identical():
     """
     for pipeline in ("delta", "rebuild"):
         if pipeline not in _RESULTS:
-            _RESULTS[pipeline] = _signature(*_run_loop(pipeline))
+            db, result, __ = _run_loop(pipeline)
+            _RESULTS[pipeline] = _signature(db, result)
     assert _RESULTS["delta"] == _RESULTS["rebuild"]
 
 

@@ -28,6 +28,7 @@ REPO_ROOT = BENCH_DIR.parent
 SUITES = {
     "micro": (BENCH_DIR / "bench_micro.py", BENCH_DIR / "BENCH_micro.json"),
     "loop": (BENCH_DIR / "bench_loop.py", BENCH_DIR / "BENCH_loop.json"),
+    "drain": (BENCH_DIR / "bench_drain.py", BENCH_DIR / "BENCH_drain.json"),
 }
 
 # backward-compatible alias: older callers import DEFAULT_OUTPUT
@@ -58,10 +59,16 @@ def run_suite(suite: str, selector: str | None = None) -> dict[str, float]:
         if result.returncode != 0:
             raise SystemExit(result.returncode)
         data = json.loads(raw_path.read_text())
-    return {
-        bench["name"]: bench["stats"]["median"]
-        for bench in sorted(data["benchmarks"], key=lambda b: b["name"])
-    }
+    medians: dict[str, float] = {}
+    for bench in sorted(data["benchmarks"], key=lambda b: b["name"]):
+        medians[bench["name"]] = bench["stats"]["median"]
+        # surface numeric extra_info (decision counts, cache hit and
+        # eviction counters) flatly next to the medians so cache health
+        # is diffable across PRs like the timings are
+        for key, value in sorted(bench.get("extra_info", {}).items()):
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                medians[f"{bench['name']}.{key}"] = value
+    return medians
 
 
 def run_micro_benchmarks(selector: str | None = None) -> dict[str, float]:
@@ -99,8 +106,11 @@ def main(argv: list[str] | None = None) -> int:
         output = args.output if args.output is not None else default_output
         medians = run_suite(suite, args.selector)
         width = max(len(name) for name in medians)
-        for name, median in medians.items():
-            print(f"{name:<{width}}  {median * 1e3:9.3f} ms")
+        for name, value in medians.items():
+            if "." in name:  # extra_info counter, not a timing
+                print(f"{name:<{width}}  {value}")
+            else:
+                print(f"{name:<{width}}  {value * 1e3:9.3f} ms")
         if args.selector and output == default_output:
             # a subset must not clobber the tracked full-run medians
             print(f"\nsubset run (-k): not overwriting {output}; pass -o to write")

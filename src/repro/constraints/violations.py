@@ -286,17 +286,34 @@ class _ConstantRuleState:
             self.violating.remove(tid)
             self._tracker.decrement(tid)
 
-    def update_cell(self, tid: int, values) -> None:
-        """Re-evaluate tuple *tid* whose values are now *values*."""
+    def update_cell(self, tid: int, values) -> bool:
+        """Re-evaluate tuple *tid* whose values are now *values*.
+
+        Returns True when the rule's observable statistics moved. For a
+        constant rule every statistic the what-if and weight arithmetic
+        read — ``len(context)``, ``len(violating)`` — is a set size, so
+        the statistics move exactly when the tuple's context or
+        violating membership toggles.
+        """
         if self.matches_lhs(values):
-            self.context.add(tid)
+            moved = tid not in self.context
+            if moved:
+                self.context.add(tid)
             if values[self._rhs_pos] != self._rhs_const:
-                self._mark(tid)
-            else:
+                if tid not in self.violating:
+                    self._mark(tid)
+                    moved = True
+            elif tid in self.violating:
                 self._unmark(tid)
-        else:
+                moved = True
+            return moved
+        moved = tid in self.context
+        if moved:
             self.context.discard(tid)
+        if tid in self.violating:
             self._unmark(tid)
+            moved = True
+        return moved
 
     def drop_tuple(self, tid: int) -> None:
         """Forget tuple *tid* entirely (pre-deletion hook)."""
@@ -788,12 +805,22 @@ class _VariableRuleState:
         self.membership[tid] = (key, value)
         self.context_size += 1
 
-    def update_cell(self, tid: int, values) -> None:
-        """Re-evaluate tuple *tid* whose values are now *values*."""
-        if tid in self.membership:
+    def update_cell(self, tid: int, values) -> bool:
+        """Re-evaluate tuple *tid* whose values are now *values*.
+
+        Returns True when the rule's statistics may have moved. A
+        variable rule's what-if arithmetic reads partition internals
+        (group sizes, per-value counts), so any remove/add cycle counts
+        as movement; only a tuple outside the context both before and
+        after is a provable no-op.
+        """
+        in_before = tid in self.membership
+        if in_before:
             self._remove(tid)
         if self.matches_lhs(values):
             self._add(tid, self.key_of(values), values[self._rhs_pos])
+            return True
+        return in_before
 
     def drop_tuple(self, tid: int) -> None:
         """Forget tuple *tid* entirely (pre-deletion hook)."""
@@ -1068,10 +1095,14 @@ class ViolationDetector:
         # bumped on every statistics change; probe plans re-snapshot
         # their cached per-rule aggregates when it moves
         self._epoch = 0
-        # per-attribute statistics versions: an attribute's version
-        # moves whenever a rule touching it had its statistics
-        # re-evaluated, so ranking caches can skip groups whose
-        # underlying partition stats provably did not change
+        # per-rule statistics versions: a rule's version moves only when
+        # its observable statistics actually changed (not merely when a
+        # write re-evaluated it), the finest staleness granularity the
+        # ranking caches stamp against
+        self._rule_versions: dict[CFD, int] = {rule: 0 for rule in rules}
+        # per-attribute aggregates over the per-rule versions: an
+        # attribute's version is the sum of the versions of the rules
+        # touching it, maintained eagerly so cache stamps stay O(1)
         self._attr_versions: dict[str, int] = {a: 0 for a in db.schema.attributes}
         self._write_plans: dict[str, _WritePlan] = {}
         self._probe_plans: dict[
@@ -1110,7 +1141,7 @@ class ViolationDetector:
         if build not in ("columnar", "reference"):
             raise ValueError(f"build must be 'columnar' or 'reference', got {build!r}")
         self._epoch += 1
-        self._bump_all_attr_versions()
+        self._bump_all_versions()
         for state in self._states:
             state.reset()
         if build == "columnar":
@@ -1135,7 +1166,6 @@ class ViolationDetector:
         states = self._states_by_attr.get(change.attribute)
         if not states:
             return
-        self._epoch += 1
         plan = self._write_plans.get(change.attribute)
         if plan is None:
             plan = self._write_plans[change.attribute] = _WritePlan(
@@ -1148,22 +1178,48 @@ class ViolationDetector:
         # positionally and never retains the sequence
         values = self.db.values_view(change.tid)
         versions = self._attr_versions
+        rule_versions = self._rule_versions
+        moved = False
         for state in affected:
-            state.update_cell(change.tid, values)
-            for attr in state.rule.attributes:
-                versions[attr] += 1
+            if state.update_cell(change.tid, values):
+                moved = True
+                rule_versions[state.rule] += 1
+                for attr in state.rule.attributes:
+                    versions[attr] += 1
+        if moved:
+            # probe plans re-snapshot their per-rule aggregates when the
+            # epoch moves; a write that provably moved nothing keeps
+            # every cached snapshot valid
+            self._epoch += 1
 
-    def _bump_all_attr_versions(self) -> None:
-        for attr in self._attr_versions:
-            self._attr_versions[attr] += 1
+    def _bump_all_versions(self) -> None:
+        for rule in self._rule_versions:
+            self._rule_versions[rule] += 1
+            for attr in rule.attributes:
+                self._attr_versions[attr] += 1
+
+    def rule_stats_version(self, rule: CFD) -> int:
+        """Statistics version of one rule.
+
+        Moves only when the rule's observable statistics actually
+        changed: a write that re-evaluated the rule without moving its
+        violation/context statistics (the common case on wide constant
+        rule sets, where a tuple is in neither the old nor the new
+        constant's context) leaves the version untouched.
+        """
+        return self._rule_versions.get(rule, 0)
 
     def attr_stats_version(self, attribute: str) -> int:
-        """Statistics version of one attribute.
+        """Per-rule statistics version aggregate of one attribute.
 
-        Moves whenever a rule touching *attribute* had its statistics
-        re-evaluated (and on every full rebuild). Consumers caching
-        quantities derived from those statistics — Eq. 6 group benefits,
-        rule weights — compare versions instead of recomputing.
+        The sum of :meth:`rule_stats_version` over the rules touching
+        *attribute* — it moves exactly when one of those rules' stats
+        moved (and on every full rebuild). Consumers caching quantities
+        derived from those statistics — Eq. 6 group benefits, rule
+        weights — compare versions instead of recomputing; because the
+        per-rule versions only move on real statistics changes, stamped
+        caches skip re-scoring after writes that re-evaluated rules
+        without moving them.
         """
         return self._attr_versions.get(attribute, 0)
 
@@ -1187,7 +1243,7 @@ class ViolationDetector:
         GDR can suggest updates during data entry.
         """
         self._epoch += 1
-        self._bump_all_attr_versions()
+        self._bump_all_versions()
         values = self.db.values_snapshot(tid)
         for state in self._states:
             state.update_cell(tid, values)
@@ -1195,7 +1251,7 @@ class ViolationDetector:
     def remove_tuple(self, tid: int) -> None:
         """Stop tracking a tuple that is about to be deleted."""
         self._epoch += 1
-        self._bump_all_attr_versions()
+        self._bump_all_versions()
         for state in self._states:
             state.drop_tuple(tid)
 

@@ -23,19 +23,24 @@ from dataclasses import dataclass, field
 from repro.constraints.repository import RuleSet
 from repro.constraints.violations import ViolationDetector
 from repro.core.effort import EffortPolicy, FeedbackBudget
-from repro.core.grouping import GroupIndex, UpdateGroup, group_sort_key, group_updates
+from repro.core.grouping import GroupIndex, UpdateGroup, group_updates
 from repro.core.learner import FeedbackLearner
 from repro.core.metrics import RepairReport, TrajectoryPoint, evaluate_repair
 from repro.core.quality import QualityEvaluator, quality_improvement
 from repro.core.ranking import GreedyRanking, RandomRanking, RankingStrategy, VOIRanking
-from repro.core.session import InteractiveSession
+from repro.core.session import (
+    InteractiveSession,
+    decide_batched,
+    delegation_allowed,
+    predict_many_snapshot,
+)
 from repro.core.user import UserOracle
 from repro.core.voi import GroupBenefitCache, VOIEstimator
 from repro.db.database import Database
 from repro.errors import ConfigError
 from repro.repair.candidate import CandidateUpdate
 from repro.repair.consistency import ConsistencyManager
-from repro.repair.feedback import Feedback, UserFeedback
+from repro.repair.feedback import UserFeedback
 from repro.repair.generator import UpdateGenerator
 from repro.repair.state import RepairState
 
@@ -44,6 +49,7 @@ __all__ = ["GDRConfig", "GDREngine", "GDRResult"]
 _RANKINGS = ("voi", "greedy", "random")
 _LEARNINGS = ("active", "passive", "none")
 _PIPELINES = ("delta", "rebuild")
+_DRAINS = ("batched", "sequential")
 
 
 @dataclass(slots=True)
@@ -81,6 +87,18 @@ class GDRConfig:
         re-groups and re-scores everything per iteration: the original
         reference path, kept because the delta path is required (and
         tested) to reproduce its results byte-for-byte.
+    drain:
+        ``"batched"`` (default) runs every learner decision path — the
+        post-budget drain and in-session delegation — through
+        wave-partitioned ``predict_many`` batches against a
+        copy-on-write snapshot view. ``"sequential"`` is the retained
+        predict-one-apply-one reference; the batched path reproduces
+        its ``GDRResult`` byte-for-byte (tested across presets and
+        datasets).
+    voi_cache_capacity:
+        Entry bound for the benefit cache's p̃ memo and row-version
+        map (LRU / generation eviction); the default comfortably holds
+        million-tuple instances while keeping memory bounded.
     """
 
     ranking: str = "voi"
@@ -105,6 +123,8 @@ class GDRConfig:
     seed: int = 0
     max_iterations: int = 100_000
     pipeline: str = "delta"
+    drain: str = "batched"
+    voi_cache_capacity: int = 1 << 20
 
     def __post_init__(self) -> None:
         if self.ranking not in _RANKINGS:
@@ -115,6 +135,12 @@ class GDRConfig:
             raise ConfigError(f"voi_prior must be 'score' or 'uniform', got {self.voi_prior!r}")
         if self.pipeline not in _PIPELINES:
             raise ConfigError(f"pipeline must be one of {_PIPELINES}, got {self.pipeline!r}")
+        if self.drain not in _DRAINS:
+            raise ConfigError(f"drain must be one of {_DRAINS}, got {self.drain!r}")
+        if self.voi_cache_capacity < 1:
+            raise ConfigError(
+                f"voi_cache_capacity must be positive, got {self.voi_cache_capacity!r}"
+            )
 
     # ------------------------------------------------------------------
     @classmethod
@@ -268,6 +294,8 @@ class GDREngine:
                     db,
                     self.learner,
                     probability_many=self.probability_many,
+                    prob_memo_capacity=self.config.voi_cache_capacity,
+                    row_version_capacity=self.config.voi_cache_capacity,
                 )
 
         self.generator.generate_all()
@@ -324,8 +352,7 @@ class GDREngine:
         priors = [update.score if use_score else 0.5 for update in updates]
         if self.learner is None:
             return priors
-        rows = [self.db.values_snapshot(update.tid) for update in updates]
-        predictions = self.learner.predict_many(updates, rows)
+        predictions = predict_many_snapshot(self.db, self.learner, updates)
         return [
             prior if prediction.feedback is None else prediction.confirm_probability
             for prior, prediction in zip(priors, predictions)
@@ -344,7 +371,7 @@ class GDREngine:
         return total
 
     # ------------------------------------------------------------------
-    def run(self, feedback_limit: int | None = None) -> GDRResult:
+    def run(self, feedback_limit: int | None = None, drain: bool = True) -> GDRResult:
         """Execute the interactive loop until done or out of budget.
 
         Parameters
@@ -352,6 +379,10 @@ class GDREngine:
         feedback_limit:
             The user's total label budget ``F``; ``None`` means the
             user is available until no suggestions remain.
+        drain:
+            When False, stop after the interactive phase without the
+            Figure 5 automatic drain — the drain benchmark uses this to
+            time the drain phase in isolation.
         """
         budget = FeedbackBudget(feedback_limit)
         result = GDRResult(
@@ -383,6 +414,7 @@ class GDREngine:
             batch_size=self.config.batch_size,
             seed=self.config.seed,
             max_decision_uncertainty=self.config.max_decision_uncertainty,
+            drain=self.config.drain,
         )
 
         delta = self.group_index is not None
@@ -422,7 +454,7 @@ class GDREngine:
             else:
                 stalled = 0
 
-        if self.learner is not None:
+        if drain and self.learner is not None:
             # the callback increments learner_decisions for every decision
             self._drain_with_learner(on_learner_decision)
 
@@ -455,17 +487,47 @@ class GDREngine:
             group, benefit = self.benefit_cache.top(self.probability)
             return group, benefit, benefit, len(index)
         if self.config.ranking == "greedy":
-            group = min(
-                (index.group(key) for key in index.keys()),
-                key=lambda g: (-g.size, *group_sort_key(g.key)),
-            )
-            return group, float(group.size), float(group.size), len(index)
+            # the index's cached key order is the greedy tie-break
+            # (type-aware key sort), so the first maximum-size key IS
+            # the ranked winner — O(1) size reads, no group
+            # materialisation for the losers
+            best_key = None
+            best_size = -1
+            for key in index.keys():
+                size = index.size(key)
+                if size > best_size:
+                    best_key, best_size = key, size
+            group = index.group(best_key)
+            return group, float(best_size), float(best_size), len(index)
         ranked = self.strategy.rank(index.groups(), self.probability)
         group, benefit = ranked[0]
         return group, benefit, max(score for __, score in ranked), len(ranked)
 
     # ------------------------------------------------------------------
-    def _drain_with_learner(self, on_learner_decision, max_passes: int = 25) -> int:
+    def drain_remaining(
+        self,
+        on_learner_decision=None,
+        restrict: bool | None = None,
+        max_passes: int = 25,
+    ) -> int:
+        """Run the Figure 5 automatic phase on demand.
+
+        Lets the learner decide the remaining suggestions — the
+        protocol's "GDR decides about the rest of the updates
+        automatically". *restrict* ``None`` honours the engine's
+        grouping locality (decisions stay inside group contexts the
+        user inspected); ``False`` decides the whole remaining pool,
+        the literal Figure 5 reading (and what the drain benchmark
+        exercises). Returns the number of decisions made.
+        """
+        if self.learner is None:
+            return 0
+        callback = on_learner_decision if on_learner_decision is not None else lambda: None
+        return self._drain_with_learner(callback, max_passes=max_passes, restrict=restrict)
+
+    def _drain_with_learner(
+        self, on_learner_decision, max_passes: int = 25, restrict: bool | None = None
+    ) -> int:
         """After the user stops, let the learner decide what remains.
 
         This is the Figure 5 protocol: the user affords ``F`` labels,
@@ -476,10 +538,22 @@ class GDREngine:
         becomes confidently wrong. Passes repeat because decisions
         regenerate suggestions; the drain stops at a fixpoint or after
         *max_passes*.
+
+        Per pass, the default ``drain="batched"`` path runs one
+        batched committee pass over every candidate against a
+        copy-on-write snapshot view and applies the decisions in order
+        (:func:`~repro.core.session.decide_batched`) — the
+        ``drain="sequential"`` reference (one committee prediction per
+        update, retained below) is reproduced byte-for-byte because
+        predictions are pure, no model refits happen mid-drain, an
+        apply writes only its own tuple, and updates whose tuple *was*
+        written earlier in the pass are re-predicted at their turn.
         """
         decided = 0
-        restrict = self.config.grouping
+        if restrict is None:
+            restrict = self.config.grouping
         delta = self.group_index is not None
+        batched = self.config.drain == "batched"
         for _pass in range(max_passes):
             if delta:
                 self.manager.refresh_suggestions()
@@ -489,31 +563,64 @@ class GDREngine:
                 updates = self.state.updates()
             if not updates:
                 break
-            progress = 0
-            for update in updates:
-                if not self.state.contains(update):
-                    continue
-                if restrict and update.group_key not in self._visited_groups:
-                    continue
-                row = self.db.values_snapshot(update.tid)
-                prediction = self.learner.predict(update, row)
-                if not prediction.is_decision:
-                    continue
-                if prediction.uncertainty > self.config.max_decision_uncertainty:
-                    continue
-                if prediction.feedback is Feedback.CONFIRM and not self.learner.is_trusted(
-                    update.attribute
-                ):
-                    continue
-                self.manager.apply_feedback(
-                    update, UserFeedback(prediction.feedback), source="learner"
-                )
-                progress += 1
-                decided += 1
-                on_learner_decision()
+            if batched:
+                progress = self._drain_pass_batched(updates, restrict, on_learner_decision)
+            else:
+                progress = self._drain_pass_sequential(updates, restrict, on_learner_decision)
+            decided += progress
             if progress == 0:
                 break
         return decided
+
+    def _decision_allowed(self, update: CandidateUpdate, prediction) -> bool:
+        return delegation_allowed(
+            self.learner, self.config.max_decision_uncertainty, update, prediction
+        )
+
+    def _drain_pass_sequential(
+        self, updates: list[CandidateUpdate], restrict: bool, on_learner_decision
+    ) -> int:
+        """One predict-one-apply-one drain pass (the reference path)."""
+        progress = 0
+        for update in updates:
+            if not self.state.contains(update):
+                continue
+            if restrict and update.group_key not in self._visited_groups:
+                continue
+            row = self.db.values_snapshot(update.tid)
+            prediction = self.learner.predict(update, row)
+            if not self._decision_allowed(update, prediction):
+                continue
+            self.manager.apply_feedback(
+                update, UserFeedback(prediction.feedback), source="learner"
+            )
+            progress += 1
+            on_learner_decision()
+        return progress
+
+    def _drain_pass_batched(
+        self, updates: list[CandidateUpdate], restrict: bool, on_learner_decision
+    ) -> int:
+        """One batched drain pass (byte-identical to sequential).
+
+        The group-locality filter is applied up front (membership is
+        static within a pass); liveness is re-checked per update at its
+        apply turn, exactly where the sequential path checks it — an
+        update invalidated by an earlier apply in the pass is predicted
+        wastefully but never applied, and a suggestion regenerated
+        identically mid-pass is applied just as the reference would.
+        """
+        if restrict:
+            updates = [u for u in updates if u.group_key in self._visited_groups]
+        return decide_batched(
+            self.db,
+            self.learner,
+            self.state,
+            self.manager,
+            updates,
+            self._decision_allowed,
+            on_learner_decision,
+        )
 
     def _drain_candidates(self, restrict: bool) -> list[CandidateUpdate]:
         """Live updates the drain may decide, in cell order.

@@ -240,9 +240,13 @@ class FeedbackLearner:
         arithmetic is row-independent, so the results are identical),
         but all updates sharing an attribute go through one vectorized
         committee pass instead of one single-row pass each — the hot
-        path of the cached VOI ranking and the in-session uncertainty
-        ordering. Callers must ensure *rows* are the current snapshots;
-        do not batch across interleaved database writes.
+        path of the cached VOI ranking, the in-session uncertainty
+        ordering, and the batched learner drain. Callers must ensure
+        *rows* are consistent snapshots of the instance the predictions
+        are about; when decisions write the database mid-batch, read
+        rows through a :class:`~repro.db.snapshot.SnapshotView` and
+        re-predict any update whose tuple was actually written (see
+        :func:`~repro.core.session.decide_batched`).
         """
         results: list[LearnerPrediction | None] = [None] * len(updates)
         by_attr: dict[str, list[int]] = {}

@@ -31,9 +31,110 @@ from repro.repair.consistency import ConsistencyManager
 from repro.repair.feedback import Feedback, UserFeedback
 from repro.repair.state import RepairState
 
-__all__ = ["InteractiveSession", "SessionReport"]
+__all__ = [
+    "InteractiveSession",
+    "SessionReport",
+    "decide_batched",
+    "delegation_allowed",
+    "predict_many_snapshot",
+]
 
 ProgressCallback = Callable[[], None]
+
+#: ``(update, prediction) -> bool``: the delegation gates.
+DecisionGate = Callable[[CandidateUpdate, object], bool]
+
+
+def delegation_allowed(
+    learner: FeedbackLearner, max_decision_uncertainty: float, update, prediction
+) -> bool:
+    """The delegation gates, shared by every learner decision path.
+
+    A decision requires a committee prediction with uncertainty at most
+    *max_decision_uncertainty*; a *confirm* decision (the only one that
+    writes the database) additionally requires a *trusted* model. One
+    definition serves the engine drain and in-session delegation so the
+    two can never diverge.
+    """
+    if not prediction.is_decision:
+        return False
+    if prediction.uncertainty > max_decision_uncertainty:
+        return False
+    if prediction.feedback is Feedback.CONFIRM and not learner.is_trusted(update.attribute):
+        return False
+    return True
+
+
+def predict_many_snapshot(
+    db: Database, learner: FeedbackLearner, updates: list[CandidateUpdate]
+) -> list:
+    """One batched committee pass with rows pinned by a snapshot view.
+
+    The view's per-tuple pinning means a tuple carrying several
+    suggestions is materialised once, not once per suggestion, and the
+    rows form a consistent point-in-time image of the instance.
+    """
+    with db.snapshot_view() as view:
+        rows = [view.values_snapshot(update.tid) for update in updates]
+        return learner.predict_many(updates, rows)
+
+
+def decide_batched(
+    db: Database,
+    learner: FeedbackLearner,
+    state: RepairState,
+    manager: ConsistencyManager,
+    updates: list[CandidateUpdate],
+    decision_allowed: DecisionGate,
+    on_applied: ProgressCallback,
+) -> int:
+    """Batch-decide an ordered update list, byte-identical to one-by-one.
+
+    The shared engine behind the batched learner drain and in-session
+    delegation. One ``predict_many`` evaluates every candidate against
+    a copy-on-write snapshot view — rows pinned at batch start, one
+    materialisation per tuple however many suggestions it carries —
+    then decisions are applied strictly in list order.
+
+    Byte-identity with the sequential predict-one-apply-one reference
+    rests on three facts: predictions are pure (no model refits happen
+    mid-batch), an apply writes at most its own update's tuple, and
+    liveness (``state.contains``) is re-checked at each update's apply
+    turn. The single hazard is a tuple carrying several live
+    suggestions whose earlier suggestion *actually wrote* the row (a
+    confirm — rejects and retains never write): such writes close a
+    *wave*. Rather than cutting waves statically wherever a tuple
+    might write, the batch is cut lazily — ``wrote_database`` applies
+    record their tid, and a later update on a recorded tid is simply
+    re-predicted against the live row, exactly what the sequential
+    path would have seen. The common case (no same-tuple write, e.g.
+    every single-suggestion-per-tuple pass) is one committee pass for
+    the whole list with zero re-predictions.
+
+    Returns the number of decisions applied.
+    """
+    if not updates:
+        return 0
+    predictions = predict_many_snapshot(db, learner, updates)
+    applied = 0
+    written: set[int] = set()
+    for update, prediction in zip(updates, predictions):
+        if not state.contains(update):
+            continue
+        if update.tid in written:
+            # an earlier confirm in this batch rewrote the tuple; the
+            # batched prediction is stale — recompute on the live row
+            prediction = learner.predict(update, db.values_snapshot(update.tid))
+        if not decision_allowed(update, prediction):
+            continue
+        outcome = manager.apply_feedback(
+            update, UserFeedback(prediction.feedback), source="learner"
+        )
+        if outcome.wrote_database:
+            written.add(update.tid)
+        applied += 1
+        on_applied()
+    return applied
 
 
 @dataclass(slots=True)
@@ -77,6 +178,11 @@ class InteractiveSession:
         ``n_s``: labels between retrains.
     seed:
         Seed for the random ordering variant.
+    drain:
+        ``"batched"`` (default) delegates through wave-partitioned
+        ``predict_many`` batches against a snapshot view;
+        ``"sequential"`` is the retained predict-one-apply-one
+        reference the batched path must reproduce byte-for-byte.
     """
 
     def __init__(
@@ -90,9 +196,12 @@ class InteractiveSession:
         batch_size: int = 10,
         seed: int = 0,
         max_decision_uncertainty: float = 0.5,
+        drain: str = "batched",
     ) -> None:
         if ordering not in ("uncertainty", "random"):
             raise ValueError(f"ordering must be 'uncertainty' or 'random', got {ordering!r}")
+        if drain not in ("batched", "sequential"):
+            raise ValueError(f"drain must be 'batched' or 'sequential', got {drain!r}")
         self.db = db
         self.state = state
         self.manager = manager
@@ -101,6 +210,7 @@ class InteractiveSession:
         self.ordering = ordering
         self.batch_size = batch_size
         self.max_decision_uncertainty = max_decision_uncertainty
+        self.drain = drain
         self._rng = np.random.default_rng(seed)
 
     # ------------------------------------------------------------------
@@ -180,9 +290,9 @@ class InteractiveSession:
         # Uncertainty first; ties (e.g. a cold model answering 1.0 for
         # everything) break toward high repair scores so early labels
         # land on probable genuine fixes rather than arbitrary cells.
-        # No writes happen while ordering, so predictions batch safely.
-        rows = [self.db.values_snapshot(update.tid) for update in updates]
-        predictions = self.learner.predict_many(updates, rows)
+        # No writes happen while ordering, so the snapshot rows are
+        # simply the live rows, deduplicated per tuple.
+        predictions = predict_many_snapshot(self.db, self.learner, updates)
         scored = [
             (-prediction.uncertainty, -update.score, update.cell, update)
             for update, prediction in zip(updates, predictions)
@@ -236,23 +346,43 @@ class InteractiveSession:
         decisions are reversible bookkeeping and may proceed on
         confidence alone. Everything else stays in the pool for later
         rounds or further user feedback.
+
+        The default path decides through :func:`decide_batched` — one
+        committee pass over the group against a snapshot view — and is
+        byte-identical to the retained ``drain="sequential"``
+        predict-one-apply-one reference.
         """
-        for update in self._alive_updates(group):
-            if not self.state.contains(update):
-                continue
-            row = self.db.values_snapshot(update.tid)
-            prediction = self.learner.predict(update, row)
-            if not prediction.is_decision:
-                continue
-            if prediction.uncertainty > self.max_decision_uncertainty:
-                continue
-            if prediction.feedback is Feedback.CONFIRM and not self.learner.is_trusted(
-                update.attribute
-            ):
-                continue
-            self.manager.apply_feedback(
-                update, UserFeedback(prediction.feedback), source="learner"
-            )
+        alive = self._alive_updates(group)
+        if self.drain == "sequential":
+            for update in alive:
+                if not self.state.contains(update):
+                    continue
+                row = self.db.values_snapshot(update.tid)
+                prediction = self.learner.predict(update, row)
+                if not self._decision_allowed(update, prediction):
+                    continue
+                self.manager.apply_feedback(
+                    update, UserFeedback(prediction.feedback), source="learner"
+                )
+                report.learner_decided += 1
+                if on_learner_decision is not None:
+                    on_learner_decision()
+            return
+
+        def applied() -> None:
             report.learner_decided += 1
             if on_learner_decision is not None:
                 on_learner_decision()
+
+        decide_batched(
+            self.db,
+            self.learner,
+            self.state,
+            self.manager,
+            alive,
+            self._decision_allowed,
+            applied,
+        )
+
+    def _decision_allowed(self, update: CandidateUpdate, prediction) -> bool:
+        return delegation_allowed(self.learner, self.max_decision_uncertainty, update, prediction)

@@ -218,6 +218,24 @@ class GroupBenefitCache:
     stats moved but whose rows and model did not costs only what-if
     arithmetic, no forest predictions.
 
+    The partition-statistics stamp is backed by the detector's
+    *per-rule* statistics versions (aggregated per attribute): a rule's
+    version moves only when its observable statistics actually changed,
+    so a write that re-evaluated rules without moving them — the common
+    case on wide constant rule sets — invalidates nothing.
+
+    Both memo structures are **bounded** for million-tuple instances:
+
+    * the p̃ memo is an LRU capped at *prob_memo_capacity* entries
+      (least-recently-used entries evicted on overflow);
+    * the per-tuple row-version map is capped at
+      *row_version_capacity*; overflowing it bumps a *generation*
+      baked into every memo stamp, lazily invalidating the whole memo
+      instead of letting version counters reset ambiguously.
+
+    Hit/miss/eviction counters are exposed through :attr:`stats` and
+    surfaced by the drain benchmark.
+
     Selection is a lazy max-heap ordered exactly like
     :meth:`VOIEstimator.rank_groups` — entries are pushed on every
     (re)scoring and validated against a per-key token on pop — so
@@ -233,6 +251,8 @@ class GroupBenefitCache:
         db: Database,
         learner: FeedbackLearner | None = None,
         probability_many: Callable[[list[CandidateUpdate]], list[float]] | None = None,
+        prob_memo_capacity: int = 1 << 20,
+        row_version_capacity: int = 1 << 20,
     ) -> None:
         self._estimator = estimator
         self._index = index
@@ -251,11 +271,24 @@ class GroupBenefitCache:
         self._token_counter = 0
         self._heap: list[tuple] = []
         # row staleness: tuples written since the last refresh, and a
-        # per-tuple write counter guarding the p̃ memo
+        # per-tuple write stamp guarding the p̃ memo. Stamps are drawn
+        # from one monotonic write sequence (never per-tid counters), so
+        # evicting and re-creating an entry can never reproduce an old
+        # stamp; the generation covers the remaining hazard of a map
+        # prune making absent tids read as stamp 0 again.
         self._written: set[int] = set()
         self._row_versions: dict[int, int] = {}
-        # (tid, attribute, value, score) -> (row version, model version, p̃)
-        self._prob_memo: dict[tuple, tuple[int, int, float]] = {}
+        self._write_seq = 0
+        self._row_generation = 0
+        self._row_version_capacity = max(1, int(row_version_capacity))
+        # (tid, attribute, value, score) ->
+        #     (generation, row stamp, model version, p̃); LRU-ordered
+        self._prob_memo: dict[tuple, tuple[int, int, int, float]] = {}
+        self._prob_memo_capacity = max(1, int(prob_memo_capacity))
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._generation_bumps = 0
         db.add_listener(self._on_db_change)
 
     def detach(self) -> None:
@@ -264,7 +297,34 @@ class GroupBenefitCache:
 
     def _on_db_change(self, change: CellChange) -> None:
         self._written.add(change.tid)
-        self._row_versions[change.tid] = self._row_versions.get(change.tid, 0) + 1
+        self._write_seq += 1
+        rows = self._row_versions
+        rows[change.tid] = self._write_seq
+        if len(rows) > self._row_version_capacity:
+            # generation eviction: absent tids read as stamp 0, which
+            # must not collide with memo entries recorded before the
+            # prune — bumping the generation retires them all lazily
+            rows.clear()
+            self._row_generation += 1
+            self._generation_bumps += 1
+
+    @property
+    def stats(self) -> dict[str, int]:
+        """Cache-health counters (p̃ memo and row-version map).
+
+        ``prob_memo_hits`` / ``prob_memo_misses`` count memo lookups,
+        ``prob_memo_evictions`` LRU evictions, ``row_generation_bumps``
+        whole-memo invalidations from row-version map overflow; the
+        ``*_size`` entries are current occupancies.
+        """
+        return {
+            "prob_memo_hits": self._hits,
+            "prob_memo_misses": self._misses,
+            "prob_memo_evictions": self._evictions,
+            "prob_memo_size": len(self._prob_memo),
+            "row_versions_size": len(self._row_versions),
+            "row_generation_bumps": self._generation_bumps,
+        }
 
     # ------------------------------------------------------------------
     def _model_version(self, attribute: str) -> int:
@@ -275,8 +335,14 @@ class GroupBenefitCache:
     def _probabilities(
         self, updates: list[CandidateUpdate], probability: ProbabilityFn
     ) -> list[float]:
-        """Memoised ``p̃`` per update; misses evaluated in one batch."""
+        """Memoised ``p̃`` per update; misses evaluated in one batch.
+
+        Hits are refreshed to the LRU tail; misses are filled through
+        the batched evaluator and inserted under the capacity bound
+        (evicting the least recently used entries on overflow).
+        """
         memo = self._prob_memo
+        generation = self._row_generation
         values: list[float | None] = [None] * len(updates)
         misses: list[int] = []
         miss_stamps: list[tuple[int, int]] = []
@@ -285,9 +351,19 @@ class GroupBenefitCache:
             row_version = self._row_versions.get(update.tid, 0)
             model_version = self._model_version(update.attribute)
             hit = memo.get(memo_key)
-            if hit is not None and hit[0] == row_version and hit[1] == model_version:
-                values[i] = hit[2]
+            if (
+                hit is not None
+                and hit[0] == generation
+                and hit[1] == row_version
+                and hit[2] == model_version
+            ):
+                self._hits += 1
+                values[i] = hit[3]
+                # LRU touch: re-insert at the tail of the dict order
+                del memo[memo_key]
+                memo[memo_key] = hit
             else:
+                self._misses += 1
                 misses.append(i)
                 miss_stamps.append((row_version, model_version))
         if misses:
@@ -296,13 +372,16 @@ class GroupBenefitCache:
                 fresh = self._probability_many(missed_updates)
             else:
                 fresh = [probability(update) for update in missed_updates]
+            capacity = self._prob_memo_capacity
             for i, (row_version, model_version), value in zip(misses, miss_stamps, fresh):
                 update = updates[i]
-                memo[(update.tid, update.attribute, update.value, update.score)] = (
-                    row_version,
-                    model_version,
-                    value,
-                )
+                memo_key = (update.tid, update.attribute, update.value, update.score)
+                if memo_key in memo:
+                    del memo[memo_key]  # re-insert at the LRU tail
+                elif len(memo) >= capacity:
+                    memo.pop(next(iter(memo)))
+                    self._evictions += 1
+                memo[memo_key] = (generation, row_version, model_version, value)
                 values[i] = value
         return values
 

@@ -11,6 +11,7 @@ from repro.db.database import Database, Row
 from repro.db.index import HashIndex
 from repro.db.io import load_csv, save_csv
 from repro.db.schema import Schema
+from repro.db.snapshot import SnapshotView
 
 __all__ = [
     "CellChange",
@@ -20,6 +21,7 @@ __all__ = [
     "HashIndex",
     "Row",
     "Schema",
+    "SnapshotView",
     "Vocabulary",
     "load_csv",
     "save_csv",

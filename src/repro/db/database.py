@@ -298,6 +298,19 @@ class Database:
     # ------------------------------------------------------------------
     # copies and comparisons
     # ------------------------------------------------------------------
+    def snapshot_view(self):
+        """A copy-on-write read view pinned at the current version.
+
+        Rows are copied lazily — on first read through the view, or on
+        the first write that would otherwise overwrite an unread row —
+        so acquiring a view is O(1) regardless of instance size. The
+        view must be released (it is a context manager) to stop
+        pinning. See :class:`repro.db.snapshot.SnapshotView`.
+        """
+        from repro.db.snapshot import SnapshotView
+
+        return SnapshotView(self)
+
     def snapshot(self) -> "Database":
         """A deep copy with the same tids and no listeners attached."""
         copy = Database(self.schema)

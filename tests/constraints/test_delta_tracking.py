@@ -113,6 +113,55 @@ class TestAttrStatsVersions:
         assert detector.attr_stats_version("*") == 0
 
 
+class TestRuleStatsVersions:
+    def _rule(self, rules, index):
+        return list(rules)[index]
+
+    def test_moving_write_bumps_rule_version(self, small):
+        db, rules, detector = small
+        r0 = self._rule(rules, 0)  # zip -> city {46360 || 'Michigan City'}
+        before = detector.rule_stats_version(r0)
+        db.set_value(0, "city", "Michigan City")  # tuple 0 leaves violating
+        assert detector.rule_stats_version(r0) > before
+
+    def test_reevaluated_without_movement_keeps_version(self, small):
+        """A write can re-evaluate a rule whose statistics do not move —
+        per-rule versions (unlike plain re-evaluation counters) stay
+        put, so stamped caches skip the re-scoring entirely."""
+        db, rules, detector = small
+        r2 = self._rule(rules, 2)  # zip -> state {46360 || IN}
+        db.set_value(0, "state", "XX")  # tuple 0 enters violating: moves
+        moved = detector.rule_stats_version(r2)
+        attr_moved = detector.attr_stats_version("state")
+        db.set_value(0, "state", "YY")  # re-evaluated, still violating
+        assert detector.rule_stats_version(r2) == moved
+        assert detector.attr_stats_version("state") == attr_moved
+
+    def test_attr_version_is_sum_of_touching_rule_versions(self, small):
+        db, rules, detector = small
+        db.set_value(0, "city", "Michigan City")
+        db.set_value(2, "zip", "46360")
+        for attr in ("zip", "city", "state"):
+            expected = sum(
+                detector.rule_stats_version(rule)
+                for rule in rules
+                if attr in rule.attributes
+            )
+            assert detector.attr_stats_version(attr) == expected
+
+    def test_recompute_bumps_every_rule(self, small):
+        __, rules, detector = small
+        before = {rule: detector.rule_stats_version(rule) for rule in rules}
+        detector.recompute()
+        for rule, version in before.items():
+            assert detector.rule_stats_version(rule) > version
+
+    def test_unknown_rule_defaults_to_zero(self, small):
+        __, __, detector = small
+        foreign = parse_rules("(zip -> city, {00000 || 'Nowhere'})")[0]
+        assert detector.rule_stats_version(foreign) == 0
+
+
 class TestWritePlanCorrectness:
     def test_random_churn_stays_verified(self, small):
         db, __, detector = small

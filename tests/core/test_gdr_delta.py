@@ -11,7 +11,7 @@ import pytest
 from repro.core import GDRConfig, GDREngine, GroundTruthOracle, LearnerPrediction
 from repro.datasets import load_dataset
 from repro.errors import ConfigError
-from repro.repair import Feedback
+from repro.repair import Feedback, UserFeedback
 
 
 def _run(pipeline, preset, n=150, budget=40, data_seed=7, config_seed=3, **overrides):
@@ -99,6 +99,45 @@ class TestByteIdenticalParity:
         db_rebuild, result_rebuild = run("rebuild")
         assert db_delta.equals_data(db_rebuild)
         assert _trajectory(result_delta) == _trajectory(result_rebuild)
+
+    def test_greedy_pick_matches_rebuild_ranking(self):
+        """The delta greedy pick reads sizes off the index's cached key
+        order; it must select exactly what the rebuild path's
+        ``GreedyRanking`` puts first, at every iteration state."""
+        from repro.core.grouping import group_updates
+        from repro.core.ranking import GreedyRanking
+
+        ds = load_dataset("hospital", n=120, seed=4)
+        db = ds.fresh_dirty()
+        engine = GDREngine(
+            db,
+            ds.rules,
+            GroundTruthOracle(ds.clean),
+            GDRConfig(ranking="greedy", learning="none", use_benefit_quota=False, seed=2),
+            clean_db=ds.clean,
+        )
+        strategy = GreedyRanking()
+        checked = 0
+        for __ in range(12):
+            engine.manager.refresh_suggestions()
+            if len(engine.state) == 0:
+                break
+            group, benefit, max_benefit, count = engine._pick_top_group()
+            groups = group_updates(engine.state.updates())
+            ranked = strategy.rank(groups, engine.probability)
+            assert group.key == ranked[0][0].key
+            assert group.updates == ranked[0][0].updates
+            assert benefit == max_benefit == ranked[0][1]
+            assert count == len(groups)
+            checked += 1
+            # consume the picked group so the next iteration differs
+            for update in list(group.updates):
+                if engine.state.contains(update):
+                    engine.manager.apply_feedback(
+                        update, UserFeedback(Feedback.CONFIRM), source="user"
+                    )
+        assert checked > 3
+        engine.detach()
 
     def test_substrate_stays_verified_after_run(self):
         __, __, engine = _run("delta", GDRConfig.gdr)

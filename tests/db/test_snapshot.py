@@ -1,0 +1,139 @@
+"""Copy-on-write snapshot view: isolation semantics and lifecycle."""
+
+import pytest
+
+from repro.db import Database, Schema, SnapshotView
+from repro.errors import UnknownTupleError
+
+
+@pytest.fixture()
+def db() -> Database:
+    return Database(
+        Schema("r", ["a", "b", "c"]),
+        [["a0", "b0", "c0"], ["a1", "b1", "c1"], ["a2", "b2", "c2"]],
+    )
+
+
+class TestPinnedReads:
+    def test_read_returns_values_at_acquisition(self, db):
+        view = db.snapshot_view()
+        assert view.values_snapshot(0) == ("a0", "b0", "c0")
+        view.release()
+
+    def test_write_after_acquire_is_invisible(self, db):
+        view = db.snapshot_view()
+        db.set_value(0, "b", "changed")
+        assert view.values_snapshot(0) == ("a0", "b0", "c0")
+        assert db.value(0, "b") == "changed"
+        view.release()
+
+    def test_write_before_first_read_is_invisible(self, db):
+        """The view pins the pre-write image even for rows never read."""
+        view = db.snapshot_view()
+        db.set_value(1, "a", "x")
+        db.set_value(1, "b", "y")
+        assert view.values_snapshot(1) == ("a1", "b1", "c1")
+        view.release()
+
+    def test_multiple_writes_to_one_tuple(self, db):
+        view = db.snapshot_view()
+        db.set_value(2, "c", "v1")
+        db.set_value(2, "c", "v2")
+        db.set_value(2, "a", "v3")
+        assert view.values_snapshot(2) == ("a2", "b2", "c2")
+        view.release()
+
+    def test_read_then_write_keeps_pinned_copy(self, db):
+        view = db.snapshot_view()
+        first = view.values_snapshot(0)
+        db.set_value(0, "a", "post")
+        assert view.values_snapshot(0) == first == ("a0", "b0", "c0")
+        view.release()
+
+    def test_untouched_rows_read_live(self, db):
+        view = db.snapshot_view()
+        db.set_value(0, "a", "x")
+        assert view.values_snapshot(1) == ("a1", "b1", "c1")
+        view.release()
+
+    def test_value_accessor(self, db):
+        view = db.snapshot_view()
+        db.set_value(0, "c", "post")
+        assert view.value(0, "c") == "c0"
+        view.release()
+
+    def test_version_is_acquisition_version(self, db):
+        before = db.version
+        view = db.snapshot_view()
+        assert view.version == before
+        db.set_value(0, "a", "x")
+        assert view.version == before
+        assert db.version == before + 1
+        view.release()
+
+
+class TestRowSharing:
+    def test_repeated_reads_share_one_materialisation(self, db):
+        """Per-tid pinning deduplicates multi-suggestion row copies."""
+        view = db.snapshot_view()
+        assert view.values_snapshot(0) is view.values_snapshot(0)
+        assert view.pinned_count == 1
+        view.release()
+
+    def test_unknown_tuple_raises(self, db):
+        with db.snapshot_view() as view:
+            with pytest.raises(UnknownTupleError):
+                view.values_snapshot(99)
+
+
+class TestRelease:
+    def test_release_detaches_listener(self, db):
+        view = db.snapshot_view()
+        view.release()
+        # further writes must not re-pin anything into a released view
+        db.set_value(0, "a", "x")
+        assert view.pinned_count == 0
+        assert view.released
+
+    def test_released_view_rejects_reads(self, db):
+        view = db.snapshot_view()
+        view.release()
+        with pytest.raises(RuntimeError):
+            view.values_snapshot(0)
+
+    def test_release_is_idempotent(self, db):
+        view = db.snapshot_view()
+        view.release()
+        view.release()
+        assert view.released
+
+    def test_context_manager_releases(self, db):
+        with db.snapshot_view() as view:
+            assert isinstance(view, SnapshotView)
+            assert not view.released
+        assert view.released
+
+    def test_context_manager_releases_on_error(self, db):
+        with pytest.raises(ValueError):
+            with db.snapshot_view() as view:
+                raise ValueError("boom")
+        assert view.released
+
+
+class TestConcurrentViews:
+    def test_two_views_pin_independent_versions(self, db):
+        first = db.snapshot_view()
+        db.set_value(0, "a", "mid")
+        second = db.snapshot_view()
+        db.set_value(0, "a", "late")
+        assert first.values_snapshot(0) == ("a0", "b0", "c0")
+        assert second.values_snapshot(0) == ("mid", "b0", "c0")
+        assert db.value(0, "a") == "late"
+        first.release()
+        second.release()
+
+    def test_view_sees_no_op_writes_as_nothing(self, db):
+        with db.snapshot_view() as view:
+            db.set_value(0, "a", "a0")  # no-op: listeners do not fire
+            assert view.pinned_count == 0
+            assert view.values_snapshot(0) == ("a0", "b0", "c0")
