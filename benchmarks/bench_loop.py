@@ -71,6 +71,8 @@ def _bench_pipeline(benchmark, pipeline: str, rounds: int):
     if engine.benefit_cache is not None:
         for key, value in engine.benefit_cache.stats.items():
             benchmark.extra_info[f"cache.{key}"] = value
+    for key, value in engine.sim_cache.stats.items():
+        benchmark.extra_info[f"sim.{key}"] = value
     _RESULTS[pipeline] = _signature(db, result)
     return result
 

@@ -15,7 +15,7 @@ import numpy as np
 from repro.constraints import ViolationDetector, mine_constant_cfds
 from repro.ml import RandomForestClassifier
 from repro.repair import RepairState, UpdateGenerator, levenshtein
-from repro.repair.similarity import _cached_similarity
+from repro.repair.similarity import SimilarityCache, levenshtein_many
 
 
 def test_detector_build(benchmark, hospital_bench_dataset):
@@ -144,15 +144,29 @@ def test_levenshtein_speed(benchmark):
     assert total > 0
 
 
+def test_levenshtein_many_kernel(benchmark):
+    """Batched DP kernel: one query against a 100-candidate pool."""
+    candidates = [f"Michigan City {i}" for i in range(50)] + [
+        f"Fort Wayne {i}" for i in range(50)
+    ]
+
+    def run():
+        return int(levenshtein_many("Michigan Cty", candidates).sum())
+
+    total = benchmark(run)
+    assert total > 0
+
+
 def test_similarity_cache(benchmark):
     """Cached Eq. 7 lookups (the effective cost inside the loops)."""
-    _cached_similarity.cache_clear()
+    cache = SimilarityCache()
     pairs = [(f"value{i}", f"value{i + 1}") for i in range(64)]
 
     def run():
-        return sum(_cached_similarity(a, b) for a, b in pairs for __ in range(10))
+        return sum(cache(a, b) for a, b in pairs for __ in range(10))
 
     benchmark(run)
+    assert cache.stats["hits"] > cache.stats["misses"]
 
 
 def test_forest_fit(benchmark):

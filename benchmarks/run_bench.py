@@ -2,14 +2,18 @@
 
 Entry point::
 
-    python benchmarks/run_bench.py [--suite micro|loop|all] [-o PATH] [-k EXPR]
+    python benchmarks/run_bench.py [--suite micro|loop|drain|scaling|all] [-o PATH] [-k EXPR]
 
 Each suite runs under ``pytest-benchmark`` and writes a flat
 ``benchmark name -> median seconds`` JSON next to this file — by
 default ``benchmarks/BENCH_micro.json`` for the micro suite (hot-path
-substrates) and ``benchmarks/BENCH_loop.json`` for the end-to-end
-interactive loop (``bench_loop.py``, delta vs rebuild pipeline) — so
-the performance trajectory is visible across PRs with a one-line diff.
+substrates), ``benchmarks/BENCH_loop.json`` for the end-to-end
+interactive loop (``bench_loop.py``, delta vs rebuild pipeline),
+``benchmarks/BENCH_drain.json`` for the learner drain, and
+``benchmarks/BENCH_scaling.json`` for the table-size sweeps
+(``bench_scaling.py``, no-learning + full-pipeline + suggest parity) —
+so the performance trajectory is visible across PRs with a one-line
+diff.
 """
 
 from __future__ import annotations
@@ -29,6 +33,7 @@ SUITES = {
     "micro": (BENCH_DIR / "bench_micro.py", BENCH_DIR / "BENCH_micro.json"),
     "loop": (BENCH_DIR / "bench_loop.py", BENCH_DIR / "BENCH_loop.json"),
     "drain": (BENCH_DIR / "bench_drain.py", BENCH_DIR / "BENCH_drain.json"),
+    "scaling": (BENCH_DIR / "bench_scaling.py", BENCH_DIR / "BENCH_scaling.json"),
 }
 
 # backward-compatible alias: older callers import DEFAULT_OUTPUT

@@ -55,6 +55,11 @@ __all__ = ["DirtyDelta", "ViolationDetector", "WhatIfOutcome"]
 #: constant that happens to equal ``None``.
 _ABSENT = object()
 
+#: Probe-signature cache bound (tuples tracked at once); the cache is
+#: cleared wholesale when it fills — signatures are one gather to
+#: recompute.
+_SIG_CACHE_CAPACITY = 1 << 20
+
 
 class WhatIfOutcome(
     namedtuple("WhatIfOutcome", ["vio_before", "vio_after", "satisfying_after", "vio_reduction"])
@@ -530,22 +535,33 @@ class _ConstantProbePlan:
         sat_after = self._ctx_list[i] - in_before + in_after - vio_after
         return WhatIfOutcome(vio_before, vio_after, sat_after)
 
-    def outcomes_many(self, tid: int, values: list) -> list[list[WhatIfOutcome]]:
-        """Per candidate, one outcome per rule (aligned with ``rules``)."""
-        cols = self._cols
-        row = cols.position_of(tid)
-        code_at = cols.code_at
-        row_code = code_at(row, self._pos)
-        simple = self._simple_by_code
-        # rules the tuple might currently be in context of (tid-dependent,
-        # candidate-independent)
-        base = simple.get(row_code, ())
+    def _base_indices(self, row: int, row_code: int) -> tuple | list:
+        """Candidate-independent rule indices a probe on *row* can move.
+
+        The rules the tuple might currently be in context of: simple
+        LHS-constant rules matching the row's current code, RHS-probed
+        rules whose context contains the row, and the always-checked
+        general shapes. Shared by :meth:`outcomes_many` and
+        :meth:`moved_many` — the dense/sparse parity guarantee depends
+        on both reading the same index set.
+        """
+        code_at = self._cols.code_at
+        base = self._simple_by_code.get(row_code, ())
         for q, cmap in self._rhs_ctx_maps:
             hits = cmap.get(code_at(row, q))
             if hits:
                 base = list(base) + hits if base else hits
         if self._check:
             base = list(base) + self._check
+        return base
+
+    def outcomes_many(self, tid: int, values: list) -> list[list[WhatIfOutcome]]:
+        """Per candidate, one outcome per rule (aligned with ``rules``)."""
+        cols = self._cols
+        row = cols.position_of(tid)
+        row_code = cols.code_at(row, self._pos)
+        simple = self._simple_by_code
+        base = self._base_indices(row, row_code)
         unchanged = self._unchanged
         results: list[list[WhatIfOutcome]] = []
         for value in values:
@@ -563,6 +579,42 @@ class _ConstantProbePlan:
             for i in idxs:
                 outcomes[i] = self._scalar_outcome(i, row, vcode)
             results.append(outcomes)
+        return results
+
+    def moved_many(self, tid: int, values: list) -> list[list[tuple[int, WhatIfOutcome]]]:
+        """Per candidate, ``(rule index, outcome)`` pairs that *moved*.
+
+        The sparse companion of :meth:`outcomes_many`: only rules whose
+        violation count would change (``vio_reduction != 0``) are
+        reported, in ascending rule-index order — every omitted rule's
+        outcome is its cached "unchanged" snapshot, which contributes
+        exactly zero to the Eq. 6 sum. No full per-candidate outcome
+        list is materialised.
+        """
+        cols = self._cols
+        row = cols.position_of(tid)
+        row_code = cols.code_at(row, self._pos)
+        simple = self._simple_by_code
+        base = self._base_indices(row, row_code)
+        results: list[list[tuple[int, WhatIfOutcome]]] = []
+        empty: list[tuple[int, WhatIfOutcome]] = []
+        for value in values:
+            vcode = self._code_of(value)
+            if vcode == row_code:
+                results.append(empty)
+                continue
+            idxs = simple.get(vcode, ())
+            if base:
+                idxs = list(idxs) + list(base) if idxs else base
+            if not idxs:
+                results.append(empty)
+                continue
+            moved: list[tuple[int, WhatIfOutcome]] = []
+            for i in sorted(idxs):
+                outcome = self._scalar_outcome(i, row, vcode)
+                if outcome[3] != 0:  # vio_reduction
+                    moved.append((i, outcome))
+            results.append(moved)
         return results
 
 
@@ -1112,11 +1164,16 @@ class ViolationDetector:
                 list[_VariableRuleState],
                 list[CFD],
                 dict[CFD, int],
+                np.ndarray,
             ],
         ] = {}
         self._states: list[_ConstantRuleState | _VariableRuleState] = []
         self._state_by_rule: dict[CFD, _ConstantRuleState | _VariableRuleState] = {}
         self._states_by_attr: dict[str, list[_ConstantRuleState | _VariableRuleState]] = {}
+        # tid -> {attribute -> probe signature}; a tuple's signatures
+        # only change when one of its own cells is written (vocabulary
+        # codes are append-only and position moves don't re-encode)
+        self._sig_cache: dict[int, dict[str, bytes]] = {}
         for rule in rules:
             state: _ConstantRuleState | _VariableRuleState
             if rule.is_constant:
@@ -1163,6 +1220,7 @@ class ViolationDetector:
                     state.update_cell(tid, values)
 
     def _on_change(self, change: CellChange) -> None:
+        self._sig_cache.pop(change.tid, None)
         states = self._states_by_attr.get(change.attribute)
         if not states:
             return
@@ -1252,6 +1310,7 @@ class ViolationDetector:
         """Stop tracking a tuple that is about to be deleted."""
         self._epoch += 1
         self._bump_all_versions()
+        self._sig_cache.pop(tid, None)
         for state in self._states:
             state.drop_tuple(tid)
 
@@ -1304,6 +1363,21 @@ class ViolationDetector:
         if isinstance(state, _VariableRuleState):
             return state.group_value_counts(tid)
         return {}
+
+    def partition_key(self, tid: int, rule: CFD):
+        """*tid*'s LHS partition key under a variable rule.
+
+        ``None`` when the tuple is outside the rule's context (or the
+        rule is constant). Two tuples with equal keys share one
+        partition, hence one :meth:`group_value_counts` histogram — the
+        handle the suggestion engine memoises scenario-2 pools on.
+        """
+        state = self._state_by_rule[rule]
+        if isinstance(state, _VariableRuleState):
+            entry = state.membership.get(tid)
+            if entry is not None:
+                return entry[0]
+        return None
 
     def group_members(self, tid: int, rule: CFD) -> set[int]:
         """All tuples sharing *tid*'s LHS partition under a variable rule."""
@@ -1376,7 +1450,7 @@ class ViolationDetector:
         if not states:
             return [{} for __ in values]
         pos = self.db.schema.position(attribute)
-        plan, var_states, rules_all, rule_index = self._plan_for(attribute, pos)
+        plan, var_states, rules_all, rule_index, __ = self._plan_for(attribute, pos)
         if plan is not None:
             plan.refresh(self._epoch)
             const_rows = plan.outcomes_many(tid, values)
@@ -1401,10 +1475,93 @@ class ViolationDetector:
             results.append(_OutcomeMap(rules_all, outcomes, rule_index))
         return results
 
+    def what_if_moved_many(
+        self, tid: int, attribute: str, values
+    ) -> list[list[tuple[CFD, WhatIfOutcome]]]:
+        """Sparse batched Eq. 6 probe: only the rules that would move.
+
+        For each candidate value, the ``(rule, outcome)`` pairs with a
+        nonzero ``vio_reduction``, ordered exactly like the rule
+        iteration of :meth:`what_if_many` (constant rules in plan
+        order, then variable rules). Every omitted rule's outcome has
+        ``vio_reduction == 0`` and therefore contributes exactly zero
+        to the Eq. 6 benefit sum — the VOI estimator's hot path reads
+        this instead of materialising full outcome maps (on wide
+        constant rule sets a single-cell probe moves two or three rules
+        out of forty).
+        """
+        values = list(values)
+        states = self._states_by_attr.get(attribute)
+        if not states:
+            return [[] for __ in values]
+        pos = self.db.schema.position(attribute)
+        plan, var_states, __, __, __ = self._plan_for(attribute, pos)
+        if plan is not None:
+            plan.refresh(self._epoch)
+            const_rows = plan.moved_many(tid, values)
+            rules = plan.rules
+            results = [
+                [(rules[i], outcome) for i, outcome in moved] for moved in const_rows
+            ]
+        else:
+            results = [[] for __ in values]
+        if var_states:
+            # live row view, not a snapshot: the what-if arithmetic only
+            # reads positionally and never retains (or writes) the row
+            row = self.db.values_view(tid)
+            current = row[pos]
+            for state in var_states:
+                rule = state.rule
+                outcomes = state.what_if_many(tid, row, pos, current, values)
+                for ci, outcome in enumerate(outcomes):
+                    if outcome[3] != 0:  # vio_reduction
+                        results[ci].append((rule, outcome))
+        return results
+
+    def probe_signature(self, tid: int, attribute: str) -> bytes:
+        """Codes of everything a what-if probe on ``⟨tid, attribute⟩`` reads.
+
+        The tuple's dictionary codes at every column any rule touching
+        *attribute* inspects (LHS constants, partition keys, RHS
+        values, the probed column itself), packed into a hashable key.
+        Two tuples with equal signatures are indistinguishable to
+        :meth:`what_if_many` / :meth:`what_if_moved_many` for any
+        candidate value — the batched VOI scorer shares one term
+        computation across them (code equality is exactly the value
+        equality every rule state compares by).
+        """
+        if attribute not in self._states_by_attr:
+            # no rule touches the attribute: every probe is a no-op and
+            # every row is indistinguishable
+            return b""
+        per_tid = self._sig_cache.get(tid)
+        if per_tid is None:
+            if len(self._sig_cache) >= _SIG_CACHE_CAPACITY:
+                self._sig_cache.clear()
+            per_tid = self._sig_cache[tid] = {}
+        else:
+            cached = per_tid.get(attribute)
+            if cached is not None:
+                return cached
+        __, __, __, __, probe_cols = self._plan_for(
+            attribute, self.db.schema.position(attribute)
+        )
+        signature = self.db.columns.gather_row(tid, probe_cols).tobytes()
+        per_tid[attribute] = signature
+        return signature
+
     def _plan_for(
         self, attribute: str, pos: int
-    ) -> tuple[_ConstantProbePlan | None, list[_VariableRuleState], list[CFD], dict[CFD, int]]:
-        """The attribute's probe plan, variable states and rule order."""
+    ) -> tuple[
+        _ConstantProbePlan | None,
+        list[_VariableRuleState],
+        list[CFD],
+        dict[CFD, int],
+        np.ndarray,
+    ]:
+        """The attribute's probe plan, variable states, rule order, and
+        the union of column positions any probe on the attribute reads
+        (the :meth:`probe_signature` gather index)."""
         entry = self._probe_plans.get(attribute)
         if entry is None:
             states = self._states_by_attr[attribute]
@@ -1417,7 +1574,17 @@ class ViolationDetector:
             )
             rules_all = [s.rule for s in const_states] + [s.rule for s in var_states]
             rule_index = {rule: i for i, rule in enumerate(rules_all)}
-            entry = (plan, var_states, rules_all, rule_index)
+            schema = self.db.schema
+            probe_cols: set[int] = {pos}
+            for state in states:
+                probe_cols.update(schema.position(a) for a in state.rule.attributes)
+            entry = (
+                plan,
+                var_states,
+                rules_all,
+                rule_index,
+                np.array(sorted(probe_cols), dtype=np.int64),
+            )
             self._probe_plans[attribute] = entry
         return entry
 

@@ -262,8 +262,8 @@ class FeedbackLearner:
         confirm_class = feedback_to_class(Feedback.CONFIRM)
         for attr, indices in by_attr.items():
             model = self._models[attr]
-            X = np.vstack(
-                [self.encoder.encode(rows[i], attr, updates[i].value) for i in indices]
+            X = self.encoder.encode_many(
+                [rows[i] for i in indices], attr, [updates[i].value for i in indices]
             )
             fractions = model.vote_fractions(X)
             labels = np.argmax(fractions, axis=1)

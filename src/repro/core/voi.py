@@ -40,6 +40,10 @@ __all__ = ["GroupBenefitCache", "UpdateStatsProvider", "VOIEstimator"]
 #: Maps an update to its confirm probability ``p̃``.
 ProbabilityFn = Callable[[CandidateUpdate], float]
 
+#: Entry bound of the estimator's persistent Eq. 6 term memo; cleared
+#: wholesale on overflow (terms are one sparse probe to recompute).
+_TERM_MEMO_CAPACITY = 1 << 20
+
 
 class UpdateStatsProvider(Protocol):
     """What the VOI arithmetic needs from the violation machinery.
@@ -100,6 +104,11 @@ class VOIEstimator:
     ) -> None:
         self._stats = stats
         self._fixed_weights = dict(weights) if weights is not None else None
+        # (attribute, probe signature, value) -> (attr stats version,
+        # Eq. 6 term list); valid while the attribute's rule statistics
+        # hold still — reject/retain feedback and learner refits leave
+        # them untouched, so most re-rankings reuse every term
+        self._term_memo: dict[tuple, tuple[int, list[tuple[float, int, int]]]] = {}
 
     def _weights(self) -> Mapping[CFD, float]:
         if self._fixed_weights is not None:
@@ -131,6 +140,7 @@ class VOIEstimator:
         costs one partition-statistics pass per distinct cell instead of
         one apply/revert cycle per update.
         """
+        caller_weights = weights
         if weights is None:
             weights = self._weights()
         what_if_many = getattr(self._stats, "what_if_many", None)
@@ -139,15 +149,114 @@ class VOIEstimator:
                 self.update_benefit(update, probability, weights)
                 for update, probability in zip(updates, probabilities)
             ]
+        moved_many = getattr(self._stats, "what_if_moved_many", None)
+        if moved_many is None:
+            benefits = [0.0] * len(updates)
+            by_cell: dict[tuple[int, str], list[int]] = {}
+            for i, update in enumerate(updates):
+                by_cell.setdefault(update.cell, []).append(i)
+            for (tid, attribute), indices in by_cell.items():
+                outcome_maps = what_if_many(
+                    tid, attribute, [updates[i].value for i in indices]
+                )
+                for i, outcomes in zip(indices, outcome_maps):
+                    benefits[i] = _benefit_from_outcomes(outcomes, probabilities[i], weights)
+            return benefits
+        # Sparse fast path: only rules whose violation count would move
+        # are reported; every omitted rule's term is exactly zero, so
+        # the sum (same term expression, same rule order) is
+        # byte-identical to the dense loop. Term lists are additionally
+        # shared through the probe signature — tuples whose rows carry
+        # identical codes at every probed column are indistinguishable
+        # to the what-if arithmetic, so one term computation serves them
+        # all. With provider-owned weights the memo persists across
+        # calls, stamped by the attribute's stats version (terms only
+        # depend on row codes — the signature — and rule statistics);
+        # caller-supplied weight mappings get a call-scoped memo, since
+        # baked-in weights would outlive them.
+        probe_signature = getattr(self._stats, "probe_signature", None)
+        stats_version = getattr(self._stats, "attr_stats_version", None)
+        persistent = caller_weights is None and stats_version is not None
+        if persistent and len(self._term_memo) > _TERM_MEMO_CAPACITY:
+            self._term_memo.clear()
+        term_memo = self._term_memo if persistent else {}
+        attr_versions: dict[str, int] = {}
+        weights_get = weights.get
         benefits = [0.0] * len(updates)
-        by_cell: dict[tuple[int, str], list[int]] = {}
+        terms_of: list[list[tuple[float, int, int]] | None] = [None] * len(updates)
+        memo_keys: list[tuple | None] = [None] * len(updates)
+        # pass 1: memo lookups; schedule one computation per distinct
+        # memo key (followers resolve from the memo after pass 2)
+        miss_by_cell: dict[tuple[int, str], list[int]] = {}
+        scheduled: set[tuple] = set()
         for i, update in enumerate(updates):
-            by_cell.setdefault(update.cell, []).append(i)
-        for (tid, attribute), indices in by_cell.items():
-            outcome_maps = what_if_many(tid, attribute, [updates[i].value for i in indices])
-            for i, outcomes in zip(indices, outcome_maps):
-                benefits[i] = _benefit_from_outcomes(outcomes, probabilities[i], weights)
+            tid, attribute = update.cell
+            if probe_signature is not None:
+                memo_key = (attribute, probe_signature(tid, attribute), update.value)
+                memo_keys[i] = memo_key
+                if persistent:
+                    version = attr_versions.get(attribute)
+                    if version is None:
+                        version = attr_versions[attribute] = stats_version(attribute)
+                    entry = term_memo.get(memo_key)
+                    if entry is not None and entry[0] == version:
+                        terms_of[i] = entry[1]
+                        continue
+                else:
+                    terms = term_memo.get(memo_key)
+                    if terms is not None:
+                        terms_of[i] = terms
+                        continue
+                if memo_key in scheduled:
+                    continue  # a leader already computes this key
+                scheduled.add(memo_key)
+            miss_by_cell.setdefault(update.cell, []).append(i)
+        # pass 2: one sparse probe per missed cell — all of a cell's
+        # candidate values share the probe's per-cell setup, exactly
+        # like the dense path's per-cell what_if_many batching
+        for (tid, attribute), indices in miss_by_cell.items():
+            rows = self._term_rows(
+                moved_many, tid, attribute, [updates[i].value for i in indices], weights_get
+            )
+            for i, terms in zip(indices, rows):
+                terms_of[i] = terms
+                memo_key = memo_keys[i]
+                if memo_key is not None:
+                    if persistent:
+                        term_memo[memo_key] = (attr_versions[memo_key[0]], terms)
+                    else:
+                        term_memo[memo_key] = terms
+        # pass 3: Eq. 6 accumulation (followers read their leader's terms)
+        for i, terms in enumerate(terms_of):
+            if terms is None:
+                entry = term_memo[memo_keys[i]]
+                terms = entry[1] if persistent else entry
+            probability = probabilities[i]
+            benefit = 0.0
+            for weight, reduction, denominator in terms:
+                benefit += weight * probability * reduction / denominator
+            benefits[i] = benefit
         return benefits
+
+    @staticmethod
+    def _term_rows(
+        moved_many, tid: int, attribute: str, values, weights_get
+    ) -> list[list[tuple[float, int, int]]]:
+        """Per candidate, the nonzero Eq. 6 terms ``(w, red, denom)``.
+
+        Rules with zero weight are dropped exactly where the dense loop
+        ``continue``s; term order matches the outcome-map rule order.
+        """
+        rows: list[list[tuple[float, int, int]]] = []
+        for pairs in moved_many(tid, attribute, values):
+            terms: list[tuple[float, int, int]] = []
+            for rule, outcome in pairs:
+                weight = weights_get(rule, 0.0)
+                if weight == 0.0:
+                    continue
+                terms.append((weight, outcome[3], max(1, outcome[2])))
+            rows.append(terms)
+        return rows
 
     def group_benefit(self, group: UpdateGroup, probability: ProbabilityFn) -> float:
         """``E[g(c)]`` of Eq. 6 for one group.
@@ -160,9 +269,8 @@ class VOIEstimator:
             Callable producing ``p̃_j`` per update (learner confirm
             probability, falling back to the update score).
         """
-        weights = self._weights()
         benefits = self.update_benefits_many(
-            group.updates, [probability(update) for update in group.updates], weights
+            group.updates, [probability(update) for update in group.updates]
         )
         return sum(benefits)
 
@@ -177,7 +285,6 @@ class VOIEstimator:
         pass (:meth:`update_benefits_many`); ties break toward larger
         groups, then lexicographic key, so the ranking is deterministic.
         """
-        weights = self._weights()
         flat_updates: list[CandidateUpdate] = []
         spans: list[tuple[int, int]] = []
         for group in groups:
@@ -185,7 +292,7 @@ class VOIEstimator:
             flat_updates.extend(group.updates)
             spans.append((start, len(flat_updates)))
         benefits = self.update_benefits_many(
-            flat_updates, [probability(update) for update in flat_updates], weights
+            flat_updates, [probability(update) for update in flat_updates]
         )
         scored = [
             (group, sum(benefits[start:end])) for group, (start, end) in zip(groups, spans)
@@ -346,10 +453,16 @@ class GroupBenefitCache:
         values: list[float | None] = [None] * len(updates)
         misses: list[int] = []
         miss_stamps: list[tuple[int, int]] = []
+        row_version_of = self._row_versions.get
+        model_versions: dict[str, int] = {}
         for i, update in enumerate(updates):
             memo_key = (update.tid, update.attribute, update.value, update.score)
-            row_version = self._row_versions.get(update.tid, 0)
-            model_version = self._model_version(update.attribute)
+            row_version = row_version_of(update.tid, 0)
+            model_version = model_versions.get(update.attribute)
+            if model_version is None:
+                model_version = model_versions[update.attribute] = self._model_version(
+                    update.attribute
+                )
             hit = memo.get(memo_key)
             if (
                 hit is not None

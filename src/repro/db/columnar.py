@@ -253,10 +253,18 @@ class ColumnStore:
             mask &= self.codes(pos) == code
         return mask
 
+    def codes_at(self, pos: int, mask: np.ndarray) -> np.ndarray:
+        """Distinct codes of column *pos* over the masked rows (sorted).
+
+        The code-space companion of :meth:`values_at`: consumers that
+        memoise or score in code space (the suggestion engine's witness
+        pools) read codes directly and decode only what they keep.
+        """
+        return np.unique(self.codes(pos)[mask])
+
     def values_at(self, pos: int, mask: np.ndarray) -> list[object]:
         """Distinct decoded values of column *pos* over the masked rows."""
-        codes = np.unique(self.codes(pos)[mask])
-        return self._vocabs[pos].decode_many(codes.tolist())
+        return self._vocabs[pos].decode_many(self.codes_at(pos, mask).tolist())
 
     def __repr__(self) -> str:
         return f"ColumnStore({self.schema.name!r}, {self._size} rows, {len(self.schema)} columns)"

@@ -130,6 +130,42 @@ class UpdateExampleEncoder:
         features[len(self.schema) + 1] = float(self.sim(current, suggested_value))
         return features
 
+    def encode_many(
+        self,
+        rows: Sequence[Sequence[object]],
+        attribute: str,
+        suggested_values: Sequence[object],
+    ) -> np.ndarray:
+        """Encode many examples for model ``M_attribute`` in one pass.
+
+        Byte-identical to stacking :meth:`encode` row by row: every
+        per-attribute encoder sees its values in the same first
+        encounter order as the sequential path would feed it — each
+        non-target column is one pass down the rows, and the target
+        attribute's encoder interleaves each row's current value with
+        its suggested value, exactly like ``encode`` does. The
+        similarity feature routes through ``self.sim`` — the engine's
+        shared code-space cache when wired by
+        :class:`~repro.core.learner.FeedbackLearner`.
+        """
+        count = len(suggested_values)
+        features = np.empty((count, self.n_features), dtype=np.float64)
+        n_attrs = len(self.schema)
+        target_pos = self.schema.position(attribute)
+        for j, attr in enumerate(self.schema.attributes):
+            if j == target_pos:
+                continue
+            encode = self._encoders[attr].encode
+            features[:, j] = [encode(row[j]) for row in rows]
+        target_encode = self._encoders[attribute].encode
+        sim = self.sim
+        for i, (row, suggested) in enumerate(zip(rows, suggested_values)):
+            current = row[target_pos]
+            features[i, target_pos] = target_encode(current)
+            features[i, n_attrs] = target_encode(suggested)
+            features[i, n_attrs + 1] = float(sim(current, suggested))
+        return features
+
     def encoder_for(self, attribute: str) -> CategoricalEncoder:
         """The vocabulary encoder of one attribute (shared with ``v``)."""
         return self._encoders[attribute]

@@ -7,10 +7,13 @@ from repro.repair.generator import UpdateGenerator
 from repro.repair.heuristic import HeuristicRepairResult, batch_repair
 from repro.repair.similarity import (
     EditDistanceSimilarity,
+    SimilarityCache,
     SimilarityFunction,
     best_candidate,
     levenshtein,
+    levenshtein_many,
     similarity,
+    similarity_many,
     token_jaccard,
 )
 from repro.repair.state import EventKind, RepairState, StateEvent
@@ -24,6 +27,7 @@ __all__ = [
     "Feedback",
     "HeuristicRepairResult",
     "RepairState",
+    "SimilarityCache",
     "SimilarityFunction",
     "StateEvent",
     "UpdateGenerator",
@@ -31,6 +35,8 @@ __all__ = [
     "batch_repair",
     "best_candidate",
     "levenshtein",
+    "levenshtein_many",
     "similarity",
+    "similarity_many",
     "token_jaccard",
 ]

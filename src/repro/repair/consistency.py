@@ -175,7 +175,7 @@ class ConsistencyManager:
             # Step 2: the value is wrong; prevent it and look again.
             self.state.prevent(cell, update.value)
             self.state.remove(cell)
-            replacement = self.generator.generate_for_cell(*cell)
+            replacement = self.generator.generate_for_cells([cell])[0]
             return AppliedFeedback(update, feedback, replacement=replacement)
 
         # Confirm (possibly via a reject carrying the corrected value).
@@ -239,19 +239,25 @@ class ConsistencyManager:
         # these tuples' suggestions and coverage may drift; the next
         # delta refresh re-examines them
         self._touched.update(affected)
-        revisited: list[tuple[int, str]] = []
+        # one batched generation pass over every revisited cell; cell
+        # decisions are independent, so pre-reading the had-a-suggestion
+        # flags matches the interleaved per-cell reference exactly
+        cells: list[tuple[int, str]] = []
+        ordered_attrs = sorted(revisit_attrs)
         for other_tid in sorted(affected):
-            for other_attr in sorted(revisit_attrs):
+            for other_attr in ordered_attrs:
                 other_cell = (other_tid, other_attr)
                 if exclude is not None and other_cell == exclude:
                     continue
-                if not self.state.is_changeable(other_cell):
-                    continue
-                had_update = self.state.get(other_cell) is not None
-                regenerated = self.generator.generate_for_cell(other_tid, other_attr)
-                if had_update or regenerated is not None:
-                    revisited.append(other_cell)
-        return revisited
+                if self.state.is_changeable(other_cell):
+                    cells.append(other_cell)
+        had_update = [self.state.get(cell) is not None for cell in cells]
+        regenerated = self.generator.generate_for_cells(cells)
+        return [
+            cell
+            for cell, had, update in zip(cells, had_update, regenerated)
+            if had or update is not None
+        ]
 
     # ------------------------------------------------------------------
     def refresh_suggestions(self) -> int:
@@ -278,13 +284,17 @@ class ConsistencyManager:
         candidates.update(self._uncovered)
         if not candidates:
             return 0
-        produced = 0
         detector = self.detector
         state = self.state
         db = self.db
         uncovered = self._uncovered
         self._in_refresh = True
         try:
+            # classification first (independent per tuple), then one
+            # batched generation pass over every uncovered dirty tuple —
+            # witness signatures and candidate pools are shared across
+            # the whole wave instead of per tuple
+            generate: list[int] = []
             for tid in sorted(candidates):
                 if not detector.is_dirty(tid):
                     for update in state.updates_for_tuple(tid):
@@ -296,8 +306,10 @@ class ConsistencyManager:
                         state.remove(update.cell)
                 if state.covers_tuple(tid):
                     uncovered.discard(tid)
-                    continue
-                produced += len(self.generator.generate_for_tuple(tid))
+                else:
+                    generate.append(tid)
+            produced = len(self.generator.generate_for_tuples(generate))
+            for tid in generate:
                 if state.covers_tuple(tid):
                     uncovered.discard(tid)
                 else:
@@ -333,16 +345,16 @@ class ConsistencyManager:
                     covered.add(update.tid)
             for cell in stale:
                 state.remove(cell)
-            uncovered: set[int] = set()
             # the detector maintains the dirty set pre-sorted; iterate
-            # the incremental ordered view instead of re-sorting
-            for tid in detector.dirty_tuples_ordered():
-                if tid not in covered:
-                    generated = len(self.generator.generate_for_tuple(tid))
-                    produced += generated
-                    if not state.covers_tuple(tid):
-                        uncovered.add(tid)
-            self._uncovered = uncovered
+            # the incremental ordered view instead of re-sorting, and
+            # generate the whole uncovered wave in one batched pass
+            generate = [
+                tid for tid in detector.dirty_tuples_ordered() if tid not in covered
+            ]
+            produced += len(self.generator.generate_for_tuples(generate))
+            self._uncovered = {
+                tid for tid in generate if not state.covers_tuple(tid)
+            }
         finally:
             self._in_refresh = False
         return produced

@@ -13,10 +13,20 @@ cell ``t[B]`` across three scenarios:
    agree with ``t`` on the rule's remaining attributes
    (``getValueForLHS``).
 
-Scenario 3 enumeration runs on the database's dictionary-encoded
-columns: witness agreement is one vectorized equality mask and the
-candidate values come straight from the column vocabulary — no hash
-index builds, no full-table scans.
+Scenario enumeration runs on the database's dictionary-encoded columns:
+witness agreement is one vectorized equality mask, candidate values
+come straight from the column vocabulary, and scenario-2 partner
+histograms are memoised per ``(rule, partition, stats version)``.
+
+The engine drives generation through the **batched** path
+(:meth:`UpdateGenerator.generate_for_cells`): cells are processed in
+order, each tuple's violated-rule list is resolved once, cells sharing
+an ``(attribute, current code, witness signature)`` reuse one selection
+decision, and candidate pools are scored through the batched Eq. 7
+kernel (:meth:`~repro.repair.similarity.SimilarityCache.scores`). The
+per-cell scalar path (:meth:`UpdateGenerator.generate_for_cell` with
+``batched=False``) is retained as the byte-identical reference behind
+``GDRConfig(suggest="scalar")``.
 
 The best-scoring value that is neither the current value nor in the
 cell's prevented list becomes the cell's live suggestion.
@@ -35,6 +45,12 @@ from repro.repair.state import RepairState
 
 __all__ = ["UpdateGenerator"]
 
+#: Scenario-2 histogram memo bound; the memo is cleared wholesale when
+#: it fills (entries for dead partitions would otherwise accumulate).
+_RHS_MEMO_CAPACITY = 4096
+
+_UNSET = object()
+
 
 class UpdateGenerator:
     """Generates candidate updates for dirty cells on demand.
@@ -46,7 +62,12 @@ class UpdateGenerator:
         suggestions into *state* (one live suggestion per cell).
     sim:
         Update-evaluation function (defaults to Eq. 7 edit-distance
-        similarity).
+        similarity). A :class:`~repro.repair.similarity.SimilarityCache`
+        additionally enables code-space batched scoring.
+    batched:
+        When True (default) :meth:`generate_for_cells` shares witness
+        signatures and batch-scores pools; when False it degrades to
+        the scalar per-cell reference path.
 
     Examples
     --------
@@ -69,17 +90,25 @@ class UpdateGenerator:
         detector: ViolationDetector,
         state: RepairState,
         sim: SimilarityFunction = similarity,
+        batched: bool = True,
     ) -> None:
         self.db = db
         self.rules = rules
         self.detector = detector
         self.state = state
         self.sim = sim
+        self.batched = batched
         # (witness positions, witness codes, target column) -> candidate
         # values; shared by every tuple in the same witness group and
         # invalidated wholesale when the database version moves
         self._witness_memo: dict[tuple, list[object]] = {}
         self._witness_memo_version = -1
+        # (rule, partition key) -> (rule stats version, histogram values
+        # ordered most-frequent-first); the scenario-2 pool minus the
+        # tuple's own current value
+        self._rhs_memo: dict[tuple, tuple[int, list[object]]] = {}
+        # (rule, attribute) -> witness column positions, fixed per rule
+        self._witness_positions: dict[tuple, tuple[tuple[str, ...], tuple[int, ...]]] = {}
 
     # ------------------------------------------------------------------
     def generate_all(self) -> list[CandidateUpdate]:
@@ -88,19 +117,37 @@ class UpdateGenerator:
         Following the paper, every attribute of a dirty tuple is
         initially assumed potentially incorrect; attributes not involved
         in any violated rule simply yield no suggestion. Iterates the
-        detector's incrementally ordered dirty view — no per-pass sort.
+        detector's incrementally ordered dirty view — no per-pass sort —
+        and (on the batched path) generates every cell through one
+        :meth:`generate_for_cells` call, sharing witness signatures
+        across the whole dirty set.
         """
-        produced: list[CandidateUpdate] = []
-        for tid in self.detector.dirty_tuples_ordered():
-            produced.extend(self.generate_for_tuple(tid))
-        return produced
+        return self.generate_for_tuples(self.detector.dirty_tuples_ordered())
+
+    def generate_for_tuples(self, tids) -> list[CandidateUpdate]:
+        """Run ``UpdateAttributeTuple`` over every cell of many tuples.
+
+        Cells are visited in the same order as per-tuple generation
+        (tuples in the given order, each tuple's attributes in violated
+        rule order), so the state-event stream is identical to the
+        scalar path's.
+        """
+        violated_by_tid: dict[int, list] = {}
+        cells: list[tuple[int, str]] = []
+        for tid in tids:
+            violated = self.detector.violated_rules(tid)
+            violated_by_tid[tid] = violated
+            cells.extend((tid, attr) for attr in self._tuple_attrs(violated))
+        produced = self.generate_for_cells(cells, violated_by_tid)
+        return [update for update in produced if update is not None]
 
     def generate_for_tuple(self, tid: int) -> list[CandidateUpdate]:
         """Run ``UpdateAttributeTuple`` for every attribute of tuple *tid*."""
-        produced: list[CandidateUpdate] = []
-        violated = self.detector.violated_rules(tid)
-        if not violated:
-            return produced
+        return self.generate_for_tuples((tid,))
+
+    @staticmethod
+    def _tuple_attrs(violated) -> list[str]:
+        """Attributes of a tuple's violated rules, first-seen order."""
         attrs: list[str] = []
         seen: set[str] = set()
         for rule in violated:
@@ -108,18 +155,82 @@ class UpdateGenerator:
                 if attr not in seen:
                     seen.add(attr)
                     attrs.append(attr)
-        for attr in attrs:
-            update = self.generate_for_cell(tid, attr)
-            if update is not None:
-                produced.append(update)
-        return produced
+        return attrs
+
+    # ------------------------------------------------------------------
+    def generate_for_cells(
+        self,
+        cells,
+        violated_by_tid: dict[int, list] | None = None,
+    ) -> list[CandidateUpdate | None]:
+        """Algorithm 1 batched over many cells (aligned result list).
+
+        Byte-identical to running :meth:`generate_for_cell` per cell in
+        order: cell decisions are independent (each depends only on the
+        database, the detector and the cell's own prevented/changeable
+        flags), so violated-rule lists are shared per tuple and the
+        full selection outcome is shared across cells with an equal
+        witness signature. Pools are scored through the batched Eq. 7
+        kernel when the similarity function supports it.
+        """
+        if not self.batched:
+            return [self.generate_for_cell(tid, attr) for tid, attr in cells]
+        state = self.state
+        detector = self.detector
+        db = self.db
+        columns = db.columns
+        schema = db.schema
+        if violated_by_tid is None:
+            violated_by_tid = {}
+        results: list[CandidateUpdate | None] = []
+        decisions: dict[tuple, tuple[object | None, float]] = {}
+        for cell in cells:
+            tid, attribute = cell
+            if not state.is_changeable(cell):
+                results.append(None)
+                continue
+            violated = violated_by_tid.get(tid)
+            if violated is None:
+                violated = violated_by_tid[tid] = detector.violated_rules(tid)
+            if not violated:
+                state.remove(cell)
+                results.append(None)
+                continue
+            current = db.value(tid, attribute)
+            prevented = state.prevented(cell)
+            signature = None
+            decision = _UNSET
+            if not prevented:
+                # prevented cells get no sharing: their admissible set
+                # is cell-specific
+                signature = self._signature(
+                    tid, columns.position_of(tid), attribute, violated, columns, schema
+                )
+                decision = decisions.get(signature, _UNSET)
+            if decision is _UNSET:
+                pools = self._pools_for(tid, attribute, violated)
+                decision = self._select_best(attribute, current, pools, prevented)
+                if signature is not None:
+                    decisions[signature] = decision
+            best_value, best_score = decision
+            if best_value is None:
+                state.remove(cell)
+                results.append(None)
+                continue
+            update = CandidateUpdate(tid, attribute, best_value, best_score)
+            state.put(update)
+            results.append(update)
+        return results
 
     def generate_for_cell(self, tid: int, attribute: str) -> CandidateUpdate | None:
-        """``UpdateAttributeTuple(t, B)`` — Algorithm 1.
+        """``UpdateAttributeTuple(t, B)`` — Algorithm 1, one cell.
 
-        Returns the new live suggestion for the cell, or ``None`` when
-        the cell is frozen, the tuple is clean, or no admissible value
-        exists. Any previous suggestion for the cell is replaced.
+        The scalar reference path (per-candidate similarity calls, no
+        cross-cell sharing); the batched path reproduces it
+        byte-for-byte. Returns the new live suggestion for the cell, or
+        ``None`` when the cell is frozen, the tuple is clean, or no
+        admissible value exists. Any previous suggestion for the cell
+        is replaced.
         """
         cell = (tid, attribute)
         if not self.state.is_changeable(cell):
@@ -131,6 +242,22 @@ class UpdateGenerator:
         current = self.db.value(tid, attribute)
         prevented = self.state.prevented(cell)
 
+        pools = self._pools_for(tid, attribute, violated)
+        best_value, best_score = best_candidate(
+            current, chain.from_iterable(pools), excluded=prevented, sim=self.sim
+        )
+        if best_value is None:
+            self.state.remove(cell)
+            return None
+        update = CandidateUpdate(tid, attribute, best_value, best_score)
+        self.state.put(update)
+        return update
+
+    # ------------------------------------------------------------------
+    # candidate pools (shared by the scalar and batched paths)
+    # ------------------------------------------------------------------
+    def _pools_for(self, tid: int, attribute: str, violated) -> list:
+        """The scenario-1/2/3 candidate pools for one cell, in order."""
         pools = []
         saw_lhs_rule = False
         for rule in violated:
@@ -143,25 +270,71 @@ class UpdateGenerator:
                 saw_lhs_rule = True
         if saw_lhs_rule:
             pools.append(self._values_for_lhs(tid, attribute, violated))  # scenario 3
+        return pools
 
-        best_value, best_score = best_candidate(
-            current, chain.from_iterable(pools), excluded=prevented, sim=self.sim
-        )
-        if best_value is None:
-            self.state.remove(cell)
-            return None
-        update = CandidateUpdate(tid, attribute, best_value, best_score)
-        self.state.put(update)
-        return update
+    def _signature(self, tid: int, row: int, attribute: str, violated, columns, schema) -> tuple:
+        """Witness signature: everything the cell's decision depends on.
 
-    # ------------------------------------------------------------------
+        Two unprevented cells with equal signatures see identical
+        candidate pools (built in identical order) and an identical
+        current value, so they share one selection outcome:
+
+        * the attribute and the cell's current code;
+        * per violated rule touching the attribute, the rule identity
+          plus its pool key — nothing for a constant RHS (the constant
+          is fixed by the rule), the tuple's LHS partition for a
+          variable RHS, the tuple's witness codes for an LHS rule.
+        """
+        pos = schema.position(attribute)
+        code_at = columns.code_at
+        parts: list = [pos, code_at(row, pos)]
+        for rule in violated:
+            if rule.rhs == attribute:
+                if rule.is_constant:
+                    parts.append(id(rule))
+                else:
+                    parts.append((id(rule), self.detector.partition_key(tid, rule)))
+            if attribute in rule.lhs:
+                __, positions = self._witness_layout(rule, attribute, schema)
+                codes = tuple(code_at(row, p) for p in positions)
+                parts.append((id(rule), codes))
+        return tuple(parts)
+
+    def _witness_layout(self, rule, attribute: str, schema):
+        """Witness attributes and column positions of *rule* sans *attribute*."""
+        layout_key = (rule, attribute)
+        layout = self._witness_positions.get(layout_key)
+        if layout is None:
+            witness_attrs = tuple(a for a in rule.attributes if a != attribute)
+            positions = tuple(schema.positions(witness_attrs))
+            layout = self._witness_positions[layout_key] = (witness_attrs, positions)
+        return layout
+
     def _values_for_rhs(self, tid: int, rule) -> list[object]:
-        """``getValueForRHS``: partner RHS values, most frequent first."""
-        counts = self.detector.group_value_counts(tid, rule)
+        """``getValueForRHS``: partner RHS values, most frequent first.
+
+        The partition's ordered histogram is memoised per ``(rule,
+        partition key)`` and stamped with the rule's statistics version,
+        so every tuple of the partition (and every repeated visit while
+        the rule's statistics hold still) shares one sort. Filtering
+        the tuple's own current value afterwards preserves the
+        reference order (the sort is stable and the key ignores list
+        position).
+        """
+        detector = self.detector
+        part_key = detector.partition_key(tid, rule)
+        memo_key = (rule, part_key)
+        version = detector.rule_stats_version(rule)
+        entry = self._rhs_memo.get(memo_key)
+        if entry is None or entry[0] != version:
+            counts = detector.group_value_counts(tid, rule)
+            ranked = [(count, value) for value, count in counts.items()]
+            ranked.sort(key=lambda pair: (-pair[0], str(pair[1])))
+            if len(self._rhs_memo) >= _RHS_MEMO_CAPACITY:
+                self._rhs_memo.clear()
+            entry = self._rhs_memo[memo_key] = (version, [value for __, value in ranked])
         current = self.db.value(tid, rule.rhs)
-        candidates = [(count, value) for value, count in counts.items() if value != current]
-        candidates.sort(key=lambda pair: (-pair[0], str(pair[1])))
-        return [value for __, value in candidates]
+        return [value for value in entry[1] if value != current]
 
     def _values_for_lhs(self, tid: int, attribute: str, violated) -> set[object]:
         """``getValueForLHS``: rule constants plus context-agreeing values.
@@ -189,10 +362,9 @@ class UpdateGenerator:
             entry = rule.pattern.get(attribute)
             if entry is not None and rule.pattern.is_constant_on(attribute):
                 pool.add(entry)
-            witness_attrs = tuple(a for a in rule.attributes if a != attribute)
+            witness_attrs, positions = self._witness_layout(rule, attribute, schema)
             if not witness_attrs:
                 continue
-            positions = schema.positions(witness_attrs)
             codes = tuple(columns.code_at(row_pos, p) for p in positions)
             memo_key = (positions, codes, attr_pos)
             values = self._witness_memo.get(memo_key)
@@ -201,12 +373,64 @@ class UpdateGenerator:
                 # but is never admissible (it equals the current value), so
                 # the lookup is shareable across the whole witness group
                 mask = columns.match_mask_codes(zip(positions, codes))
-                values = columns.values_at(attr_pos, mask) if mask.any() else []
+                if mask.any():
+                    values = columns.vocabulary(attr_pos).decode_many(
+                        columns.codes_at(attr_pos, mask).tolist()
+                    )
+                else:
+                    values = []
                 self._witness_memo[memo_key] = values
             pool.update(values)
         return pool
+
+    # ------------------------------------------------------------------
+    def _select_best(
+        self, attribute: str, current, pools, prevented
+    ) -> tuple[object | None, float]:
+        """Batch-scored :func:`~repro.repair.similarity.best_candidate`.
+
+        Admissibility (skip the current value, prevented values and
+        ``None``) is applied first; the surviving candidates are scored
+        in one batched pass and the selection loop then reproduces the
+        reference tie-breaks (higher score, then lexicographically
+        smaller string form) over the same candidate order.
+        """
+        admissible = [
+            value
+            for value in chain.from_iterable(pools)
+            if not (value == current or value in prevented or value is None)
+        ]
+        if not admissible:
+            return None, -1.0
+        scores = self._scores(attribute, current, admissible)
+        best_value: object | None = None
+        best_score = -1.0
+        best_str: str | None = None
+        for value, score in zip(admissible, scores):
+            if best_value is None or score > best_score:
+                best_value = value
+                best_score = score
+                best_str = None
+            elif score == best_score:
+                if best_str is None:
+                    best_str = str(best_value)
+                value_str = str(value)
+                if value_str < best_str:
+                    best_value = value
+                    best_str = value_str
+        return best_value, best_score
+
+    def _scores(self, attribute: str, current, values) -> list[float]:
+        """Eq. 7 scores for a candidate list (kernel-batched when possible)."""
+        scores = getattr(self.sim, "scores", None)
+        if scores is not None:
+            return scores(self.db.schema.position(attribute), current, values)
+        sim = self.sim
+        return [sim(current, value) for value in values]
 
     def detach(self) -> None:
         """Release the generator's derived caches."""
         self._witness_memo.clear()
         self._witness_memo_version = -1
+        self._rhs_memo.clear()
+        self._witness_positions.clear()

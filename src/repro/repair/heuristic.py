@@ -32,7 +32,7 @@ from dataclasses import dataclass, field
 from repro.constraints.repository import RuleSet
 from repro.constraints.violations import ViolationDetector
 from repro.db.database import Database
-from repro.repair.similarity import SimilarityFunction, similarity
+from repro.repair.similarity import SimilarityCache, SimilarityFunction, similarity
 
 __all__ = ["HeuristicRepairResult", "batch_repair"]
 
@@ -103,6 +103,12 @@ def batch_repair(
     own_detector = detector is None
     if detector is None:
         detector = ViolationDetector(db, rules)
+    if sim is similarity:
+        # the default Eq. 7 function is pure and uncached (the old
+        # module-global lru_cache is gone); a run-scoped cache restores
+        # memoization of the repeated per-partition pairs at identical
+        # values
+        sim = SimilarityCache(db.columns)
     result = HeuristicRepairResult()
     settled: set[tuple[int, str]] = set()
     try:

@@ -1,0 +1,129 @@
+"""Suggestion-engine config tests: `suggest="batched"` vs `"scalar"`.
+
+The batched engine (code-space similarity, witness-signature sharing,
+kernel-scored pools) must reproduce the scalar per-cell reference's
+``GDRResult`` byte-for-byte for fixed seeds — same labels, same learner
+decisions, same trajectory, same final instance.
+"""
+
+import pytest
+
+from repro.core import GDRConfig, GDREngine, GroundTruthOracle
+from repro.datasets import load_dataset
+from repro.errors import ConfigError
+
+
+def _run(suggest, preset, dataset="hospital", n=150, budget=40, data_seed=7,
+         config_seed=3, **overrides):
+    ds = load_dataset(dataset, n=n, seed=data_seed)
+    db = ds.fresh_dirty()
+    config = preset(seed=config_seed, suggest=suggest, **overrides)
+    engine = GDREngine(db, ds.rules, GroundTruthOracle(ds.clean), config, clean_db=ds.clean)
+    result = engine.run(feedback_limit=budget)
+    return db, result, engine
+
+
+def _trajectory(result):
+    return [(p.feedback, p.learner_decisions, p.loss) for p in result.trajectory]
+
+
+class TestSuggestConfig:
+    def test_default_is_batched(self):
+        assert GDRConfig().suggest == "batched"
+
+    def test_invalid_suggest_rejected(self):
+        with pytest.raises(ConfigError):
+            GDRConfig(suggest="bogus")
+
+    def test_invalid_sim_cache_capacity_rejected(self):
+        with pytest.raises(ConfigError):
+            GDRConfig(sim_cache_capacity=0)
+
+    def test_engine_owns_one_similarity_cache(self):
+        ds = load_dataset("hospital", n=60, seed=0)
+        engine = GDREngine(
+            ds.fresh_dirty(), ds.rules, GroundTruthOracle(ds.clean), GDRConfig.gdr()
+        )
+        assert engine.generator.sim is engine.sim_cache
+        assert engine.learner.encoder.sim is engine.sim_cache
+
+    def test_two_engines_do_not_share_cache_state(self):
+        """The old module-global ``lru_cache`` leaked across engines;
+        engine-owned caches must be independent."""
+        ds = load_dataset("hospital", n=60, seed=0)
+        first = GDREngine(
+            ds.fresh_dirty(), ds.rules, GroundTruthOracle(ds.clean), GDRConfig.gdr()
+        )
+        first.detach()
+        second = GDREngine(
+            ds.fresh_dirty(), ds.rules, GroundTruthOracle(ds.clean), GDRConfig.gdr()
+        )
+        assert first.sim_cache is not second.sim_cache
+        assert second.sim_cache.stats["hits"] <= first.sim_cache.stats["hits"]
+
+    def test_cache_capacity_honoured(self):
+        ds = load_dataset("hospital", n=80, seed=1)
+        engine = GDREngine(
+            ds.fresh_dirty(),
+            ds.rules,
+            GroundTruthOracle(ds.clean),
+            GDRConfig.gdr(sim_cache_capacity=8),
+            clean_db=ds.clean,
+        )
+        engine.run(feedback_limit=10)
+        assert len(engine.sim_cache) <= 8 + 64  # one batch may overshoot, then purge
+        assert engine.sim_cache.stats["evictions"] > 0
+
+    def test_generator_mode_follows_config(self):
+        ds = load_dataset("hospital", n=60, seed=0)
+        batched = GDREngine(
+            ds.fresh_dirty(), ds.rules, GroundTruthOracle(ds.clean), GDRConfig.gdr()
+        )
+        batched.detach()
+        scalar = GDREngine(
+            ds.fresh_dirty(),
+            ds.rules,
+            GroundTruthOracle(ds.clean),
+            GDRConfig.gdr(suggest="scalar"),
+        )
+        assert batched.generator.batched is True
+        assert scalar.generator.batched is False
+
+
+class TestByteIdenticalSuggestParity:
+    @pytest.mark.parametrize(
+        "preset",
+        [GDRConfig.gdr, GDRConfig.s_learning, GDRConfig.active_learning, GDRConfig.no_learning],
+        ids=["gdr", "s_learning", "active_learning", "no_learning"],
+    )
+    def test_batched_matches_scalar(self, preset):
+        db_b, result_b, __ = _run("batched", preset)
+        db_s, result_s, __ = _run("scalar", preset)
+        assert db_b.equals_data(db_s)
+        assert result_b.feedback_used == result_s.feedback_used
+        assert result_b.learner_decisions == result_s.learner_decisions
+        assert result_b.iterations == result_s.iterations
+        assert result_b.initial_loss == result_s.initial_loss
+        assert result_b.final_loss == result_s.final_loss
+        assert _trajectory(result_b) == _trajectory(result_s)
+        assert result_b.remaining_dirty == result_s.remaining_dirty
+
+    def test_adult_dataset_parity(self):
+        db_b, result_b, __ = _run("batched", GDRConfig.gdr, dataset="adult", n=120,
+                                  budget=30, data_seed=2, config_seed=1)
+        db_s, result_s, __ = _run("scalar", GDRConfig.gdr, dataset="adult", n=120,
+                                  budget=30, data_seed=2, config_seed=1)
+        assert db_b.equals_data(db_s)
+        assert _trajectory(result_b) == _trajectory(result_s)
+
+    def test_batched_on_rebuild_pipeline_parity(self):
+        db_b, result_b, __ = _run("batched", GDRConfig.gdr, pipeline="rebuild")
+        db_s, result_s, __ = _run("scalar", GDRConfig.gdr, pipeline="rebuild")
+        assert db_b.equals_data(db_s)
+        assert _trajectory(result_b) == _trajectory(result_s)
+
+    def test_cache_sees_traffic_during_run(self):
+        __, __, engine = _run("batched", GDRConfig.gdr)
+        stats = engine.sim_cache.stats
+        assert stats["misses"] > 0
+        assert stats["hits"] > 0

@@ -123,6 +123,121 @@ class TestLiveDetectorBatching:
         assert ranked[0][0].key == ("city", "Michigan City")
 
 
+class TestSparseMovedPath:
+    """`what_if_moved_many` + the probe-signature term memo vs the
+    dense outcome-map arithmetic."""
+
+    def _live(self, n=200, seed=13):
+        from repro.datasets import load_dataset
+
+        ds = load_dataset("hospital", n=n, seed=seed)
+        db = ds.fresh_dirty()
+        detector = ViolationDetector(db, ds.rules)
+        return ds, db, detector
+
+    def test_moved_rows_agree_with_dense_outcomes(self):
+        __, db, detector = self._live()
+        dirty = sorted(detector.dirty_tuples())[:40]
+        for tid in dirty:
+            for attribute in ("zip", "city"):
+                current = db.value(tid, attribute)
+                candidates = ["46360", "Michigan City", current]
+                dense = detector.what_if_many(tid, attribute, candidates)
+                sparse = detector.what_if_moved_many(tid, attribute, candidates)
+                for outcomes, moved in zip(dense, sparse):
+                    expected = [
+                        (rule, outcome)
+                        for rule, outcome in outcomes.items()
+                        if outcome.vio_reduction != 0
+                    ]
+                    assert moved == expected
+
+    def test_update_benefits_many_matches_dense_loop(self):
+        from repro.core.voi import _benefit_from_outcomes
+
+        __, db, detector = self._live()
+        estimator = VOIEstimator(detector)
+        weights = detector.weights()
+        updates = []
+        for tid in sorted(detector.dirty_tuples())[:60]:
+            updates.append(CandidateUpdate(tid, "zip", "46360", 0.4))
+            updates.append(CandidateUpdate(tid, "city", "Michigan City", 0.7))
+        probabilities = [0.1 + (i % 7) / 10 for i in range(len(updates))]
+        got = estimator.update_benefits_many(updates, probabilities)
+        expected = [
+            _benefit_from_outcomes(
+                detector.what_if(u.tid, u.attribute, u.value), p, weights
+            )
+            for u, p in zip(updates, probabilities)
+        ]
+        assert got == expected  # byte-identical, not approx
+
+    def test_term_memo_reuses_until_stats_move(self):
+        __, db, detector = self._live(n=120)
+        estimator = VOIEstimator(detector)
+        tid = sorted(detector.dirty_tuples())[0]
+        updates = [CandidateUpdate(tid, "zip", "46360", 0.4)]
+        first = estimator.update_benefits_many(updates, [0.5])
+        assert len(estimator._term_memo) > 0
+        # statistics unchanged -> memo hit, same value
+        assert estimator.update_benefits_many(updates, [0.5]) == first
+        # a write that moves the statistics invalidates via the stamp
+        before = detector.attr_stats_version("zip")
+        db.set_value(tid, "zip", "46360")
+        if detector.attr_stats_version("zip") != before:
+            fresh = estimator.update_benefits_many(updates, [0.5])
+            weights = detector.weights()
+            from repro.core.voi import _benefit_from_outcomes
+
+            assert fresh == [
+                _benefit_from_outcomes(
+                    detector.what_if(tid, "zip", "46360"), 0.5, weights
+                )
+            ]
+
+    def test_caller_weights_bypass_persistent_memo(self):
+        __, db, detector = self._live(n=120)
+        estimator = VOIEstimator(detector)
+        tid = sorted(detector.dirty_tuples())[0]
+        updates = [CandidateUpdate(tid, "zip", "46360", 0.4)]
+        # seed the persistent memo with live weights
+        estimator.update_benefits_many(updates, [0.5])
+        # a custom weights mapping must not read the baked-in terms
+        zero = estimator.update_benefits_many(updates, [0.5], {r: 0.0 for r in detector.rules})
+        assert zero == [0.0]
+
+    def test_rule_less_attribute_scores_zero(self):
+        """An update on an attribute no rule touches must score 0.0
+        through the sparse path, exactly like the scalar/dense paths."""
+        from repro.db import Database, Schema
+
+        db = Database(
+            Schema("r", ["zip", "city", "state"]),
+            [["46360", "Westville", "IN"], ["46360", "Wstville", "IN"]],
+        )
+        rules = RuleSet(parse_rules("(zip -> city, {46360 || 'Michigan City'})"))
+        detector = ViolationDetector(db, rules)
+        estimator = VOIEstimator(detector)
+        update = CandidateUpdate(0, "state", "IL", 0.5)
+        assert estimator.update_benefit(update, 0.5) == 0.0
+        assert estimator.update_benefits_many([update], [0.5]) == [0.0]
+
+    def test_probe_signature_shared_by_identical_rows(self):
+        from repro.db import Database, Schema
+
+        db = Database(
+            Schema("r", ["zip", "city"]),
+            [["46360", "Westville"], ["46360", "Westville"], ["46391", "Westville"]],
+        )
+        rules = RuleSet(parse_rules("(zip -> city, {46360 || 'Michigan City'})"))
+        detector = ViolationDetector(db, rules)
+        assert detector.probe_signature(0, "city") == detector.probe_signature(1, "city")
+        assert detector.probe_signature(0, "city") != detector.probe_signature(2, "city")
+        # writes invalidate the cached signature
+        db.set_value(0, "zip", "46391")
+        assert detector.probe_signature(0, "city") == detector.probe_signature(2, "city")
+
+
 class TestGreedyTieBreak:
     def _groups(self):
         updates_a = [CandidateUpdate(0, "b", "useless", 0.5), CandidateUpdate(1, "b", "useless", 0.5)]

@@ -91,3 +91,62 @@ class TestUpdateExampleEncoder:
         enc = UpdateExampleEncoder(Schema("r", ["a"]), sim=lambda u, v: 0.42)
         features = enc.encode(("x",), "a", "y")
         assert features[-1] == pytest.approx(0.42)
+
+
+class TestEncodeMany:
+    """`encode_many` must be byte-identical to stacking `encode` calls."""
+
+    def _examples(self):
+        rows = [
+            ("x", "y", "z"),
+            ("x2", "y", "z2"),
+            ("x", "y3", "z"),
+            ("x4", "y4", "z4"),
+        ]
+        suggested = ["w", "y", "fresh", "y4"]
+        return rows, suggested
+
+    def test_matches_sequential_encode(self):
+        rows, suggested = self._examples()
+        sequential = UpdateExampleEncoder(Schema("r", ["a", "b", "c"]))
+        expected = np.vstack(
+            [sequential.encode(row, "b", value) for row, value in zip(rows, suggested)]
+        )
+        batched = UpdateExampleEncoder(Schema("r", ["a", "b", "c"]))
+        got = batched.encode_many(rows, "b", suggested)
+        assert np.array_equal(got, expected)
+
+    def test_fresh_values_interleave_like_sequential(self):
+        """The target attribute's encoder sees row value then suggested
+        value per example — a column-major pass would assign different
+        codes when both are new."""
+        rows = [("r0",), ("r1",)]
+        suggested = ["s0", "s1"]
+        sequential = UpdateExampleEncoder(Schema("r", ["a"]))
+        expected = np.vstack(
+            [sequential.encode(row, "a", value) for row, value in zip(rows, suggested)]
+        )
+        batched = UpdateExampleEncoder(Schema("r", ["a"]))
+        got = batched.encode_many(rows, "a", suggested)
+        assert np.array_equal(got, expected)
+        # interleaved assignment: r0=0, s0=1, r1=2, s1=3
+        assert got[:, 0].tolist() == [0.0, 2.0]
+        assert got[:, 1].tolist() == [1.0, 3.0]
+
+    def test_custom_similarity_applies_per_row(self):
+        rows, suggested = self._examples()
+        enc = UpdateExampleEncoder(Schema("r", ["a", "b", "c"]), sim=lambda u, v: 0.42)
+        got = enc.encode_many(rows, "b", suggested)
+        assert got[:, -1].tolist() == [0.42] * len(rows)
+
+    def test_empty_batch(self):
+        enc = UpdateExampleEncoder(Schema("r", ["a", "b", "c"]))
+        got = enc.encode_many([], "b", [])
+        assert got.shape == (0, enc.n_features)
+
+    def test_shared_state_with_sequential_use(self):
+        # encode_many grows the same vocabularies encode uses
+        enc = UpdateExampleEncoder(Schema("r", ["a", "b"]))
+        enc.encode_many([("x", "y")], "b", ["w"])
+        single = enc.encode(("x", "y"), "b", "w")
+        assert np.array_equal(enc.encode_many([("x", "y")], "b", ["w"])[0], single)

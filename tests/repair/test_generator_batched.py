@@ -1,0 +1,190 @@
+"""Batched suggestion-engine tests: `generate_for_cells` vs the scalar path."""
+
+import pytest
+
+from repro.constraints import RuleSet, ViolationDetector, parse_rules
+from repro.datasets import load_dataset
+from repro.db import Database, Schema
+from repro.repair import RepairState, SimilarityCache, UpdateGenerator
+
+
+def _substrate(ds, batched, sim=None):
+    db = ds.fresh_dirty()
+    detector = ViolationDetector(db, ds.rules)
+    state = RepairState()
+    kwargs = {"batched": batched}
+    if sim is not None:
+        kwargs["sim"] = sim
+    generator = UpdateGenerator(db, ds.rules, detector, state, **kwargs)
+    return db, detector, state, generator
+
+
+def _pool(state):
+    return {u.cell: (u.value, u.score) for u in state.updates()}
+
+
+@pytest.mark.parametrize("dataset,n", [("hospital", 200), ("adult", 150)])
+def test_generate_all_matches_scalar(dataset, n):
+    ds = load_dataset(dataset, n=n, seed=11)
+    __, __, state_b, gen_b = _substrate(ds, batched=True)
+    __, __, state_s, gen_s = _substrate(ds, batched=False)
+    produced_b = gen_b.generate_all()
+    produced_s = gen_s.generate_all()
+    assert [u.cell for u in produced_b] == [u.cell for u in produced_s]
+    assert [(u.value, u.score) for u in produced_b] == [
+        (u.value, u.score) for u in produced_s
+    ]
+    assert _pool(state_b) == _pool(state_s)
+
+
+def test_generate_all_matches_scalar_with_code_space_cache():
+    ds = load_dataset("hospital", n=150, seed=3)
+    db = ds.fresh_dirty()
+    detector = ViolationDetector(db, ds.rules)
+    state_b = RepairState()
+    cache = SimilarityCache(db.columns)
+    gen_b = UpdateGenerator(db, ds.rules, detector, state_b, sim=cache, batched=True)
+    gen_b.generate_all()
+    __, __, state_s, gen_s = _substrate(ds, batched=False)
+    gen_s.generate_all()
+    assert _pool(state_b) == _pool(state_s)
+    assert cache.stats["hits"] + cache.stats["misses"] > 0
+
+
+def test_generate_for_cells_interleaves_like_per_cell_calls():
+    ds = load_dataset("hospital", n=120, seed=5)
+    db, detector, state, gen = _substrate(ds, batched=True)
+    dirty = list(detector.dirty_tuples_ordered())[:10]
+    cells = []
+    for tid in dirty:
+        for rule in detector.violated_rules(tid):
+            for attr in rule.attributes:
+                if (tid, attr) not in cells:
+                    cells.append((tid, attr))
+    results = gen.generate_for_cells(cells)
+    assert len(results) == len(cells)
+    # aligned: result i concerns cell i
+    for cell, update in zip(cells, results):
+        if update is not None:
+            assert update.cell == cell
+            assert state.get(cell) == update
+
+
+def test_prevented_cell_not_shared_with_witness_twin():
+    """Two identical tuples: preventing one cell's best value must not
+    leak into the twin's decision (and vice versa)."""
+    rows = [["46360", "Westvile"], ["46360", "Westvile"]]
+    schema = Schema("r", ["zip", "city"])
+    db = Database(schema, rows)
+    rules = RuleSet(parse_rules("(zip -> city, {46360 || 'Michigan City'})"))
+    detector = ViolationDetector(db, rules)
+    state = RepairState()
+    gen = UpdateGenerator(db, rules, detector, state, batched=True)
+    state.prevent((0, "city"), "Michigan City")
+    results = gen.generate_for_cells([(0, "city"), (1, "city")])
+    assert results[0] is None  # only candidate prevented
+    assert results[1] is not None and results[1].value == "Michigan City"
+
+
+def test_witness_twins_share_one_decision():
+    ds = load_dataset("hospital", n=100, seed=2)
+    db, detector, state, gen = _substrate(ds, batched=True)
+    gen.generate_all()
+    # duplicate a dirty tuple's suggestion situation: regenerate twice,
+    # then cross-check the scalar path agrees cell by cell
+    __, __, state_s, gen_s = _substrate(ds, batched=False)
+    gen_s.generate_all()
+    assert _pool(state) == _pool(state_s)
+
+
+class TestRhsHistogramMemo:
+    def _build(self):
+        rows = [
+            ["46391", "Fort Wayne", "Sherden RD"],
+            ["46825", "Fort Wayne", "Sherden RD"],
+            ["46825", "Fort Wayne", "Sherden RD"],
+        ]
+        schema = Schema("r", ["zip", "city", "street"])
+        db = Database(schema, rows)
+        rules = RuleSet(parse_rules("(street, city -> zip, {-, - || -})"), schema=schema)
+        detector = ViolationDetector(db, rules)
+        state = RepairState()
+        gen = UpdateGenerator(db, rules, detector, state, batched=True)
+        return db, rules, detector, gen
+
+    def test_partition_shares_one_histogram(self):
+        db, rules, detector, gen = self._build()
+        rule = next(iter(rules))
+        first = gen._values_for_rhs(0, rule)
+        assert first == ["46825"]
+        assert len(gen._rhs_memo) == 1
+        # the partner tuple reuses the same memo entry, filtered by its
+        # own current value
+        assert gen._values_for_rhs(1, rule) == ["46391"]
+        assert len(gen._rhs_memo) == 1
+
+    def test_stats_version_move_invalidates(self):
+        db, rules, detector, gen = self._build()
+        rule = next(iter(rules))
+        assert gen._values_for_rhs(0, rule) == ["46825"]
+        (memo_version, __), = gen._rhs_memo.values()
+        db.set_value(2, "zip", "46391")
+        # partition histogram is now {46391: 2, 46825: 1}; tuple 1
+        # (current 46825) must see the re-ranked, re-filtered list
+        assert gen._values_for_rhs(1, rule) == ["46391"]
+        assert gen._values_for_rhs(0, rule) == ["46825"]
+        (new_version, __), = gen._rhs_memo.values()
+        assert new_version != memo_version
+
+    def test_memo_capacity_clears(self):
+        import repro.repair.generator as gen_mod
+
+        db, rules, detector, gen = self._build()
+        rule = next(iter(rules))
+        gen._values_for_rhs(0, rule)
+        old_capacity = gen_mod._RHS_MEMO_CAPACITY
+        try:
+            gen_mod._RHS_MEMO_CAPACITY = 0
+            gen._rhs_memo.clear()
+            gen._values_for_rhs(0, rule)
+            assert len(gen._rhs_memo) <= 1
+        finally:
+            gen_mod._RHS_MEMO_CAPACITY = old_capacity
+
+    def test_detach_clears_all_memos(self):
+        db, rules, detector, gen = self._build()
+        rule = next(iter(rules))
+        gen._values_for_rhs(0, rule)
+        gen.generate_for_tuple(0)
+        gen.detach()
+        assert gen._rhs_memo == {}
+        assert gen._witness_memo == {}
+        assert gen._witness_positions == {}
+
+
+def test_regeneration_after_writes_matches_scalar():
+    """Drive identical write sequences through both modes and compare
+    the regenerated pools after every write."""
+    ds = load_dataset("hospital", n=120, seed=9)
+    db_b, det_b, state_b, gen_b = _substrate(ds, batched=True)
+    db_s, det_s, state_s, gen_s = _substrate(ds, batched=False)
+    gen_b.generate_all()
+    gen_s.generate_all()
+    victims = list(det_b.dirty_tuples_ordered())[:8]
+    for tid in victims:
+        update_b = state_b.updates_for_tuple(tid)
+        update_s = state_s.updates_for_tuple(tid)
+        assert [(u.cell, u.value, u.score) for u in update_b] == [
+            (u.cell, u.value, u.score) for u in update_s
+        ]
+        if not update_b:
+            continue
+        cell = update_b[0].cell
+        db_b.set_value(*cell, update_b[0].value)
+        db_s.set_value(*cell, update_s[0].value)
+        regen_b = gen_b.generate_for_tuple(tid)
+        regen_s = gen_s.generate_for_tuple(tid)
+        assert [(u.cell, u.value, u.score) for u in regen_b] == [
+            (u.cell, u.value, u.score) for u in regen_s
+        ]
+        assert _pool(state_b) == _pool(state_s)

@@ -4,10 +4,22 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.repair import EditDistanceSimilarity, levenshtein, similarity, token_jaccard
+from repro.db.columnar import ColumnStore
+from repro.db.schema import Schema
+from repro.repair import (
+    EditDistanceSimilarity,
+    SimilarityCache,
+    levenshtein,
+    levenshtein_many,
+    similarity,
+    similarity_many,
+    token_jaccard,
+)
 from repro.repair.similarity import best_candidate
 
 TEXT = st.text(alphabet="abcde ", max_size=12)
+#: Full-unicode strings for the batched-kernel property tests.
+UNITEXT = st.text(max_size=10)
 
 
 class TestLevenshtein:
@@ -58,6 +70,117 @@ class TestLevenshtein:
                     table[i - 1][j] + 1, table[i][j - 1] + 1, table[i - 1][j - 1] + cost
                 )
         assert levenshtein(a, b) == table[m][n]
+
+
+class TestLevenshteinMany:
+    """The batched NumPy kernel against the scalar reference."""
+
+    @given(query=UNITEXT, candidates=st.lists(UNITEXT, max_size=8))
+    def test_matches_scalar_reference(self, query, candidates):
+        got = levenshtein_many(query, candidates).tolist()
+        assert got == [levenshtein(query, c) for c in candidates]
+
+    @given(query=UNITEXT)
+    def test_empty_candidate_list(self, query):
+        assert levenshtein_many(query, []).tolist() == []
+
+    @given(candidates=st.lists(UNITEXT, min_size=1, max_size=8))
+    def test_empty_query_gives_lengths(self, candidates):
+        got = levenshtein_many("", candidates).tolist()
+        assert got == [len(c) for c in candidates]
+
+    @given(query=UNITEXT, n=st.integers(min_value=1, max_value=5))
+    def test_equal_strings_give_zero(self, query, n):
+        assert levenshtein_many(query, [query] * n).tolist() == [0] * n
+
+    def test_empty_strings_in_batch(self):
+        assert levenshtein_many("abc", ["", "abc", "", "ab"]).tolist() == [3, 0, 3, 1]
+
+    def test_mixed_lengths_padding_never_leaks(self):
+        # a short candidate next to a long one: the DP must read each
+        # result at the candidate's own length, never the pad columns
+        assert levenshtein_many("abcdef", ["a", "abcdefgh"]).tolist() == [5, 2]
+
+    def test_surrogate_and_astral_codepoints(self):
+        cands = ["\U0001F600", "a\U0001F600b", "\ud800"]
+        got = levenshtein_many("a\ud800", cands).tolist()
+        assert got == [levenshtein("a\ud800", c) for c in cands]
+
+    @given(original=UNITEXT, candidates=st.lists(UNITEXT, max_size=8))
+    def test_similarity_many_matches_scalar(self, original, candidates):
+        assert similarity_many(original, candidates) == [
+            similarity(original, c) for c in candidates
+        ]
+
+    def test_similarity_many_equality_shortcut_for_mixed_types(self):
+        # 1 == True and 1 == 1.0 but their strings differ: the batched
+        # path must fire the equality shortcut before stringifying,
+        # exactly like the scalar function
+        candidates = [True, 1.0, 2, "1"]
+        assert similarity_many(1, candidates) == [
+            similarity(1, c) for c in candidates
+        ]
+        assert similarity_many(1, [True])[0] == 1.0
+
+
+def _store(values):
+    schema = Schema("r", ["a"])
+    return ColumnStore(schema, [(i, [v]) for i, v in enumerate(values)])
+
+
+class TestSimilarityCache:
+    def test_callable_matches_similarity(self):
+        cache = SimilarityCache()
+        pairs = [("Westvile", "Westville"), ("46360", "46391"), (1, 1.0), ("", "")]
+        for a, b in pairs:
+            assert cache(a, b) == similarity(a, b)
+        # second pass answers from the memo with identical values
+        for a, b in pairs:
+            assert cache(a, b) == similarity(a, b)
+        assert cache.stats["hits"] > 0
+
+    def test_scores_code_space_matches_scalar(self):
+        values = ["Michigan City", "Westville", "Wstville", "Gary"]
+        cache = SimilarityCache(_store(values))
+        candidates = values + ["Fort Wayne"]  # last one out-of-vocabulary
+        expected = [similarity("Westville", v) for v in candidates]
+        assert cache.scores(0, "Westville", candidates) == expected
+        assert cache.scores(0, "Westville", candidates) == expected  # memo hits
+        assert cache.stats["hits"] > 0
+        assert cache.stats["pair_entries"] > 0
+        assert cache.stats["str_entries"] == 1
+
+    def test_scores_without_columns_falls_back(self):
+        cache = SimilarityCache()
+        got = cache.scores(0, "abc", ["abd", "xyz"])
+        assert got == [similarity("abc", "abd"), similarity("abc", "xyz")]
+
+    def test_scores_out_of_vocabulary_current(self):
+        cache = SimilarityCache(_store(["x", "y"]))
+        got = cache.scores(0, "never-stored", ["x", "y"])
+        assert got == [similarity("never-stored", v) for v in ["x", "y"]]
+
+    def test_capacity_purges_and_counts_evictions(self):
+        cache = SimilarityCache(_store(["aa", "ab", "ac", "ad"]), capacity=2)
+        for current in ["aa", "ab", "ac"]:
+            got = cache.scores(0, current, ["aa", "ab", "ac", "ad"])
+            assert got == [similarity(current, v) for v in ["aa", "ab", "ac", "ad"]]
+        assert cache.stats["evictions"] > 0
+        assert len(cache) <= 4  # one batch may overshoot; the next purges
+
+    def test_duplicate_candidates_counted_once(self):
+        cache = SimilarityCache(_store(["aa", "ab"]))
+        cache.scores(0, "aa", ["ab", "ab", "ab"])
+        assert cache.stats["pair_entries"] == 1
+
+    def test_clear_keeps_counters(self):
+        cache = SimilarityCache()
+        cache("a", "b")
+        hits, misses = cache.stats["hits"], cache.stats["misses"]
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats["misses"] == misses
+        assert cache.stats["hits"] == hits
 
 
 class TestSimilarity:
