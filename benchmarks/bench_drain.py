@@ -63,7 +63,7 @@ def _drain(engine: GDREngine) -> tuple:
         decided,
         engine.detector.dirty_count(),
         tuple(tuple(row.values) for row in engine.db.rows()),
-        engine.benefit_cache.stats if engine.benefit_cache is not None else {},
+        engine.health()["cache"],
     )
 
 

@@ -6,11 +6,14 @@ instance, for both pipelines:
 
 * ``test_loop_delta`` — the delta pipeline (incremental refresh, event
   maintained group index, stamped benefit cache, heap selection);
-* ``test_loop_rebuild`` — the retained rebuild-per-iteration reference.
+* ``test_loop_rebuild`` — the retained rebuild-per-iteration reference;
+* ``test_loop_journal`` — the delta pipeline with the write-ahead
+  feedback journal armed, recording ``journal.overhead_vs_delta``
+  (the acceptance bound is <= 10% on the tracked full-size run).
 
-Both runs must produce identical results (cross-checked inline); the
-recorded medians make the delta/rebuild ratio visible across PRs in
-``BENCH_loop.json``. Scale knobs::
+Both pipelines must produce identical results (cross-checked inline);
+the recorded medians make the delta/rebuild ratio visible across PRs
+in ``BENCH_loop.json``. Scale knobs::
 
     REPRO_LOOP_N       table size          (default 1000)
     REPRO_LOOP_BUDGET  user label budget   (default 200)
@@ -21,6 +24,10 @@ e.g. ``REPRO_LOOP_N=200 REPRO_LOOP_BUDGET=40`` for a CI smoke run.
 from __future__ import annotations
 
 import os
+import shutil
+import statistics
+import tempfile
+import time
 
 import pytest
 
@@ -35,16 +42,21 @@ LOOP_SEED = int(os.environ.get("REPRO_LOOP_SEED", "0"))
 _RESULTS: dict[str, tuple] = {}
 
 
-def _run_loop(pipeline: str):
+def _make_engine(pipeline: str, journal_path: str | None = None):
     dataset = load_dataset("hospital", n=LOOP_N, seed=LOOP_SEED)
     db = dataset.fresh_dirty()
     engine = GDREngine(
         db,
         dataset.rules,
         GroundTruthOracle(dataset.clean),
-        GDRConfig.gdr(seed=LOOP_SEED, pipeline=pipeline),
+        GDRConfig.gdr(seed=LOOP_SEED, pipeline=pipeline, journal_path=journal_path),
         clean_db=dataset.clean,
     )
+    return db, engine
+
+
+def _run_loop(pipeline: str):
+    db, engine = _make_engine(pipeline)
     result = engine.run(feedback_limit=LOOP_BUDGET)
     return db, result, engine
 
@@ -68,10 +80,10 @@ def _bench_pipeline(benchmark, pipeline: str, rounds: int):
     assert result.improvement > 0
     benchmark.extra_info["iterations"] = result.iterations
     benchmark.extra_info["final_loss"] = result.final_loss
-    if engine.benefit_cache is not None:
-        for key, value in engine.benefit_cache.stats.items():
-            benchmark.extra_info[f"cache.{key}"] = value
-    for key, value in engine.sim_cache.stats.items():
+    health = engine.health()
+    for key, value in health["cache"].items():
+        benchmark.extra_info[f"cache.{key}"] = value
+    for key, value in health["sim"].items():
         benchmark.extra_info[f"sim.{key}"] = value
     _RESULTS[pipeline] = _signature(db, result)
     return result
@@ -85,6 +97,64 @@ def test_loop_delta(benchmark):
 def test_loop_rebuild(benchmark):
     """Full interactive loop on the rebuild-per-iteration reference."""
     _bench_pipeline(benchmark, "rebuild", rounds=1)
+
+
+def test_loop_journal(benchmark):
+    """Delta pipeline with the write-ahead journal armed.
+
+    Times ``engine.run()`` alone (engine construction and dataset
+    generation happen in the untimed setup) against an identically
+    timed journal-off baseline, recording the relative journal cost as
+    ``journal.overhead_vs_delta`` — the durability tax of flushing
+    every feedback decision and cell write before applying it.
+    """
+    rounds = 3
+    tmpdirs: list[str] = []
+    engines: list[GDREngine] = []
+    durations: list[float] = []
+    outcomes: list[tuple] = []
+
+    def setup():
+        tmp = tempfile.mkdtemp(prefix="repro-bench-journal-")
+        tmpdirs.append(tmp)
+        db, engine = _make_engine("delta", os.path.join(tmp, "journal.jsonl"))
+        engines.append(engine)
+        return (db, engine), {}
+
+    def target(db, engine):
+        start = time.perf_counter()
+        result = engine.run(feedback_limit=LOOP_BUDGET)
+        durations.append(time.perf_counter() - start)
+        outcomes.append((db, result, engine))
+        return result
+
+    try:
+        benchmark.pedantic(target, setup=setup, rounds=rounds, iterations=1, warmup_rounds=0)
+        db, result, engine = outcomes[-1]
+
+        baseline: list[float] = []
+        for _ in range(rounds):
+            db0, engine0 = _make_engine("delta")
+            start = time.perf_counter()
+            result0 = engine0.run(feedback_limit=LOOP_BUDGET)
+            baseline.append(time.perf_counter() - start)
+            engine0.detach()
+        # durability must not change a single decision or write
+        assert _signature(db, result) == _signature(db0, result0)
+
+        overhead = statistics.median(durations) / statistics.median(baseline) - 1.0
+        benchmark.extra_info["journal.overhead_vs_delta"] = round(overhead, 4)
+        benchmark.extra_info["journal.records"] = engine.journal.seq
+        health = engine.health()
+        for key, value in health["cache"].items():
+            benchmark.extra_info[f"cache.{key}"] = value
+        for key, value in health["sim"].items():
+            benchmark.extra_info[f"sim.{key}"] = value
+    finally:
+        for engine in engines:
+            engine.detach()
+        for tmp in tmpdirs:
+            shutil.rmtree(tmp, ignore_errors=True)
 
 
 def test_loop_trajectories_identical():

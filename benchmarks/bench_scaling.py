@@ -94,7 +94,7 @@ def test_scaling_learning(benchmark):
                 n, GDRConfig.gdr(seed=BENCH_SEED), budget=_budget(n)
             )
             timings[n] = (seconds, result.feedback_used, result.learner_decisions,
-                          engine.sim_cache.stats)
+                          engine.health()["sim"])
         return timings
 
     timings = benchmark.pedantic(sweep, rounds=1, iterations=1)
@@ -156,6 +156,6 @@ def test_scaling_suggest_parity(benchmark):
 
     sig_b, sig_s, engine = benchmark.pedantic(both, rounds=1, iterations=1)
     assert sig_b == sig_s
-    for key, value in engine.sim_cache.stats.items():
+    for key, value in engine.health()["sim"].items():
         benchmark.extra_info[f"sim.{key}"] = value
     benchmark.extra_info["parity"] = 1

@@ -40,8 +40,14 @@ SUITES = {
 DEFAULT_OUTPUT = SUITES["micro"][1]
 
 
-def run_suite(suite: str, selector: str | None = None) -> dict[str, float]:
-    """Run one suite and return ``{benchmark name: median seconds}``."""
+def run_suite(suite: str, selector: str | None = None) -> tuple[dict[str, float], int]:
+    """Run one suite; return ``({benchmark name: median seconds}, exit code)``.
+
+    A failing suite still returns whatever benchmarks completed
+    (pytest-benchmark writes its JSON at session end even when some
+    tests fail), so callers can record partial medians alongside the
+    failure instead of losing the run.
+    """
     bench_file, __ = SUITES[suite]
     with tempfile.TemporaryDirectory() as tmp:
         raw_path = Path(tmp) / "bench.json"
@@ -61,9 +67,10 @@ def run_suite(suite: str, selector: str | None = None) -> dict[str, float]:
         if selector:
             command += ["-k", selector]
         result = subprocess.run(command, cwd=REPO_ROOT, env=env)
-        if result.returncode != 0:
-            raise SystemExit(result.returncode)
-        data = json.loads(raw_path.read_text())
+        try:
+            data = json.loads(raw_path.read_text())
+        except (OSError, json.JSONDecodeError):
+            data = {"benchmarks": []}
     medians: dict[str, float] = {}
     for bench in sorted(data["benchmarks"], key=lambda b: b["name"]):
         medians[bench["name"]] = bench["stats"]["median"]
@@ -73,12 +80,15 @@ def run_suite(suite: str, selector: str | None = None) -> dict[str, float]:
         for key, value in sorted(bench.get("extra_info", {}).items()):
             if isinstance(value, (int, float)) and not isinstance(value, bool):
                 medians[f"{bench['name']}.{key}"] = value
-    return medians
+    return medians, result.returncode
 
 
 def run_micro_benchmarks(selector: str | None = None) -> dict[str, float]:
-    """Back-compat wrapper: the micro suite."""
-    return run_suite("micro", selector)
+    """Back-compat wrapper: the micro suite; raises on failure."""
+    medians, returncode = run_suite("micro", selector)
+    if returncode != 0:
+        raise SystemExit(returncode)
+    return medians
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -106,23 +116,32 @@ def main(argv: list[str] | None = None) -> int:
     suites = list(SUITES) if args.suite == "all" else [args.suite]
     if args.output is not None and len(suites) > 1:
         parser.error("--output cannot be combined with --suite all")
+    failed: list[str] = []
     for suite in suites:
         default_output = SUITES[suite][1]
         output = args.output if args.output is not None else default_output
-        medians = run_suite(suite, args.selector)
-        width = max(len(name) for name in medians)
-        for name, value in medians.items():
-            if "." in name:  # extra_info counter, not a timing
-                print(f"{name:<{width}}  {value}")
-            else:
-                print(f"{name:<{width}}  {value * 1e3:9.3f} ms")
+        medians, returncode = run_suite(suite, args.selector)
+        if returncode != 0:
+            # record the failure in the output (partial medians kept) and
+            # keep going: one broken suite must not hide the others' data
+            failed.append(suite)
+            medians["suite.error"] = returncode
+            print(f"suite {suite!r} FAILED (pytest exit {returncode}); "
+                  f"recording partial medians", file=sys.stderr)
+        if medians:
+            width = max(len(name) for name in medians)
+            for name, value in medians.items():
+                if "." in name:  # extra_info counter, not a timing
+                    print(f"{name:<{width}}  {value}")
+                else:
+                    print(f"{name:<{width}}  {value * 1e3:9.3f} ms")
         if args.selector and output == default_output:
             # a subset must not clobber the tracked full-run medians
             print(f"\nsubset run (-k): not overwriting {output}; pass -o to write")
             continue
         output.write_text(json.dumps(medians, indent=2, sort_keys=True) + "\n")
         print(f"\nwrote {output}")
-    return 0
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

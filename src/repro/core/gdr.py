@@ -18,12 +18,16 @@ Variant                ranking   learning    grouping  per-group quota
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import os
+import pickle
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
 
 from repro.constraints.repository import RuleSet
 from repro.constraints.violations import ViolationDetector
 from repro.core.effort import EffortPolicy, FeedbackBudget
 from repro.core.grouping import GroupIndex, UpdateGroup, group_updates
+from repro.core.guard import InvariantGuard
 from repro.core.learner import FeedbackLearner
 from repro.core.metrics import RepairReport, TrajectoryPoint, evaluate_repair
 from repro.core.quality import QualityEvaluator, quality_improvement
@@ -37,7 +41,10 @@ from repro.core.session import (
 from repro.core.user import UserOracle
 from repro.core.voi import GroupBenefitCache, VOIEstimator
 from repro.db.database import Database
+from repro.db.journal import FeedbackJournal, ReplayOracle
+from repro.db.schema import Schema
 from repro.errors import ConfigError
+from repro.testing.faults import fault_hit
 from repro.repair.candidate import CandidateUpdate
 from repro.repair.consistency import ConsistencyManager
 from repro.repair.feedback import UserFeedback
@@ -116,6 +123,25 @@ class GDRConfig:
         ``lru_cache``, which leaked entries across engines and datasets
         in one process; hit/miss counters are exposed through
         ``GDREngine.sim_cache.stats``.
+    guard / guard_interval / guard_max_incidents:
+        When *guard* is on, an :class:`~repro.core.guard.InvariantGuard`
+        audits the live incremental structures against their reference
+        paths every *guard_interval* engine steps, recovering corrupted
+        components in place and escalating to
+        :class:`~repro.errors.IntegrityError` past *guard_max_incidents*
+        recorded incidents.
+    journal_path / journal_fsync:
+        When *journal_path* is set, every feedback decision and
+        database write is appended to a write-ahead
+        :class:`~repro.db.journal.FeedbackJournal` before application;
+        *journal_fsync* additionally fsyncs each record.
+    checkpoint_path / checkpoint_every:
+        When *checkpoint_path* is set, the run auto-serialises its full
+        session state there every *checkpoint_every* interactive
+        iterations and once at drain start;
+        :meth:`GDREngine.restore` + :meth:`GDREngine.resume` continue a
+        killed session from the latest checkpoint plus the journal
+        tail.
     """
 
     ranking: str = "voi"
@@ -144,6 +170,13 @@ class GDRConfig:
     voi_cache_capacity: int = 1 << 20
     suggest: str = "batched"
     sim_cache_capacity: int = 1 << 20
+    guard: bool = False
+    guard_interval: int = 4
+    guard_max_incidents: int = 25
+    journal_path: str | None = None
+    journal_fsync: bool = False
+    checkpoint_path: str | None = None
+    checkpoint_every: int = 25
 
     def __post_init__(self) -> None:
         if self.ranking not in _RANKINGS:
@@ -165,6 +198,26 @@ class GDRConfig:
         if self.sim_cache_capacity < 1:
             raise ConfigError(
                 f"sim_cache_capacity must be positive, got {self.sim_cache_capacity!r}"
+            )
+        if not isinstance(self.guard, bool):
+            raise ConfigError(f"guard must be a bool, got {self.guard!r}")
+        if self.guard_interval < 1:
+            raise ConfigError(
+                f"guard_interval must be >= 1, got {self.guard_interval!r}"
+            )
+        if self.guard_max_incidents < 1:
+            raise ConfigError(
+                f"guard_max_incidents must be >= 1, got {self.guard_max_incidents!r}"
+            )
+        if self.journal_path is not None and not str(self.journal_path):
+            raise ConfigError("journal_path must be None or a non-empty path")
+        if not isinstance(self.journal_fsync, bool):
+            raise ConfigError(f"journal_fsync must be a bool, got {self.journal_fsync!r}")
+        if self.checkpoint_path is not None and not str(self.checkpoint_path):
+            raise ConfigError("checkpoint_path must be None or a non-empty path")
+        if self.checkpoint_every < 1:
+            raise ConfigError(
+                f"checkpoint_every must be >= 1, got {self.checkpoint_every!r}"
             )
 
     # ------------------------------------------------------------------
@@ -271,6 +324,7 @@ class GDREngine:
         oracle: UserOracle,
         config: GDRConfig | None = None,
         clean_db: Database | None = None,
+        generate: bool = True,
     ) -> None:
         self.db = db
         self.rules = rules
@@ -337,12 +391,53 @@ class GDREngine:
                     row_version_capacity=self.config.voi_cache_capacity,
                 )
 
-        self.generator.generate_all()
+        # robustness layer: write-ahead journal + invariant guard
+        self.journal: FeedbackJournal | None = None
+        if self.config.journal_path is not None:
+            self.journal = FeedbackJournal(
+                self.config.journal_path, fsync=self.config.journal_fsync
+            )
+            self.manager.journal = self.journal
+            db.add_write_hook(self._journal_write_hook)
+            if self.journal.seq == 0:
+                self.journal.log_meta(db, asdict(self.config))
+        self.guard: InvariantGuard | None = None
+        if self.config.guard:
+            self.guard = InvariantGuard(
+                self,
+                interval=self.config.guard_interval,
+                max_incidents=self.config.guard_max_incidents,
+            )
+
+        if generate:
+            self.generator.generate_all()
         self.initial_dirty = self.detector.dirty_count()
         # group keys the user has given feedback on; the learner only
         # ever decides inside these contexts (the paper's grouping
         # locality: models "adapt locally to the current group")
         self._visited_groups: set[tuple[str, object]] = set()
+        # loop-position snapshot maintained during run(); what
+        # checkpoint() serialises alongside the structural state
+        self._loop_state: dict = {
+            "phase": "interactive",
+            "iterations": 0,
+            "feedback_used": 0,
+            "learner_decisions": 0,
+            "trajectory": [],
+            "stalled": 0,
+            "feedback_limit": None,
+            "drain": True,
+            "initial_loss": None,
+            "session_rng": None,
+            "strategy_rng": None,
+        }
+        # set by GDREngine.restore(); consumed by resume()
+        self._resume_state: dict | None = None
+
+    def _journal_write_hook(
+        self, tid: int, attribute: str, old: object, new: object, source: str
+    ) -> None:
+        self.journal.log_write(tid, attribute, old, new, source)
 
     # ------------------------------------------------------------------
     def detach(self) -> None:
@@ -360,6 +455,167 @@ class GDREngine:
             self.group_index.detach()
         if self.benefit_cache is not None:
             self.benefit_cache.detach()
+        if self.journal is not None:
+            self.db.remove_write_hook(self._journal_write_hook)
+            self.manager.journal = None
+            self.journal.close()
+
+    # ------------------------------------------------------------------
+    # durability: checkpoint / restore / resume
+    # ------------------------------------------------------------------
+    _CHECKPOINT_FORMAT = 1
+
+    def checkpoint(self, path: str | Path) -> None:
+        """Serialise the full session state to *path*, atomically.
+
+        Captures the instance (rows by tid), the repair state
+        (suggestions, prevented values, frozen cells), the learner's
+        training set and fitted committees, the loop position recorded
+        at the last safe point (iteration top / drain start, including
+        RNG states), and the journal sequence covered — everything
+        :meth:`restore` + :meth:`resume` need to continue the session.
+        Written to a temp file and renamed, so a kill mid-checkpoint
+        leaves the previous checkpoint intact.
+        """
+        rows, next_tid = self.db.export_rows()
+        initial_rows, initial_next_tid = self.initial_db.export_rows()
+        payload = {
+            "format": self._CHECKPOINT_FORMAT,
+            "config": asdict(self.config),
+            "schema": (self.db.schema.name, list(self.db.schema.attributes)),
+            "rows": rows,
+            "next_tid": next_tid,
+            "initial_rows": initial_rows,
+            "initial_next_tid": initial_next_tid,
+            "initial_dirty": self.initial_dirty,
+            "pool": [
+                (u.tid, u.attribute, u.value, u.score) for u in self.state.updates()
+            ],
+            "prevented": self.state.prevented_map(),
+            "frozen": self.state.frozen_cells(),
+            "visited_groups": set(self._visited_groups),
+            "learner": self.learner.export_state() if self.learner is not None else None,
+            "loop": dict(self._loop_state),
+            "journal_seq": self.journal.seq if self.journal is not None else 0,
+        }
+        path = Path(path)
+        tmp = path.with_name(path.name + ".tmp")
+        with open(tmp, "wb") as handle:
+            pickle.dump(payload, handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+        if self.journal is not None:
+            self.journal.log_checkpoint(path, payload["loop"]["phase"])
+
+    @classmethod
+    def restore(
+        cls,
+        path: str | Path,
+        rules: RuleSet,
+        oracle: UserOracle,
+        clean_db: Database | None = None,
+    ) -> "GDREngine":
+        """Rebuild an engine from a :meth:`checkpoint` file.
+
+        The caller supplies the non-serialisable collaborators (rules
+        and oracle — and the ground truth, when loss trajectories are
+        wanted); everything else comes from the checkpoint. Follow with
+        :meth:`resume` to continue the interrupted run.
+        """
+        try:
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
+        except OSError as exc:
+            raise ConfigError(f"cannot read checkpoint {path}: {exc}") from exc
+        if payload.get("format") != cls._CHECKPOINT_FORMAT:
+            raise ConfigError(
+                f"checkpoint {path} has format {payload.get('format')!r}, "
+                f"expected {cls._CHECKPOINT_FORMAT}"
+            )
+        schema = Schema(payload["schema"][0], payload["schema"][1])
+        db = Database.from_rows(schema, payload["rows"], payload["next_tid"])
+        config = GDRConfig(**payload["config"])
+        engine = cls(db, rules, oracle, config, clean_db, generate=False)
+        engine.initial_db = Database.from_rows(
+            schema, payload["initial_rows"], payload["initial_next_tid"]
+        )
+        engine.initial_dirty = payload["initial_dirty"]
+        # order matters: flags first (they carry no pool entries), then
+        # the pool itself — each put flows through the state events into
+        # the incremental group index
+        for cell in sorted(payload["frozen"]):
+            engine.state.freeze(cell)
+        for cell in sorted(payload["prevented"]):
+            for value in sorted(payload["prevented"][cell], key=repr):
+                engine.state.prevent(cell, value)
+        for tid, attribute, value, score in payload["pool"]:
+            engine.state.put(CandidateUpdate(tid, attribute, value, score))
+        if engine.learner is not None and payload["learner"] is not None:
+            engine.learner.restore_state(payload["learner"])
+        engine._visited_groups = set(payload["visited_groups"])
+        engine._loop_state = dict(payload["loop"])
+        engine._resume_state = {
+            "journal_seq": payload["journal_seq"],
+            "loop": dict(payload["loop"]),
+        }
+        return engine
+
+    def resume(self) -> GDRResult:
+        """Continue the interrupted run a restored engine checkpointed.
+
+        Re-enters :meth:`run` at the checkpointed loop position. User
+        answers recorded in the journal after the checkpoint are
+        replayed through a :class:`~repro.db.journal.ReplayOracle`
+        (falling through to the live oracle once the tail is dry), so
+        re-execution reaches the kill point without re-asking the user
+        and then simply keeps going. A session checkpointed at drain
+        start replays nothing — the drain consults no oracle — and
+        re-runs the drain deterministically.
+        """
+        if self._resume_state is None:
+            raise ConfigError(
+                "resume() requires an engine built by GDREngine.restore()"
+            )
+        resume = self._resume_state
+        self._resume_state = None
+        loop = resume["loop"]
+        if self.journal is not None:
+            tail = FeedbackJournal.feedback_tail(
+                self.journal.path, after_seq=resume["journal_seq"]
+            )
+            if tail:
+                self.oracle = ReplayOracle(tail, self.oracle)
+        if loop["initial_loss"] is None:
+            # checkpointed before the run ever started: plain fresh run
+            return self.run(loop["feedback_limit"], drain=loop["drain"])
+        return self.run(loop["feedback_limit"], drain=loop["drain"], _resume=loop)
+
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        """One aggregated snapshot of every cache/guard/journal counter.
+
+        The benches read this instead of plumbing individual counters;
+        keys mirror the component names (``sim`` →
+        ``SimilarityCache.stats``, ``cache`` →
+        ``GroupBenefitCache.stats``, ``voi`` → term-memo occupancy,
+        ``guard`` → tick/audit/incident counters plus the structured
+        incident records, ``journal`` → path and sequence).
+        """
+        snapshot: dict = {
+            "sim": dict(self.sim_cache.stats),
+            "cache": dict(self.benefit_cache.stats) if self.benefit_cache is not None else {},
+            "voi": {"term_memo_size": self.voi.term_memo_size},
+            "guard": dict(self.guard.stats) if self.guard is not None else {},
+            "journal": (
+                {"path": str(self.journal.path), "seq": self.journal.seq}
+                if self.journal is not None
+                else {}
+            ),
+        }
+        if self.guard is not None:
+            snapshot["incidents"] = [i.as_dict() for i in self.guard.incidents]
+        return snapshot
 
     # ------------------------------------------------------------------
     def _build_strategy(self) -> RankingStrategy:
@@ -410,7 +666,12 @@ class GDREngine:
         return total
 
     # ------------------------------------------------------------------
-    def run(self, feedback_limit: int | None = None, drain: bool = True) -> GDRResult:
+    def run(
+        self,
+        feedback_limit: int | None = None,
+        drain: bool = True,
+        _resume: dict | None = None,
+    ) -> GDRResult:
         """Execute the interactive loop until done or out of budget.
 
         Parameters
@@ -422,14 +683,33 @@ class GDREngine:
             When False, stop after the interactive phase without the
             Figure 5 automatic drain — the drain benchmark uses this to
             time the drain phase in isolation.
+        _resume:
+            Internal: the checkpointed loop position a restored session
+            continues from (see :meth:`resume`). Presets the budget,
+            counters, trajectory and RNG states; everything after the
+            checkpoint is re-derived by deterministic re-execution.
         """
         budget = FeedbackBudget(feedback_limit)
-        result = GDRResult(
-            initial_loss=self.current_loss(),
-            initial_dirty=self.initial_dirty,
-        )
-        result.trajectory.append(TrajectoryPoint(0, 0, result.initial_loss))
-        learner_decisions = 0
+        if _resume is not None:
+            budget.used = _resume["feedback_used"]
+            result = GDRResult(
+                initial_loss=_resume["initial_loss"],
+                initial_dirty=self.initial_dirty,
+            )
+            result.iterations = _resume["iterations"]
+            result.trajectory = list(_resume["trajectory"])
+            learner_decisions = _resume["learner_decisions"]
+            stalled = _resume["stalled"]
+        else:
+            result = GDRResult(
+                initial_loss=self.current_loss(),
+                initial_dirty=self.initial_dirty,
+            )
+            result.trajectory.append(TrajectoryPoint(0, 0, result.initial_loss))
+            learner_decisions = 0
+            stalled = 0
+        if self.journal is not None:
+            self.journal.log_run(feedback_limit, drain, resumed=_resume is not None)
 
         def on_feedback() -> None:
             result.trajectory.append(
@@ -455,10 +735,41 @@ class GDREngine:
             max_decision_uncertainty=self.config.max_decision_uncertainty,
             drain=self.config.drain,
         )
+        if _resume is not None:
+            session.rng_state = _resume["session_rng"]
+            if _resume["strategy_rng"] is not None:
+                self.strategy.rng_state = _resume["strategy_rng"]
 
+        def capture(phase: str) -> dict:
+            """Loop position at a safe point (top of iteration / drain)."""
+            return {
+                "phase": phase,
+                "iterations": result.iterations,
+                "feedback_used": budget.used,
+                "learner_decisions": learner_decisions,
+                "trajectory": list(result.trajectory),
+                "stalled": stalled,
+                "feedback_limit": feedback_limit,
+                "drain": drain,
+                "initial_loss": result.initial_loss,
+                "session_rng": session.rng_state,
+                "strategy_rng": getattr(self.strategy, "rng_state", None),
+            }
+
+        auto_path = self.config.checkpoint_path
         delta = self.group_index is not None
-        stalled = 0
-        while not budget.exhausted and result.iterations < self.config.max_iterations:
+        phase = _resume["phase"] if _resume is not None else "interactive"
+        while (
+            phase == "interactive"
+            and not budget.exhausted
+            and result.iterations < self.config.max_iterations
+        ):
+            fault_hit("engine.iteration", iteration=result.iterations)
+            if self.guard is not None:
+                self.guard.tick()
+            self._loop_state = capture("interactive")
+            if auto_path is not None and result.iterations % self.config.checkpoint_every == 0:
+                self.checkpoint(auto_path)
             if delta:
                 self.manager.refresh_suggestions()
                 if len(self.state) == 0:
@@ -494,6 +805,11 @@ class GDREngine:
                 stalled = 0
 
         if drain and self.learner is not None:
+            # the drain consults no oracle, so a drain-start checkpoint
+            # plus deterministic re-execution recovers any mid-drain kill
+            self._loop_state = capture("drain")
+            if auto_path is not None:
+                self.checkpoint(auto_path)
             # the callback increments learner_decisions for every decision
             self._drain_with_learner(on_learner_decision)
 
@@ -522,6 +838,19 @@ class GDREngine:
           consuming the RNG exactly like the rebuild path.
         """
         index = self.group_index
+        if self.guard is not None:
+            # graceful degradation: an audit that just recovered the
+            # partition or the benefit cache routes this one selection
+            # through the rebuild reference; the repaired structure is
+            # trusted again from the next iteration on
+            degraded = self.guard.consume_degraded("benefit_cache")
+            if self.guard.consume_degraded("group_index"):
+                degraded = True
+            if degraded:
+                groups = group_updates(self.state.updates(), grouping=self.config.grouping)
+                ranked = self.strategy.rank(groups, self.probability)
+                group, benefit = ranked[0]
+                return group, benefit, max(score for __, score in ranked), len(ranked)
         if self.benefit_cache is not None:
             group, benefit = self.benefit_cache.top(self.probability)
             return group, benefit, benefit, len(index)
@@ -593,7 +922,15 @@ class GDREngine:
             restrict = self.config.grouping
         delta = self.group_index is not None
         batched = self.config.drain == "batched"
+
+        def callback() -> None:
+            fault_hit("drain.decision", decided=decided)
+            on_learner_decision()
+
         for _pass in range(max_passes):
+            fault_hit("engine.drain_pass", index=_pass)
+            if self.guard is not None:
+                self.guard.tick()
             if delta:
                 self.manager.refresh_suggestions()
                 updates = self._drain_candidates(restrict)
@@ -603,9 +940,9 @@ class GDREngine:
             if not updates:
                 break
             if batched:
-                progress = self._drain_pass_batched(updates, restrict, on_learner_decision)
+                progress = self._drain_pass_batched(updates, restrict, callback)
             else:
-                progress = self._drain_pass_sequential(updates, restrict, on_learner_decision)
+                progress = self._drain_pass_sequential(updates, restrict, callback)
             decided += progress
             if progress == 0:
                 break

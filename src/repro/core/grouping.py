@@ -331,6 +331,15 @@ class GroupIndex:
         self._cursors[cursor] = set()
         return dirty
 
+    def rebuild(self) -> None:
+        """Discard the index and re-seed it from the live pool.
+
+        The recovery action when :meth:`verify` reports divergence:
+        afterwards the index is exactly what :func:`group_updates`
+        would build, and every dirty-key cursor sees all keys dirty.
+        """
+        self._rebuild()
+
     # ------------------------------------------------------------------
     def verify(self) -> bool:
         """Cross-check the index against a rebuild from scratch.

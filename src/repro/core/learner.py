@@ -318,6 +318,46 @@ class FeedbackLearner:
             return False
         return sum(window) / len(window) >= min_accuracy
 
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def export_state(self) -> dict:
+        """Everything a checkpoint needs to rebuild this learner.
+
+        Fitted committees are pickled directly — refitting on restore
+        would reproduce them anyway (fits are seeded deterministically)
+        but pickling keeps restore O(size) instead of O(refit) and
+        works even for attributes whose staleness flag was clear.
+        """
+        import pickle
+
+        return {
+            "features": {a: [f.copy() for f in v] for a, v in self._features.items()},
+            "labels": {a: list(v) for a, v in self._labels.items()},
+            "models": pickle.dumps(self._models),
+            "model_versions": dict(self._model_versions),
+            "stale": set(self._stale),
+            "validation": {a: list(v) for a, v in self._validation.items()},
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Load a state produced by :meth:`export_state`.
+
+        The learner must have been constructed with the same schema and
+        hyper-parameters; afterwards predictions, versions and trust
+        judgements are byte-identical to the checkpointed instance.
+        """
+        import pickle
+
+        self._features = {a: [f.copy() for f in v] for a, v in state["features"].items()}
+        self._labels = {a: list(v) for a, v in state["labels"].items()}
+        self._models = pickle.loads(state["models"])
+        self._model_versions = dict(state["model_versions"])
+        self._stale = set(state["stale"])
+        self._validation = {
+            a: deque(v, maxlen=20) for a, v in state["validation"].items()
+        }
+
     def feature_importances(self, attribute: str) -> dict[str, float] | None:
         """Per-feature importances of a fitted attribute model.
 

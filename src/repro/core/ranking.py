@@ -91,6 +91,15 @@ class RandomRanking(RankingStrategy):
     def __init__(self, seed: int | None = 0) -> None:
         self._rng = np.random.default_rng(seed)
 
+    @property
+    def rng_state(self) -> dict:
+        """The permutation RNG's serialisable state (for checkpoints)."""
+        return self._rng.bit_generator.state
+
+    @rng_state.setter
+    def rng_state(self, state: dict) -> None:
+        self._rng.bit_generator.state = state
+
     def rank(
         self, groups: list[UpdateGroup], probability: ProbabilityFn
     ) -> list[tuple[UpdateGroup, float]]:

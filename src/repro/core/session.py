@@ -213,6 +213,15 @@ class InteractiveSession:
         self.drain = drain
         self._rng = np.random.default_rng(seed)
 
+    @property
+    def rng_state(self) -> dict:
+        """The ordering RNG's serialisable state (for checkpoints)."""
+        return self._rng.bit_generator.state
+
+    @rng_state.setter
+    def rng_state(self, state: dict) -> None:
+        self._rng.bit_generator.state = state
+
     # ------------------------------------------------------------------
     def run(
         self,

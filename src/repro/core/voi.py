@@ -115,6 +115,11 @@ class VOIEstimator:
             return self._fixed_weights
         return self._stats.weights()
 
+    @property
+    def term_memo_size(self) -> int:
+        """Current occupancy of the persistent Eq. 6 term memo."""
+        return len(self._term_memo)
+
     def update_benefit(
         self,
         update: CandidateUpdate,
@@ -573,6 +578,25 @@ class GroupBenefitCache:
             ]
             heapq.heapify(self._heap)
         return len(groups)
+
+    def invalidate(self) -> None:
+        """Drop every cached benefit, stamp and memoised ``p̃``.
+
+        The recovery action when the invariant guard finds a cached
+        benefit diverging from the Eq. 6 reference while its stamp
+        still reads current: the next :meth:`refresh` re-scores every
+        live group from scratch. Counters are kept.
+        """
+        self._benefit.clear()
+        self._stamp.clear()
+        self._token.clear()
+        self._heap.clear()
+        self._prob_memo.clear()
+        self._written.clear()
+        self._row_versions.clear()
+        self._row_generation += 1
+        # mark every live key dirty for the next refresh
+        self._index.poll_dirty_keys(self._cursor)
 
     def top(self, probability: ProbabilityFn) -> tuple[UpdateGroup, float] | None:
         """The most beneficial group and its benefit (``None`` if empty).

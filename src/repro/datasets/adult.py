@@ -28,6 +28,7 @@ from repro.constraints.repository import RuleSet
 from repro.datasets.corruption import CorruptionResult, CorruptionSpec, corrupt_database
 from repro.db.database import Database
 from repro.db.schema import Schema
+from repro.errors import DatasetError
 
 __all__ = ["ADULT_SCHEMA", "AdultConfig", "generate_adult_dataset"]
 
@@ -177,6 +178,26 @@ class AdultConfig:
     support: float = 0.05
     confidence: float = 0.92
     max_lhs: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise DatasetError("adult", f"n must be >= 1, got {self.n}", field="n")
+        if not 0.0 <= self.dirty_rate <= 1.0:
+            raise DatasetError(
+                "adult",
+                f"dirty_rate must be in [0, 1], got {self.dirty_rate}",
+                field="dirty_rate",
+            )
+        for field in ("support", "confidence"):
+            value = getattr(self, field)
+            if not 0.0 < value <= 1.0:
+                raise DatasetError(
+                    "adult", f"{field} must be in (0, 1], got {value}", field=field
+                )
+        if self.max_lhs < 1:
+            raise DatasetError(
+                "adult", f"max_lhs must be >= 1, got {self.max_lhs}", field="max_lhs"
+            )
 
 
 def generate_adult_dataset(

@@ -31,6 +31,7 @@ from repro.constraints.repository import RuleSet
 from repro.datasets.corruption import CorruptionResult, CorruptionSpec, corrupt_database
 from repro.db.database import Database
 from repro.db.schema import Schema
+from repro.errors import DatasetError
 
 __all__ = ["HOSPITAL_SCHEMA", "HospitalConfig", "generate_hospital_dataset", "hospital_rules"]
 
@@ -171,6 +172,22 @@ class HospitalConfig:
     seed: int = 0
     ensure_detectable: bool = True
     rule_coverage: float = 0.75
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise DatasetError("hospital", f"n must be >= 1, got {self.n}", field="n")
+        if self.n_hospitals < 1:
+            raise DatasetError(
+                "hospital",
+                f"n_hospitals must be >= 1, got {self.n_hospitals}",
+                field="n_hospitals",
+            )
+        for field in ("dirty_rate", "sloppy_fraction", "rule_coverage"):
+            value = getattr(self, field)
+            if not 0.0 <= value <= 1.0:
+                raise DatasetError(
+                    "hospital", f"{field} must be in [0, 1], got {value}", field=field
+                )
 
 
 def hospital_rules(rule_coverage: float = 1.0) -> RuleSet:

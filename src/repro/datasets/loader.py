@@ -7,14 +7,14 @@ errors — everything an experiment run needs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 
 from repro.constraints.repository import RuleSet
 from repro.datasets.adult import AdultConfig, generate_adult_dataset
 from repro.datasets.corruption import CorruptionResult
 from repro.datasets.hospital import HospitalConfig, generate_hospital_dataset
 from repro.db.database import Database
-from repro.errors import ConfigError
+from repro.errors import DatasetError
 
 __all__ = ["DATASET_NAMES", "GDRDataset", "load_dataset"]
 
@@ -94,11 +94,19 @@ def load_dataset(
     'hospital'
     """
     if name == "hospital":
-        config = HospitalConfig(n=n, seed=seed, dirty_rate=dirty_rate, **overrides)
-        dirty, clean, rules, report = generate_hospital_dataset(config)
+        config_cls, generate = HospitalConfig, generate_hospital_dataset
     elif name == "adult":
-        config = AdultConfig(n=n, seed=seed, dirty_rate=dirty_rate, **overrides)
-        dirty, clean, rules, report = generate_adult_dataset(config)
+        config_cls, generate = AdultConfig, generate_adult_dataset
     else:
-        raise ConfigError(f"unknown dataset {name!r}; expected one of {DATASET_NAMES}")
+        raise DatasetError(name, f"unknown dataset; expected one of {DATASET_NAMES}")
+    allowed = {field.name for field in fields(config_cls)}
+    for key in overrides:
+        if key not in allowed:
+            raise DatasetError(
+                name,
+                f"unknown generator parameter (accepted: {sorted(allowed)})",
+                field=key,
+            )
+    config = config_cls(n=n, seed=seed, dirty_rate=dirty_rate, **overrides)
+    dirty, clean, rules, report = generate(config)
     return GDRDataset(name=name, dirty=dirty, clean=clean, rules=rules, corruption=report)

@@ -10,6 +10,7 @@ from repro.db.columnar import ColumnStore, Vocabulary
 from repro.db.database import Database, Row
 from repro.db.index import HashIndex
 from repro.db.io import load_csv, save_csv
+from repro.db.journal import FeedbackJournal, ReplayOracle
 from repro.db.schema import Schema
 from repro.db.snapshot import SnapshotView
 
@@ -18,7 +19,9 @@ __all__ = [
     "ChangeLog",
     "ColumnStore",
     "Database",
+    "FeedbackJournal",
     "HashIndex",
+    "ReplayOracle",
     "Row",
     "Schema",
     "SnapshotView",

@@ -26,6 +26,8 @@ from repro.errors import SchemaError, UnknownTupleError
 __all__ = ["Database", "Row"]
 
 Listener = Callable[[CellChange], None]
+#: (tid, attribute, old, new, source) — fired before the row mutates.
+WriteHook = Callable[[int, str, object, object, str], None]
 
 
 class Row:
@@ -114,6 +116,7 @@ class Database:
         self._rows: dict[int, list[object]] = {}
         self._next_tid = 0
         self._listeners: list[Listener] = []
+        self._write_hooks: list[WriteHook] = []
         self._change_seq = 0
         self._version = 0
         self._columns: ColumnStore | None = None
@@ -163,6 +166,24 @@ class Database:
     def _notify(self, change: CellChange) -> None:
         for listener in self._listeners:
             listener(change)
+
+    def add_write_hook(self, hook: WriteHook) -> None:
+        """Register a callback fired *before* every effective cell write.
+
+        Unlike listeners (which observe the post-write state), write
+        hooks run after the no-op check but before the row mutates —
+        the write-ahead seam. A hook that raises aborts the write with
+        the instance unmodified, which is exactly the WAL contract: no
+        durable record, no mutation.
+        """
+        self._write_hooks.append(hook)
+
+    def remove_write_hook(self, hook: WriteHook) -> None:
+        """Unregister a previously added write hook (no-op if absent)."""
+        try:
+            self._write_hooks.remove(hook)
+        except ValueError:
+            pass
 
     # ------------------------------------------------------------------
     # insertion / deletion
@@ -287,6 +308,8 @@ class Database:
         old = values[pos]
         if old == value:
             return False
+        for hook in self._write_hooks:
+            hook(tid, attribute, old, value, source)
         values[pos] = value
         self._version += 1
         if self._columns is not None:
@@ -317,6 +340,30 @@ class Database:
         copy._rows = {tid: list(values) for tid, values in self._rows.items()}
         copy._next_tid = self._next_tid
         return copy
+
+    def export_rows(self) -> tuple[dict[int, list[object]], int]:
+        """Detached ``(rows by tid, next tid)`` copy, for checkpoints."""
+        return ({tid: list(values) for tid, values in self._rows.items()}, self._next_tid)
+
+    @classmethod
+    def from_rows(
+        cls,
+        schema: Schema,
+        rows: Mapping[int, Sequence[object]],
+        next_tid: int | None = None,
+    ) -> "Database":
+        """Rebuild an instance with explicit tuple ids (checkpoint restore).
+
+        Unlike :meth:`insert`, the given tids are kept verbatim, so a
+        restored instance is id-compatible with journals and repair
+        state recorded against the original.
+        """
+        db = cls(schema)
+        db._rows = {tid: list(values) for tid, values in rows.items()}
+        db._next_tid = (
+            next_tid if next_tid is not None else max(rows, default=-1) + 1
+        )
+        return db
 
     def diff_cells(self, other: "Database") -> list[tuple[int, str]]:
         """Cells where this instance differs from *other*.

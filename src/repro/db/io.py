@@ -13,7 +13,7 @@ from pathlib import Path
 
 from repro.db.database import Database
 from repro.db.schema import Schema
-from repro.errors import SchemaError
+from repro.errors import DatasetError, SchemaError
 
 __all__ = ["load_csv", "save_csv"]
 
@@ -36,6 +36,8 @@ def load_csv(
 
     Raises
     ------
+    DatasetError
+        When the file does not exist.
     SchemaError
         On an empty file, duplicate header names, or ragged rows.
 
@@ -50,7 +52,11 @@ def load_csv(
     >>> os.unlink(name)
     """
     path = Path(path)
-    with path.open(newline="") as handle:
+    try:
+        handle = path.open(newline="")
+    except FileNotFoundError:
+        raise DatasetError(str(path), "CSV file does not exist") from None
+    with handle:
         reader = csv.reader(handle, delimiter=delimiter)
         try:
             header = next(reader)

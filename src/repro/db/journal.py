@@ -1,0 +1,345 @@
+"""Write-ahead feedback journal (the durable seam behind ChangeLog).
+
+:class:`~repro.db.changelog.ChangeLog` records what *happened*, in
+memory, after the fact. The journal extends that seam with durability:
+every feedback decision and every database write is appended to an
+append-only JSON-lines file **before** it is applied, and the file is
+flushed per record (optionally ``os.fsync``-ed), so a killed session
+loses at most the one record whose application never started.
+
+Record kinds (one JSON object per line, ``seq`` strictly increasing):
+
+``meta``
+    Session header: schema, engine config, a fingerprint of the
+    instance the journal starts from.
+``run``
+    One ``GDREngine.run`` invocation (budget and drain flag).
+``feedback``
+    One feedback decision — appended by the consistency manager on
+    entry to ``apply_feedback``, *before* any routing. ``source`` is
+    ``"user"`` or ``"learner"``; user records double as the recorded
+    oracle answers a resumed session replays.
+``write``
+    One cell write (WAL): appended by a database pre-write hook before
+    the row mutates. ``old`` is the expected pre-image, which replay
+    verifies.
+``checkpoint``
+    Marker that a checkpoint file was written, and at which journal
+    sequence.
+
+Recovery model — deterministic re-execution: the engine is fully
+deterministic given the oracle's answers, so resuming is *restore the
+latest checkpoint, re-run, feed the journaled user answers back in
+order* (:class:`ReplayOracle`), then continue live when the tail runs
+dry. The drain phase consults no oracle at all, which is why a session
+killed mid-drain resumes byte-identically from the drain-start
+checkpoint. :func:`FeedbackJournal.replay_writes` independently
+re-applies the WAL records onto a database copy — the audit path, and
+the detector of version-mismatched journals.
+
+Values that are not JSON scalars are pickled and base64-tagged; the
+experiment datasets only ever hold strings and numbers, so real
+journals stay human-readable.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+import pickle
+from pathlib import Path
+
+from typing import TYPE_CHECKING
+
+from repro.errors import JournalError, JournalReplayError
+from repro.testing.faults import fault_hit
+
+if TYPE_CHECKING:  # circular at runtime: repair imports constraints imports db
+    from repro.repair.candidate import CandidateUpdate
+    from repro.repair.feedback import UserFeedback
+
+__all__ = ["FeedbackJournal", "ReplayOracle"]
+
+_SCALARS = (str, int, float, bool, type(None))
+
+
+def _encode_value(value: object) -> object:
+    """JSON-safe encoding of a cell value (scalars pass through)."""
+    if isinstance(value, _SCALARS):
+        return value
+    return {"__pickle__": base64.b64encode(pickle.dumps(value)).decode("ascii")}
+
+
+def _decode_value(value: object) -> object:
+    if isinstance(value, dict) and "__pickle__" in value:
+        return pickle.loads(base64.b64decode(value["__pickle__"]))
+    return value
+
+
+def db_fingerprint(db) -> str:
+    """Order-independent content hash of a database instance.
+
+    Stable across processes (no ``hash()``); used to match journals
+    and checkpoints to the instance they describe.
+    """
+    import hashlib
+
+    digest = hashlib.sha256()
+    digest.update(repr(tuple(db.schema.attributes)).encode())
+    for tid in db.tids():
+        digest.update(repr((tid, tuple(db.values_snapshot(tid)))).encode())
+    return digest.hexdigest()
+
+
+class FeedbackJournal:
+    """Append-only JSON-lines journal with per-record flush points.
+
+    Parameters
+    ----------
+    path:
+        Journal file; created if absent, appended to if present (a
+        resumed session keeps writing the same file).
+    fsync:
+        When True every append is ``os.fsync``-ed — real crash
+        durability at real I/O cost. The default flushes to the OS
+        only, which is what the deterministic kill tests need.
+    """
+
+    def __init__(self, path: str | Path, fsync: bool = False) -> None:
+        self.path = Path(path)
+        self.fsync = fsync
+        self._seq = 0
+        if self.path.exists():
+            try:
+                with self.path.open("r", encoding="utf-8") as handle:
+                    for line in handle:
+                        if line.strip():
+                            self._seq += 1
+            except OSError as exc:
+                raise JournalError(f"cannot read journal {self.path}: {exc}") from exc
+        try:
+            self._handle = self.path.open("a", encoding="utf-8")
+        except OSError as exc:
+            raise JournalError(f"cannot open journal {self.path}: {exc}") from exc
+
+    # ------------------------------------------------------------------
+    @property
+    def seq(self) -> int:
+        """Sequence number of the last appended record (0 = empty)."""
+        return self._seq
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has been called."""
+        return self._handle is None
+
+    def append(self, kind: str, **payload) -> int:
+        """Append one record and flush; returns its sequence number.
+
+        The record is durable (flushed, optionally fsynced) before the
+        caller proceeds to apply the operation it describes — the WAL
+        contract. Raises :class:`JournalError` on I/O failure, leaving
+        the operation unapplied.
+        """
+        if self._handle is None:
+            raise JournalError(f"journal {self.path} is closed")
+        seq = self._seq + 1
+        fault_hit("journal.append", kind=kind, seq=seq)
+        record = {"seq": seq, "kind": kind, **payload}
+        try:
+            self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+            self._handle.flush()
+            if self.fsync:
+                os.fsync(self._handle.fileno())
+        except OSError as exc:
+            raise JournalError(f"cannot append to journal {self.path}: {exc}") from exc
+        self._seq = seq
+        return seq
+
+    def close(self) -> None:
+        """Flush and close the journal file (idempotent)."""
+        if self._handle is not None:
+            try:
+                self._handle.close()
+            finally:
+                self._handle = None
+
+    # ------------------------------------------------------------------
+    # typed appenders
+    # ------------------------------------------------------------------
+    def log_meta(self, db, config: dict) -> int:
+        """Session header: schema, config, instance fingerprint."""
+        return self.append(
+            "meta",
+            schema=list(db.schema.attributes),
+            relation=db.schema.name,
+            tuples=len(db),
+            fingerprint=db_fingerprint(db),
+            config={k: _encode_value(v) for k, v in config.items()},
+        )
+
+    def log_run(self, feedback_limit: int | None, drain: bool, resumed: bool) -> int:
+        """One engine run invocation."""
+        return self.append(
+            "run", feedback_limit=feedback_limit, drain=drain, resumed=resumed
+        )
+
+    def log_feedback(
+        self, update: CandidateUpdate, feedback: UserFeedback, source: str
+    ) -> int:
+        """One feedback decision, before it is routed/applied."""
+        return self.append(
+            "feedback",
+            tid=update.tid,
+            attribute=update.attribute,
+            value=_encode_value(update.value),
+            score=update.score,
+            decision=feedback.kind.value,
+            correction=_encode_value(feedback.correction),
+            source=source,
+        )
+
+    def log_write(
+        self, tid: int, attribute: str, old: object, new: object, source: str
+    ) -> int:
+        """One cell write (WAL), before the row mutates."""
+        return self.append(
+            "write",
+            tid=tid,
+            attribute=attribute,
+            old=_encode_value(old),
+            new=_encode_value(new),
+            source=source,
+        )
+
+    def log_checkpoint(self, path: str | Path, phase: str) -> int:
+        """Marker: a checkpoint was written covering records <= seq."""
+        return self.append("checkpoint", path=str(path), phase=phase)
+
+    # ------------------------------------------------------------------
+    # reading and replay
+    # ------------------------------------------------------------------
+    @staticmethod
+    def read(path: str | Path) -> list[dict]:
+        """All records of a journal file, in order."""
+        path = Path(path)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise JournalError(f"cannot read journal {path}: {exc}") from exc
+        records: list[dict] = []
+        for number, line in enumerate(text.splitlines(), start=1):
+            if not line.strip():
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                # a torn final line (killed mid-append) is expected; a
+                # torn line anywhere else is corruption
+                if number == len(text.splitlines()):
+                    break
+                raise JournalError(f"{path}:{number}: corrupt record: {exc}") from exc
+        return records
+
+    @staticmethod
+    def replay_writes(path: str | Path, db, after_seq: int = 0) -> int:
+        """Re-apply the WAL records onto *db*; returns writes applied.
+
+        Every ``write`` record with ``seq > after_seq`` is verified —
+        its ``old`` pre-image must equal the current cell value — then
+        applied. A mismatch raises :class:`JournalReplayError`: the
+        journal was recorded against a different database version.
+        """
+        applied = 0
+        for record in FeedbackJournal.read(path):
+            if record["kind"] != "write" or record["seq"] <= after_seq:
+                continue
+            tid = record["tid"]
+            attribute = record["attribute"]
+            old = _decode_value(record["old"])
+            new = _decode_value(record["new"])
+            current = db.value(tid, attribute)
+            if current != old:
+                raise JournalReplayError(
+                    f"journal record {record['seq']} expects "
+                    f"t{tid}.{attribute} == {old!r} but the instance holds "
+                    f"{current!r}; the journal was recorded against a "
+                    "different database version"
+                )
+            db.set_value(tid, attribute, new, source=record.get("source", "journal"))
+            applied += 1
+        return applied
+
+    @staticmethod
+    def feedback_tail(path: str | Path, after_seq: int = 0) -> list[dict]:
+        """User feedback records after *after_seq*, decoded for replay."""
+        tail: list[dict] = []
+        for record in FeedbackJournal.read(path):
+            if (
+                record["kind"] == "feedback"
+                and record["seq"] > after_seq
+                and record.get("source") == "user"
+            ):
+                tail.append(
+                    {
+                        "seq": record["seq"],
+                        "tid": record["tid"],
+                        "attribute": record["attribute"],
+                        "value": _decode_value(record["value"]),
+                        "decision": record["decision"],
+                        "correction": _decode_value(record["correction"]),
+                    }
+                )
+        return tail
+
+    def __repr__(self) -> str:
+        return f"FeedbackJournal({str(self.path)!r}, seq={self._seq})"
+
+
+class ReplayOracle:
+    """Feeds journaled user answers back to a resumed session.
+
+    Wraps the live oracle: while the journal tail holds user feedback
+    records, each review is answered from the tail (after verifying the
+    suggestion is the one the record describes — a divergence means the
+    checkpoint and journal disagree and raises
+    :class:`JournalReplayError`); once the tail is exhausted, reviews
+    pass through to the live oracle. With a deterministic oracle the
+    replayed answers equal the live ones; with a real human they are
+    the only copy, which is the point.
+    """
+
+    def __init__(self, tail: list[dict], inner) -> None:
+        self._tail = list(tail)
+        self._cursor = 0
+        self.inner = inner
+        self.replayed = 0
+
+    @property
+    def exhausted(self) -> bool:
+        """True once every journaled answer has been served."""
+        return self._cursor >= len(self._tail)
+
+    def review(self, update: CandidateUpdate, current_value: object) -> UserFeedback:
+        """Serve the next journaled answer, or fall through when dry."""
+        from repro.repair.feedback import Feedback, UserFeedback
+
+        if self.exhausted:
+            return self.inner.review(update, current_value)
+        record = self._tail[self._cursor]
+        if (
+            record["tid"] != update.tid
+            or record["attribute"] != update.attribute
+            or record["value"] != update.value
+        ):
+            raise JournalReplayError(
+                f"resumed session asked about t{update.tid}.{update.attribute} "
+                f"-> {update.value!r} but journal record {record['seq']} answers "
+                f"t{record['tid']}.{record['attribute']} -> {record['value']!r}; "
+                "checkpoint and journal disagree"
+            )
+        self._cursor += 1
+        self.replayed += 1
+        correction = record["correction"]
+        return UserFeedback(Feedback(record["decision"]), correction)

@@ -58,3 +58,41 @@ class NotFittedError(ReproError):
 
 class ConfigError(ReproError):
     """An engine or experiment was configured with invalid parameters."""
+
+
+class DatasetError(ConfigError):
+    """A benchmark dataset could not be generated or loaded.
+
+    Carries the dataset name (or file path) and, when known, the
+    offending parameter/column so callers see *where* the problem is
+    instead of a raw ``KeyError``/``TypeError``/``FileNotFoundError``.
+    """
+
+    def __init__(self, dataset: str, reason: str, field: str | None = None) -> None:
+        self.dataset = dataset
+        self.field = field
+        where = f" (field {field!r})" if field else ""
+        super().__init__(f"dataset {dataset!r}{where}: {reason}")
+
+
+class JournalError(ReproError):
+    """The write-ahead feedback journal could not be written or read."""
+
+
+class JournalReplayError(JournalError):
+    """A journal record does not match the instance it is replayed onto.
+
+    Raised when a write record's expected pre-image disagrees with the
+    current cell value — the journal belongs to a different database
+    version — or when a replayed feedback record targets a suggestion
+    the resumed session never produced.
+    """
+
+
+class IntegrityError(ReproError):
+    """The invariant guard exhausted its incident budget.
+
+    Graceful degradation recovered individual components, but
+    divergences kept appearing; the session is no longer trustworthy
+    and hard failure is the only safe answer.
+    """

@@ -94,6 +94,10 @@ class ConsistencyManager:
         self.detector = detector
         self.state = state
         self.generator = generator
+        # optional write-ahead journal (repro.db.journal.FeedbackJournal):
+        # when set, every feedback decision is journaled on entry to
+        # apply_feedback, before any routing or database write
+        self.journal = None
         # trigger hook (paper §3): out-of-band edits — data entry, other
         # tools — must also keep PossibleUpdates consistent. Writes the
         # manager itself performs are handled by the feedback path and
@@ -165,6 +169,12 @@ class ConsistencyManager:
         """
         cell = update.cell
         kind = feedback.kind
+
+        if self.journal is not None:
+            # WAL contract: the decision is durable before it is acted
+            # on, so a resumed session can replay it instead of asking
+            # the user again
+            self.journal.log_feedback(update, feedback, source)
 
         if kind is Feedback.RETAIN:
             # Step 1: current value is correct; stop suggesting.

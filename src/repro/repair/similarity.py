@@ -309,6 +309,27 @@ class SimilarityCache:
         self._strs.clear()
         self._pair_entries = 0
 
+    def sample_entries(self, limit: int) -> list[tuple[int, int, int, float] | tuple[str, str, float]]:
+        """Up to *limit* memoised entries, for auditing.
+
+        Code-space entries come back as ``(pos, current code,
+        candidate code, sim)``, string-space entries as ``(current,
+        candidate, sim)``. Deterministic order (insertion order of the
+        underlying dicts), so a sampling auditor with a fixed cursor
+        sees a stable stream.
+        """
+        out: list = []
+        for (pos, cur_code), inner in self._pairs.items():
+            for code, value in inner.items():
+                if len(out) >= limit:
+                    return out
+                out.append((pos, cur_code, code, value))
+        for (a, b), value in self._strs.items():
+            if len(out) >= limit:
+                return out
+            out.append((a, b, value))
+        return out
+
     def __repr__(self) -> str:
         return (
             f"SimilarityCache({len(self)} entries, "

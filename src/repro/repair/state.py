@@ -136,6 +136,10 @@ class RepairState:
         """True when *value* was already rejected for *cell*."""
         return value in self._prevented.get(cell, ())
 
+    def prevented_map(self) -> dict[Cell, set[object]]:
+        """All prevented values per cell (deep copy), for checkpoints."""
+        return {cell: set(values) for cell, values in self._prevented.items()}
+
     # ------------------------------------------------------------------
     # possible updates (at most one live suggestion per cell)
     # ------------------------------------------------------------------

@@ -1,0 +1,26 @@
+"""Deterministic fault injection for robustness testing.
+
+Production modules call :func:`~repro.testing.faults.fault_hit` at
+named fault points; the call is a near-free no-op until a test arms
+the point. See :mod:`repro.testing.faults`.
+"""
+
+from repro.testing.faults import (
+    FAULT_POINTS,
+    SessionKilled,
+    arm,
+    armed_points,
+    disarm,
+    fault_hit,
+    fault_scope,
+)
+
+__all__ = [
+    "FAULT_POINTS",
+    "SessionKilled",
+    "arm",
+    "armed_points",
+    "disarm",
+    "fault_hit",
+    "fault_scope",
+]

@@ -1,0 +1,148 @@
+"""Tests for GDREngine.checkpoint / restore / resume (durable sessions)."""
+
+import pickle
+
+import pytest
+
+from repro.core import GDRConfig, GDREngine, GroundTruthOracle
+from repro.db import FeedbackJournal
+from repro.errors import ConfigError
+
+
+def make_engine(dirty, clean, rules, tmp_path, preset="no_learning", **overrides):
+    config = getattr(GDRConfig, preset)(
+        journal_path=str(tmp_path / "journal.jsonl"), **overrides
+    )
+    return GDREngine(
+        dirty, rules, GroundTruthOracle(clean), config=config, clean_db=clean
+    )
+
+
+class TestCheckpointRestore:
+    def test_fresh_checkpoint_restores_identical_state(
+        self, figure1_dirty, figure1_clean, figure1_rules, tmp_path
+    ):
+        engine = make_engine(figure1_dirty, figure1_clean, figure1_rules, tmp_path)
+        cp = tmp_path / "session.cp"
+        engine.checkpoint(cp)
+        restored = GDREngine.restore(
+            cp, figure1_rules, GroundTruthOracle(figure1_clean), figure1_clean
+        )
+        assert restored.db.equals_data(engine.db)
+        assert restored.initial_db.equals_data(engine.initial_db)
+        assert restored.initial_dirty == engine.initial_dirty
+        assert {u for u in restored.state.updates()} == {
+            u for u in engine.state.updates()
+        }
+        assert restored.state.frozen_cells() == engine.state.frozen_cells()
+        assert restored.config == engine.config
+
+    def test_restore_resume_matches_clean_run(
+        self, figure1_dirty, figure1_clean, figure1_rules, tmp_path
+    ):
+        baseline_db = figure1_dirty.snapshot()
+        baseline = GDREngine(
+            baseline_db,
+            figure1_rules,
+            GroundTruthOracle(figure1_clean),
+            config=GDRConfig.no_learning(),
+            clean_db=figure1_clean,
+        )
+        expected = baseline.run()
+
+        engine = make_engine(figure1_dirty, figure1_clean, figure1_rules, tmp_path)
+        engine.checkpoint(tmp_path / "session.cp")
+        engine.detach()
+        restored = GDREngine.restore(
+            tmp_path / "session.cp",
+            figure1_rules,
+            GroundTruthOracle(figure1_clean),
+            figure1_clean,
+        )
+        result = restored.resume()
+        assert restored.db.equals_data(baseline_db)
+        assert result.remaining_dirty == expected.remaining_dirty
+        assert result.feedback_used == expected.feedback_used
+
+    def test_checkpoint_is_atomic(self, figure1_dirty, figure1_clean, figure1_rules, tmp_path):
+        engine = make_engine(figure1_dirty, figure1_clean, figure1_rules, tmp_path)
+        cp = tmp_path / "session.cp"
+        engine.checkpoint(cp)
+        assert cp.exists()
+        assert not cp.with_name(cp.name + ".tmp").exists()
+
+    def test_checkpoint_logged_in_journal(
+        self, figure1_dirty, figure1_clean, figure1_rules, tmp_path
+    ):
+        engine = make_engine(figure1_dirty, figure1_clean, figure1_rules, tmp_path)
+        engine.checkpoint(tmp_path / "session.cp")
+        records = FeedbackJournal.read(tmp_path / "journal.jsonl")
+        assert records[-1]["kind"] == "checkpoint"
+        assert records[-1]["phase"] == "interactive"
+
+    def test_auto_checkpoint_during_run(
+        self, figure1_dirty, figure1_clean, figure1_rules, tmp_path
+    ):
+        cp = tmp_path / "auto.cp"
+        engine = make_engine(
+            figure1_dirty,
+            figure1_clean,
+            figure1_rules,
+            tmp_path,
+            checkpoint_path=str(cp),
+            checkpoint_every=1,
+        )
+        engine.run()
+        assert cp.exists()
+        kinds = [r["kind"] for r in FeedbackJournal.read(tmp_path / "journal.jsonl")]
+        assert kinds.count("checkpoint") >= 2  # per-iteration + drain start
+
+
+class TestRestoreErrors:
+    def test_missing_file(self, figure1_rules, figure1_clean, tmp_path):
+        with pytest.raises(ConfigError, match="cannot read checkpoint"):
+            GDREngine.restore(
+                tmp_path / "absent.cp", figure1_rules, GroundTruthOracle(figure1_clean)
+            )
+
+    def test_bad_format(self, figure1_rules, figure1_clean, tmp_path):
+        bad = tmp_path / "bad.cp"
+        bad.write_bytes(pickle.dumps({"format": 99}))
+        with pytest.raises(ConfigError, match="format"):
+            GDREngine.restore(bad, figure1_rules, GroundTruthOracle(figure1_clean))
+
+    def test_resume_without_restore(
+        self, figure1_dirty, figure1_clean, figure1_rules, tmp_path
+    ):
+        engine = make_engine(figure1_dirty, figure1_clean, figure1_rules, tmp_path)
+        with pytest.raises(ConfigError, match="restore"):
+            engine.resume()
+
+
+class TestHealth:
+    def test_health_sections(self, figure1_dirty, figure1_clean, figure1_rules, tmp_path):
+        engine = make_engine(
+            figure1_dirty, figure1_clean, figure1_rules, tmp_path, guard=True
+        )
+        engine.run()
+        health = engine.health()
+        assert set(health) >= {"sim", "cache", "voi", "guard", "journal", "incidents"}
+        assert health["journal"]["seq"] > 0
+        assert health["guard"]["ticks"] > 0
+        assert health["voi"]["term_memo_size"] >= 0
+        assert health["incidents"] == []
+
+    def test_health_without_robustness_layer(
+        self, figure1_dirty, figure1_clean, figure1_rules
+    ):
+        engine = GDREngine(
+            figure1_dirty,
+            figure1_rules,
+            GroundTruthOracle(figure1_clean),
+            config=GDRConfig.no_learning(),
+            clean_db=figure1_clean,
+        )
+        health = engine.health()
+        assert health["guard"] == {}
+        assert health["journal"] == {}
+        assert "incidents" not in health

@@ -1,0 +1,140 @@
+"""Tests for :mod:`repro.core.guard` (invariant guard + degradation)."""
+
+import pytest
+
+from repro.core import GDRConfig, GDREngine, GroundTruthOracle, InvariantGuard
+from repro.core.guard import COMPONENTS, Incident, _Cursor
+from repro.errors import IntegrityError
+
+
+def make_engine(dirty, clean, rules, **overrides):
+    config = GDRConfig.gdr(**overrides)
+    return GDREngine(
+        dirty, rules, GroundTruthOracle(clean), config=config, clean_db=clean
+    )
+
+
+@pytest.fixture()
+def guarded(figure1_dirty, figure1_clean, figure1_rules):
+    engine = make_engine(
+        figure1_dirty, figure1_clean, figure1_rules, guard=True, guard_interval=1
+    )
+    return engine
+
+
+class TestIncident:
+    def test_as_dict(self):
+        incident = Incident(component="sim_cache", detail="x", tick=3)
+        assert incident.as_dict() == {
+            "component": "sim_cache",
+            "detail": "x",
+            "tick": 3,
+            "recovered": True,
+        }
+
+
+class TestCursor:
+    def test_rotates_with_wraparound(self):
+        cursor = _Cursor()
+        ids = [0, 1, 2, 3, 4]
+        assert cursor.take(ids, 3) == [0, 1, 2]
+        assert cursor.take(ids, 3) == [3, 4, 0]
+        assert cursor.take(ids, 3) == [1, 2, 3]
+
+    def test_count_capped_at_population(self):
+        cursor = _Cursor()
+        assert cursor.take([0, 1], 16) == [0, 1]
+        assert cursor.take([], 16) == []
+
+
+class TestAudits:
+    def test_clean_engine_audits_clean(self, guarded):
+        assert guarded.guard.audit() == []
+        assert guarded.guard.incidents == []
+
+    def test_group_index_corruption_detected_and_rebuilt(self, guarded):
+        index = guarded.group_index
+        key, bucket = next(iter(index._members.items()))
+        bucket.pop(next(iter(bucket)))  # drop one member behind the index's back
+        assert not index.verify()
+        incidents = guarded.guard.audit()
+        assert [i.component for i in incidents] == ["group_index"]
+        assert index.verify()  # rebuilt
+        assert guarded.guard.consume_degraded("group_index")
+        assert not guarded.guard.consume_degraded("group_index")  # one-shot
+
+    def test_benefit_cache_corruption_detected_and_invalidated(self, guarded):
+        cache = guarded.benefit_cache
+        cache.rank_all(guarded.probability)  # populate
+        key = next(iter(cache._benefit))
+        cache._benefit[key] += 1234.5
+        incidents = guarded.guard.audit()
+        assert [i.component for i in incidents] == ["benefit_cache"]
+        assert "Eq. 6" in incidents[0].detail
+        assert guarded.guard.audit() == []  # invalidation restored agreement
+
+    def test_sim_cache_corruption_detected_and_cleared(self, guarded):
+        guarded.sim_cache._strs[("Westville", "Westvile")] = 0.001
+        incidents = guarded.guard.audit()
+        assert [i.component for i in incidents] == ["sim_cache"]
+        assert len(guarded.sim_cache) == 0
+
+    def test_columnar_corruption_detected_and_reencoded(self, guarded):
+        columns = guarded.db.columns  # force the mirror to exist
+        columns.set_cell(0, 3, "CORRUPTED-CITY")
+        incidents = guarded.guard.audit()
+        assert [i.component for i in incidents] == ["columns"]
+        row = columns.position_of(0)
+        assert columns.vocabulary(3).decode(columns.code_at(row, 3)) == (
+            guarded.db.value(0, "city")
+        )
+
+    def test_tick_audits_on_interval(self, guarded):
+        guard = InvariantGuard(guarded, interval=3)
+        for _ in range(6):
+            guard.tick()
+        assert guard.stats["ticks"] == 6
+        assert guard.stats["audits"] == 2
+
+    def test_escalates_past_incident_budget(self, guarded):
+        guard = InvariantGuard(guarded, interval=1, max_incidents=1)
+        guarded.sim_cache._strs[("a", "b")] = 0.9
+        guard.audit()  # first incident fits the budget
+        guarded.sim_cache._strs[("a", "b")] = 0.9
+        guarded.db.columns.set_cell(0, 0, "XX")
+        with pytest.raises(IntegrityError, match="incidents"):
+            guard.audit()
+
+    def test_components_registry_matches_audits(self):
+        assert COMPONENTS == ("group_index", "benefit_cache", "sim_cache", "columns")
+
+
+class TestGuardedRunParity:
+    @pytest.mark.parametrize("preset", ["gdr", "s_learning", "no_learning"])
+    def test_guard_on_equals_guard_off(
+        self, preset, figure1_dirty, figure1_clean, figure1_rules
+    ):
+        plain_db = figure1_dirty.snapshot()
+        plain = GDREngine(
+            plain_db,
+            figure1_rules,
+            GroundTruthOracle(figure1_clean),
+            config=getattr(GDRConfig, preset)(),
+            clean_db=figure1_clean,
+        )
+        expected = plain.run()
+
+        guarded_db = figure1_dirty.snapshot()
+        engine = GDREngine(
+            guarded_db,
+            figure1_rules,
+            GroundTruthOracle(figure1_clean),
+            config=getattr(GDRConfig, preset)(guard=True, guard_interval=1),
+            clean_db=figure1_clean,
+        )
+        result = engine.run()
+        assert guarded_db.equals_data(plain_db)
+        assert result.feedback_used == expected.feedback_used
+        assert result.remaining_dirty == expected.remaining_dirty
+        assert engine.guard.stats["audits"] > 0
+        assert engine.guard.incidents == []

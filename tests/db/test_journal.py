@@ -1,0 +1,222 @@
+"""Tests for :mod:`repro.db.journal` (write-ahead feedback journal)."""
+
+import json
+
+import pytest
+
+from repro.db import Database, FeedbackJournal, ReplayOracle, Schema
+from repro.db.journal import _decode_value, _encode_value, db_fingerprint
+from repro.errors import JournalError, JournalReplayError
+from repro.repair.candidate import CandidateUpdate
+from repro.repair.feedback import Feedback, UserFeedback
+
+
+@pytest.fixture()
+def tiny_db():
+    schema = Schema("r", ["a", "b"])
+    return Database(schema, [["x", "1"], ["y", "2"]])
+
+
+class TestAppendRead:
+    def test_seq_increments_and_records_round_trip(self, tmp_path, tiny_db):
+        path = tmp_path / "journal.jsonl"
+        journal = FeedbackJournal(path)
+        assert journal.seq == 0
+        journal.log_meta(tiny_db, {"seed": 0})
+        journal.log_write(0, "a", "x", "z", source="user")
+        assert journal.seq == 2
+        journal.close()
+        records = FeedbackJournal.read(path)
+        assert [r["seq"] for r in records] == [1, 2]
+        assert records[0]["kind"] == "meta"
+        assert records[0]["schema"] == ["a", "b"]
+        assert records[1] == {
+            "seq": 2,
+            "kind": "write",
+            "tid": 0,
+            "attribute": "a",
+            "old": "x",
+            "new": "z",
+            "source": "user",
+        }
+
+    def test_reopen_resumes_sequence(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = FeedbackJournal(path)
+        journal.append("run", feedback_limit=None, drain=True, resumed=False)
+        journal.close()
+        reopened = FeedbackJournal(path)
+        assert reopened.seq == 1
+        reopened.append("checkpoint", path="cp", phase="drain")
+        reopened.close()
+        assert [r["seq"] for r in FeedbackJournal.read(path)] == [1, 2]
+
+    def test_append_after_close_raises(self, tmp_path):
+        journal = FeedbackJournal(tmp_path / "j.jsonl")
+        journal.close()
+        assert journal.closed
+        with pytest.raises(JournalError, match="closed"):
+            journal.append("run")
+
+    def test_torn_final_line_is_tolerated(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = FeedbackJournal(path)
+        journal.append("run", drain=True)
+        journal.append("write", tid=0)
+        journal.close()
+        # simulate a kill mid-append: final record half-written
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"seq": 3, "kind": "wri')
+        records = FeedbackJournal.read(path)
+        assert [r["seq"] for r in records] == [1, 2]
+
+    def test_torn_middle_line_is_corruption(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text('{"seq": 1, "kind": "run"}\n{"broken\n{"seq": 3}\n')
+        with pytest.raises(JournalError, match="corrupt record"):
+            FeedbackJournal.read(path)
+
+    def test_read_missing_file_raises(self, tmp_path):
+        with pytest.raises(JournalError, match="cannot read"):
+            FeedbackJournal.read(tmp_path / "absent.jsonl")
+
+
+class TestEncoding:
+    @pytest.mark.parametrize("value", ["s", 3, 2.5, True, None])
+    def test_scalars_pass_through(self, value):
+        assert _encode_value(value) == value
+        assert _decode_value(value) == value
+
+    def test_non_scalar_round_trips_via_pickle(self):
+        value = ("tuple", frozenset({1, 2}))
+        encoded = _encode_value(value)
+        assert "__pickle__" in encoded
+        json.dumps(encoded)  # must be JSON-serialisable
+        assert _decode_value(encoded) == value
+
+    def test_fingerprint_tracks_content(self, tiny_db):
+        before = db_fingerprint(tiny_db)
+        assert before == db_fingerprint(tiny_db)
+        tiny_db.set_value(0, "a", "changed", source="test")
+        assert db_fingerprint(tiny_db) != before
+
+
+class TestReplayWrites:
+    def test_replays_writes_onto_copy(self, tmp_path, tiny_db):
+        path = tmp_path / "j.jsonl"
+        copy = tiny_db.snapshot()
+        journal = FeedbackJournal(path)
+        journal.log_write(0, "a", "x", "z", source="user")
+        journal.log_write(1, "b", "2", "9", source="learner")
+        journal.close()
+        applied = FeedbackJournal.replay_writes(path, copy)
+        assert applied == 2
+        assert copy.value(0, "a") == "z"
+        assert copy.value(1, "b") == "9"
+
+    def test_after_seq_skips_prefix(self, tmp_path, tiny_db):
+        path = tmp_path / "j.jsonl"
+        copy = tiny_db.snapshot()
+        journal = FeedbackJournal(path)
+        first = journal.log_write(0, "a", "x", "z", source="user")
+        copy.set_value(0, "a", "z", source="test")  # first already applied
+        journal.log_write(0, "a", "z", "w", source="user")
+        journal.close()
+        assert FeedbackJournal.replay_writes(path, copy, after_seq=first) == 1
+        assert copy.value(0, "a") == "w"
+
+    def test_preimage_mismatch_raises(self, tmp_path, tiny_db):
+        path = tmp_path / "j.jsonl"
+        journal = FeedbackJournal(path)
+        journal.log_write(0, "a", "NOT-THE-VALUE", "z", source="user")
+        journal.close()
+        with pytest.raises(JournalReplayError, match="different database version"):
+            FeedbackJournal.replay_writes(path, tiny_db)
+
+
+class TestFeedbackTail:
+    def _journal_with_feedback(self, path):
+        journal = FeedbackJournal(path)
+        update = CandidateUpdate(0, "a", "z", 0.9)
+        journal.log_feedback(update, UserFeedback(Feedback.CONFIRM), source="user")
+        journal.log_feedback(update, UserFeedback(Feedback.REJECT), source="learner")
+        journal.log_feedback(
+            CandidateUpdate(1, "b", "7", 0.5),
+            UserFeedback(Feedback.RETAIN, correction="8"),
+            source="user",
+        )
+        journal.close()
+        return journal
+
+    def test_tail_keeps_user_records_only(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        self._journal_with_feedback(path)
+        tail = FeedbackJournal.feedback_tail(path)
+        assert [(r["tid"], r["decision"]) for r in tail] == [
+            (0, Feedback.CONFIRM.value),
+            (1, Feedback.RETAIN.value),
+        ]
+        assert tail[1]["correction"] == "8"
+
+    def test_tail_after_seq(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        self._journal_with_feedback(path)
+        assert FeedbackJournal.feedback_tail(path, after_seq=1) == [
+            {
+                "seq": 3,
+                "tid": 1,
+                "attribute": "b",
+                "value": "7",
+                "decision": Feedback.RETAIN.value,
+                "correction": "8",
+            }
+        ]
+
+
+class _RecordingOracle:
+    def __init__(self, answer):
+        self.answer = answer
+        self.asked = []
+
+    def review(self, update, current_value):
+        self.asked.append(update)
+        return self.answer
+
+
+class TestReplayOracle:
+    def test_serves_tail_then_falls_through(self, tmp_path):
+        tail = [
+            {
+                "seq": 2,
+                "tid": 0,
+                "attribute": "a",
+                "value": "z",
+                "decision": Feedback.CONFIRM.value,
+                "correction": None,
+            }
+        ]
+        inner = _RecordingOracle(UserFeedback(Feedback.REJECT))
+        oracle = ReplayOracle(tail, inner)
+        assert not oracle.exhausted
+        replayed = oracle.review(CandidateUpdate(0, "a", "z", 0.9), "x")
+        assert replayed.kind is Feedback.CONFIRM
+        assert oracle.exhausted and oracle.replayed == 1
+        assert inner.asked == []
+        live = oracle.review(CandidateUpdate(1, "b", "7", 0.5), "2")
+        assert live.kind is Feedback.REJECT
+        assert len(inner.asked) == 1
+
+    def test_divergent_suggestion_raises(self):
+        tail = [
+            {
+                "seq": 2,
+                "tid": 0,
+                "attribute": "a",
+                "value": "z",
+                "decision": Feedback.CONFIRM.value,
+                "correction": None,
+            }
+        ]
+        oracle = ReplayOracle(tail, _RecordingOracle(UserFeedback(Feedback.REJECT)))
+        with pytest.raises(JournalReplayError, match="checkpoint and journal disagree"):
+            oracle.review(CandidateUpdate(5, "a", "z", 0.9), "x")

@@ -1,0 +1,216 @@
+"""Chaos suite: deterministic fault injection against the full engine.
+
+Every test follows the same shape — run a clean reference session, run
+the same session again with a fault armed (a kill, an injected
+corruption, an eviction storm, a journal I/O failure), recover, and
+assert the end state is *identical* to the reference. Set
+``REPRO_CHAOS_LOG_DIR`` to dump each test's ``engine.health()``
+snapshot (incident records included) as JSON.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core import GDRConfig, GDREngine, GroundTruthOracle
+from repro.datasets import load_dataset
+from repro.errors import JournalError
+from repro.testing import SessionKilled, arm, fault_scope
+
+pytestmark = pytest.mark.chaos
+
+#: preset -> (kill point, 1-based hit index) for the kill-restore matrix.
+#: Learner presets die at the top of the first drain pass (guaranteed to
+#: be reached); the learner-free preset dies mid-interactive-loop.
+KILL_SCHEDULE = {
+    "gdr": ("engine.drain_pass", 1),
+    "s_learning": ("engine.drain_pass", 1),
+    "active_learning": ("engine.drain_pass", 1),
+    "no_learning": ("engine.iteration", 4),
+}
+
+FEEDBACK_LIMIT = 25
+
+
+@pytest.fixture(scope="module")
+def chaos_datasets():
+    return {name: load_dataset(name, n=120, seed=7) for name in ("hospital", "adult")}
+
+
+def dump_chaos_log(name: str, payload: dict) -> None:
+    """Write one health/incident snapshot when the CI log dir is set."""
+    log_dir = os.environ.get("REPRO_CHAOS_LOG_DIR")
+    if not log_dir:
+        return
+    path = Path(log_dir)
+    path.mkdir(parents=True, exist_ok=True)
+    (path / f"{name}.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True, default=str)
+    )
+
+
+def run_clean(ds, preset: str):
+    """Reference run: same session, no journal, no faults."""
+    db = ds.fresh_dirty()
+    engine = GDREngine(
+        db,
+        ds.rules,
+        GroundTruthOracle(ds.clean),
+        config=getattr(GDRConfig, preset)(),
+        clean_db=ds.clean,
+    )
+    result = engine.run(feedback_limit=FEEDBACK_LIMIT)
+    engine.detach()
+    return db, result
+
+
+def make_durable_engine(ds, preset: str, tmp_path, **overrides):
+    config = getattr(GDRConfig, preset)(
+        journal_path=str(tmp_path / "journal.jsonl"),
+        checkpoint_path=str(tmp_path / "session.cp"),
+        checkpoint_every=1,
+        **overrides,
+    )
+    db = ds.fresh_dirty()
+    return GDREngine(
+        db,
+        ds.rules,
+        GroundTruthOracle(ds.clean),
+        config=config,
+        clean_db=ds.clean,
+    )
+
+
+class TestKillAndRestore:
+    @pytest.mark.parametrize("dataset_name", ["hospital", "adult"])
+    @pytest.mark.parametrize("preset", sorted(KILL_SCHEDULE))
+    def test_killed_session_resumes_to_identical_end_state(
+        self, preset, dataset_name, chaos_datasets, tmp_path
+    ):
+        ds = chaos_datasets[dataset_name]
+        clean_db, clean_result = run_clean(ds, preset)
+
+        engine = make_durable_engine(ds, preset, tmp_path)
+        point, at = KILL_SCHEDULE[preset]
+
+        def kill(ctx):
+            raise SessionKilled(f"injected kill at {ctx['point']} hit {ctx['hit']}")
+
+        with fault_scope():
+            arm(point, action=kill, at=at)
+            with pytest.raises(SessionKilled):
+                engine.run(feedback_limit=FEEDBACK_LIMIT)
+        engine.detach()
+
+        restored = GDREngine.restore(
+            tmp_path / "session.cp", ds.rules, GroundTruthOracle(ds.clean), ds.clean
+        )
+        result = restored.resume()
+        dump_chaos_log(
+            f"kill_restore_{preset}_{dataset_name}", restored.health()
+        )
+        restored.detach()
+        assert restored.db.equals_data(clean_db)
+        assert result.feedback_used == clean_result.feedback_used
+        assert result.remaining_dirty == clean_result.remaining_dirty
+        assert result.improvement == pytest.approx(clean_result.improvement)
+
+
+class TestGuardUnderFaults:
+    def test_guard_recovers_injected_stale_benefit(self, chaos_datasets, tmp_path):
+        ds = chaos_datasets["hospital"]
+        clean_db, clean_result = run_clean(ds, "gdr")
+
+        engine = make_durable_engine(
+            ds, "gdr", tmp_path, guard=True, guard_interval=1
+        )
+
+        def corrupt(ctx):
+            # bring every stamp current, then skew the values: a stale
+            # benefit whose stamp reads fresh, invisible to the stamp
+            # machinery — only the guard's reference comparison sees it
+            cache = engine.benefit_cache
+            cache.refresh(engine.probability)
+            assert cache._benefit, "benefit cache empty at injection point"
+            for key in cache._benefit:
+                cache._benefit[key] += 7.5
+
+        with fault_scope():
+            arm("engine.iteration", action=corrupt, at=3)
+            result = engine.run(feedback_limit=FEEDBACK_LIMIT)
+        dump_chaos_log("guard_stale_benefit", engine.health())
+        engine.detach()
+
+        assert any(i.component == "benefit_cache" for i in engine.guard.incidents)
+        assert engine.guard.stats["degraded_steps"] >= 1
+        assert engine.db.equals_data(clean_db)
+        assert result.feedback_used == clean_result.feedback_used
+        assert result.remaining_dirty == clean_result.remaining_dirty
+
+    def test_sim_cache_eviction_storm_keeps_parity(self, chaos_datasets, tmp_path):
+        ds = chaos_datasets["adult"]
+        clean_db, clean_result = run_clean(ds, "gdr")
+
+        engine = make_durable_engine(ds, "gdr", tmp_path)
+
+        def storm(ctx):
+            engine.sim_cache.clear()
+
+        with fault_scope():
+            arm("engine.iteration", action=storm, every=2)
+            result = engine.run(feedback_limit=FEEDBACK_LIMIT)
+        dump_chaos_log("sim_eviction_storm", engine.health())
+        engine.detach()
+
+        assert engine.db.equals_data(clean_db)
+        assert result.feedback_used == clean_result.feedback_used
+        assert result.remaining_dirty == clean_result.remaining_dirty
+
+
+class TestJournalFailures:
+    def test_failed_append_aborts_the_write(self, chaos_datasets, tmp_path):
+        ds = chaos_datasets["hospital"]
+        engine = make_durable_engine(ds, "no_learning", tmp_path)
+        tid = engine.db.tids()[0]
+        attribute = engine.db.schema.attributes[0]
+        before = engine.db.value(tid, attribute)
+        seq_before = engine.journal.seq
+
+        def disk_failure(ctx):
+            raise JournalError("injected disk failure")
+
+        with fault_scope():
+            arm("journal.append", action=disk_failure)
+            with pytest.raises(JournalError, match="injected"):
+                engine.db.set_value(tid, attribute, "NEW-VALUE", source="test")
+        engine.detach()
+        # WAL contract: the append failed, so the write never applied
+        assert engine.db.value(tid, attribute) == before
+        assert engine.journal.seq == seq_before
+
+    def test_journal_failure_mid_run_is_recoverable(self, chaos_datasets, tmp_path):
+        ds = chaos_datasets["hospital"]
+        clean_db, clean_result = run_clean(ds, "no_learning")
+
+        engine = make_durable_engine(ds, "no_learning", tmp_path)
+
+        def disk_failure(ctx):
+            raise JournalError("injected disk failure")
+
+        with fault_scope():
+            arm("journal.append", action=disk_failure, at=30)
+            with pytest.raises(JournalError):
+                engine.run(feedback_limit=FEEDBACK_LIMIT)
+        engine.detach()
+
+        restored = GDREngine.restore(
+            tmp_path / "session.cp", ds.rules, GroundTruthOracle(ds.clean), ds.clean
+        )
+        result = restored.resume()
+        dump_chaos_log("journal_failure_recovery", restored.health())
+        restored.detach()
+        assert restored.db.equals_data(clean_db)
+        assert result.feedback_used == clean_result.feedback_used
+        assert result.remaining_dirty == clean_result.remaining_dirty

@@ -1,0 +1,128 @@
+"""Tests for :mod:`repro.testing.faults` (the fault-injection harness)."""
+
+import pytest
+
+from repro.testing import (
+    FAULT_POINTS,
+    SessionKilled,
+    arm,
+    armed_points,
+    disarm,
+    fault_hit,
+    fault_scope,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_schedule():
+    """Never leak armed faults between tests."""
+    disarm()
+    yield
+    disarm()
+
+
+class TestArming:
+    def test_unknown_point_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault point"):
+            arm("no.such.point", action=lambda ctx: None)
+
+    def test_bad_at_rejected(self):
+        with pytest.raises(ValueError, match="1-based"):
+            arm("journal.append", action=lambda ctx: None, at=0)
+
+    def test_bad_every_rejected(self):
+        with pytest.raises(ValueError, match="every"):
+            arm("journal.append", action=lambda ctx: None, every=0)
+
+    def test_armed_points_listing(self):
+        assert armed_points() == []
+        arm("journal.append", action=lambda ctx: None)
+        arm("drain.decision", action=lambda ctx: None)
+        assert armed_points() == ["drain.decision", "journal.append"]
+        disarm("drain.decision")
+        assert armed_points() == ["journal.append"]
+        disarm()
+        assert armed_points() == []
+
+    def test_all_registered_points_are_instrumented(self):
+        # every declared point appears in production code
+        import pathlib
+
+        src = pathlib.Path("src/repro")
+        text = "\n".join(p.read_text() for p in src.rglob("*.py"))
+        for point in FAULT_POINTS:
+            assert f'fault_hit("{point}"' in text
+
+
+class TestTriggers:
+    def test_unarmed_hit_is_noop(self):
+        fault_hit("journal.append", seq=1)  # must not raise
+
+    def test_fires_every_hit_by_default(self):
+        fired = []
+        arm("journal.append", action=fired.append)
+        for seq in range(3):
+            fault_hit("journal.append", seq=seq)
+        assert len(fired) == 3
+        assert fired[0]["point"] == "journal.append"
+        assert [ctx["hit"] for ctx in fired] == [1, 2, 3]
+
+    def test_at_fires_on_exact_hit_only(self):
+        fired = []
+        arm("engine.iteration", action=fired.append, at=3)
+        for i in range(5):
+            fault_hit("engine.iteration", iteration=i)
+        assert [ctx["hit"] for ctx in fired] == [3]
+        assert fired[0]["iteration"] == 2
+
+    def test_every_fires_periodically(self):
+        fired = []
+        arm("engine.iteration", action=fired.append, every=2)
+        for i in range(6):
+            fault_hit("engine.iteration", iteration=i)
+        assert [ctx["hit"] for ctx in fired] == [2, 4, 6]
+
+    def test_times_caps_firings(self):
+        fired = []
+        arm("engine.iteration", action=fired.append, every=1, times=2)
+        for i in range(5):
+            fault_hit("engine.iteration")
+        assert len(fired) == 2
+
+    def test_action_exceptions_propagate(self):
+        def kill(ctx):
+            raise SessionKilled(f"killed at hit {ctx['hit']}")
+
+        arm("drain.decision", action=kill, at=2)
+        fault_hit("drain.decision")
+        with pytest.raises(SessionKilled, match="hit 2"):
+            fault_hit("drain.decision")
+
+    def test_independent_triggers_on_one_point(self):
+        first, second = [], []
+        arm("journal.append", action=first.append, at=1)
+        arm("journal.append", action=second.append, at=2)
+        fault_hit("journal.append")
+        fault_hit("journal.append")
+        assert len(first) == 1 and len(second) == 1
+
+
+class TestScope:
+    def test_scope_disarms_on_exit(self):
+        with fault_scope():
+            arm("journal.append", action=lambda ctx: None)
+            assert armed_points()
+        assert armed_points() == []
+
+    def test_scope_disarms_on_error(self):
+        with pytest.raises(SessionKilled):
+            with fault_scope():
+                arm("journal.append", action=lambda ctx: None)
+                raise SessionKilled("boom")
+        assert armed_points() == []
+
+    def test_session_killed_is_not_a_repro_error(self):
+        from repro.errors import ReproError
+
+        assert not issubclass(SessionKilled, ReproError)
+        assert issubclass(SessionKilled, RuntimeError)
