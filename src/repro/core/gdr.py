@@ -571,7 +571,11 @@ class GDREngine:
         re-execution reaches the kill point without re-asking the user
         and then simply keeps going. A session checkpointed at drain
         start replays nothing — the drain consults no oracle — and
-        re-runs the drain deterministically.
+        re-runs the drain deterministically. The re-execution journals
+        its own records; the resumed ``run`` marker's ``base_seq``
+        marks the post-checkpoint originals as superseded so the
+        journal's effective history stays linear (see
+        :meth:`FeedbackJournal.effective_records`).
         """
         if self._resume_state is None:
             raise ConfigError(
@@ -579,13 +583,23 @@ class GDREngine:
             )
         resume = self._resume_state
         self._resume_state = None
-        loop = resume["loop"]
+        loop = dict(resume["loop"])
         if self.journal is not None:
+            # fail fast on a journal from a different session: the meta
+            # fingerprint must match the restored initial instance and
+            # the recorded config must match the checkpoint's
+            FeedbackJournal.verify_meta(
+                self.journal.path, self.initial_db, asdict(self.config)
+            )
             tail = FeedbackJournal.feedback_tail(
                 self.journal.path, after_seq=resume["journal_seq"]
             )
             if tail:
                 self.oracle = ReplayOracle(tail, self.oracle)
+            # recorded on the resumed run marker so effective_records /
+            # replay_writes / feedback_tail can drop the post-checkpoint
+            # records this re-execution supersedes
+            loop["base_seq"] = resume["journal_seq"]
         if loop["initial_loss"] is None:
             # checkpointed before the run ever started: plain fresh run
             return self.run(loop["feedback_limit"], drain=loop["drain"])
@@ -709,7 +723,12 @@ class GDREngine:
             learner_decisions = 0
             stalled = 0
         if self.journal is not None:
-            self.journal.log_run(feedback_limit, drain, resumed=_resume is not None)
+            self.journal.log_run(
+                feedback_limit,
+                drain,
+                resumed=_resume is not None,
+                base_seq=_resume.get("base_seq", 0) if _resume is not None else None,
+            )
 
         def on_feedback() -> None:
             result.trajectory.append(

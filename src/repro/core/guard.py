@@ -12,11 +12,15 @@ safety net:
 * every engine iteration calls :meth:`InvariantGuard.tick`; every
   *interval*-th tick runs one audit pass cross-checking each live
   structure against its reference;
-* a divergence is recorded as a structured :class:`Incident`, the
-  corrupted component alone is evicted/rebuilt, and the next ranking
-  step for that component runs through the reference path (*graceful
-  degradation* — one slow step instead of a crash or a silently wrong
-  ranking);
+* a divergence is recorded as a structured :class:`Incident` and the
+  corrupted component alone is evicted/rebuilt. For the ranking
+  structures (``group_index``, ``benefit_cache``) the next group
+  selection additionally runs through the rebuild reference path
+  (*graceful degradation* — one slow step instead of a crash or a
+  silently wrong ranking); for ``sim_cache`` and ``columns`` the
+  recovery action itself (clear / re-encode) already restores
+  correctness — later reads recompute from the scalar reference — so
+  no degraded step is needed;
 * incidents beyond *max_incidents* escalate to
   :class:`~repro.errors.IntegrityError` — past that point the session
   keeps diverging faster than it can repair itself and hard failure is
@@ -139,6 +143,9 @@ class InvariantGuard:
         Returns True exactly once after an audit recovered the
         component; the caller routes that step through the reference
         path (the rebuilt structure is trusted again afterwards).
+        Only ``group_index`` and ``benefit_cache`` incidents set the
+        flag — they are consumed by the engine's next group selection;
+        ``sim_cache`` and ``columns`` recover fully in place.
         """
         if component in self._degraded:
             self._degraded.discard(component)
@@ -179,9 +186,17 @@ class InvariantGuard:
             )
         return found
 
-    def _record(self, component: str, detail: str) -> Incident:
+    def _record(self, component: str, detail: str, degrade: bool = True) -> Incident:
+        """Build one incident; optionally flag *component* for degradation.
+
+        *degrade* is False for components whose recovery action alone
+        restores correctness (``sim_cache`` clear, ``columns``
+        re-encode): nothing consumes a degraded flag for them, so
+        setting one would only linger and skew ``degraded_steps``.
+        """
         incident = Incident(component=component, detail=detail, tick=self._ticks)
-        self._degraded.add(component)
+        if degrade:
+            self._degraded.add(component)
         return incident
 
     # -- group index ---------------------------------------------------
@@ -254,6 +269,7 @@ class InvariantGuard:
                     "sim_cache",
                     f"cached Eq. 7 similarity({a!r}, {b!r}) reads {cached!r}, "
                     f"scalar reference computes {expected!r}; cache cleared",
+                    degrade=False,
                 )
                 sim_cache.clear()
                 return [incident]
@@ -279,6 +295,7 @@ class InvariantGuard:
                             f"columnar mirror holds {decoded!r} at "
                             f"t{tid}.{db.schema.attributes[pos]}, row store "
                             f"holds {expected!r}; cell re-encoded",
+                            degrade=False,
                         )
                     )
                     columns.set_cell(tid, pos, expected)

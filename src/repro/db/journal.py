@@ -13,7 +13,11 @@ Record kinds (one JSON object per line, ``seq`` strictly increasing):
     Session header: schema, engine config, a fingerprint of the
     instance the journal starts from.
 ``run``
-    One ``GDREngine.run`` invocation (budget and drain flag).
+    One ``GDREngine.run`` invocation (budget and drain flag). A
+    resumed run carries ``resumed=True`` and ``base_seq`` — the
+    journal sequence its checkpoint covered; records between
+    ``base_seq`` and the marker are superseded by the re-execution
+    that follows it (see :meth:`FeedbackJournal.effective_records`).
 ``feedback``
     One feedback decision — appended by the consistency manager on
     entry to ``apply_feedback``, *before* any routing. ``source`` is
@@ -33,9 +37,13 @@ latest checkpoint, re-run, feed the journaled user answers back in
 order* (:class:`ReplayOracle`), then continue live when the tail runs
 dry. The drain phase consults no oracle at all, which is why a session
 killed mid-drain resumes byte-identically from the drain-start
-checkpoint. :func:`FeedbackJournal.replay_writes` independently
-re-applies the WAL records onto a database copy — the audit path, and
-the detector of version-mismatched journals.
+checkpoint. Re-execution appends its records to the same journal, so
+after a resume the raw file holds both the original post-checkpoint
+records and their re-executed twins; the ``run`` marker's ``base_seq``
+lets :meth:`FeedbackJournal.effective_records` collapse the file back
+into one linear history. :func:`FeedbackJournal.replay_writes`
+independently re-applies that effective WAL onto a database copy — the
+audit path, and the detector of version-mismatched journals.
 
 Values that are not JSON scalars are pickled and base64-tagged; the
 experiment datasets only ever hold strings and numbers, so real
@@ -111,17 +119,62 @@ class FeedbackJournal:
         self.fsync = fsync
         self._seq = 0
         if self.path.exists():
-            try:
-                with self.path.open("r", encoding="utf-8") as handle:
-                    for line in handle:
-                        if line.strip():
-                            self._seq += 1
-            except OSError as exc:
-                raise JournalError(f"cannot read journal {self.path}: {exc}") from exc
+            self._recover_tail()
         try:
             self._handle = self.path.open("a", encoding="utf-8")
         except OSError as exc:
             raise JournalError(f"cannot open journal {self.path}: {exc}") from exc
+
+    def _recover_tail(self) -> None:
+        """Validate the existing file's tail before appending to it.
+
+        A process killed mid-append leaves a torn final line — missing
+        its trailing newline, or unparseable. Its operation never
+        applied (:meth:`append` returns before application starts), so
+        the torn tail is truncated here and its sequence number is
+        reused by the replacement record; counting it toward ``_seq``
+        or appending after it would corrupt every later record. A torn
+        line anywhere before the end is real corruption and raises.
+        """
+        try:
+            data = self.path.read_bytes()
+        except OSError as exc:
+            raise JournalError(f"cannot read journal {self.path}: {exc}") from exc
+        valid_end = 0
+        seq = 0
+        lines = data.splitlines(keepends=True)
+        for number, line in enumerate(lines, start=1):
+            stripped = line.strip()
+            if not stripped:
+                if not line.endswith(b"\n"):
+                    break  # trailing whitespace without newline: torn
+                valid_end += len(line)
+                continue
+            record = None
+            if line.endswith(b"\n"):
+                try:
+                    record = json.loads(stripped)
+                except json.JSONDecodeError as exc:
+                    if number != len(lines):
+                        raise JournalError(
+                            f"{self.path}:{number}: corrupt record: {exc}"
+                        ) from exc
+            if record is None:
+                break  # torn final line: truncated below
+            valid_end += len(line)
+            if isinstance(record, dict) and isinstance(record.get("seq"), int):
+                seq = record["seq"]
+            else:
+                seq += 1
+        if valid_end != len(data):
+            try:
+                with self.path.open("r+b") as handle:
+                    handle.truncate(valid_end)
+            except OSError as exc:
+                raise JournalError(
+                    f"cannot truncate torn tail of journal {self.path}: {exc}"
+                ) from exc
+        self._seq = seq
 
     # ------------------------------------------------------------------
     @property
@@ -179,10 +232,26 @@ class FeedbackJournal:
             config={k: _encode_value(v) for k, v in config.items()},
         )
 
-    def log_run(self, feedback_limit: int | None, drain: bool, resumed: bool) -> int:
-        """One engine run invocation."""
+    def log_run(
+        self,
+        feedback_limit: int | None,
+        drain: bool,
+        resumed: bool,
+        base_seq: int | None = None,
+    ) -> int:
+        """One engine run invocation.
+
+        For a resumed run *base_seq* is the journal sequence the
+        restored checkpoint covered: the re-execution that follows
+        this marker supersedes every feedback/write record after
+        *base_seq*.
+        """
         return self.append(
-            "run", feedback_limit=feedback_limit, drain=drain, resumed=resumed
+            "run",
+            feedback_limit=feedback_limit,
+            drain=drain,
+            resumed=resumed,
+            base_seq=base_seq,
         )
 
     def log_feedback(
@@ -222,37 +291,117 @@ class FeedbackJournal:
     # ------------------------------------------------------------------
     @staticmethod
     def read(path: str | Path) -> list[dict]:
-        """All records of a journal file, in order."""
+        """All complete records of a journal file, in order.
+
+        A torn final line (killed mid-append: unterminated or
+        half-written) is dropped — its operation never applied. A torn
+        line anywhere else is corruption and raises
+        :class:`JournalError`.
+        """
         path = Path(path)
         try:
             text = path.read_text(encoding="utf-8")
         except OSError as exc:
             raise JournalError(f"cannot read journal {path}: {exc}") from exc
         records: list[dict] = []
-        for number, line in enumerate(text.splitlines(), start=1):
-            if not line.strip():
+        lines = text.splitlines(keepends=True)
+        for number, line in enumerate(lines, start=1):
+            stripped = line.strip()
+            if not stripped:
                 continue
-            try:
-                records.append(json.loads(line))
-            except json.JSONDecodeError as exc:
-                # a torn final line (killed mid-append) is expected; a
-                # torn line anywhere else is corruption
-                if number == len(text.splitlines()):
-                    break
-                raise JournalError(f"{path}:{number}: corrupt record: {exc}") from exc
+            record = None
+            if line.endswith("\n"):
+                try:
+                    record = json.loads(stripped)
+                except json.JSONDecodeError as exc:
+                    if number != len(lines):
+                        raise JournalError(
+                            f"{path}:{number}: corrupt record: {exc}"
+                        ) from exc
+            if record is None:
+                break  # torn final line
+            records.append(record)
         return records
+
+    @staticmethod
+    def effective_records(path: str | Path) -> list[dict]:
+        """The journal's records collapsed into one linear history.
+
+        A resumed session re-executes from its checkpoint, re-appending
+        the feedback and write records it replays (see the module
+        recovery model), so the raw file holds duplicates. Each ``run``
+        marker with ``resumed=True`` carries ``base_seq`` — the journal
+        sequence its checkpoint covered; every feedback/write record
+        between ``base_seq`` and the marker is superseded by the
+        re-execution that follows the marker. This drops the superseded
+        records, yielding the linear history :meth:`replay_writes` and
+        :meth:`feedback_tail` consume. Repeated kill/resume cycles
+        collapse correctly because markers are processed in order.
+        """
+        records = FeedbackJournal.read(path)
+        superseded: set[int] = set()
+        for record in records:
+            if record["kind"] == "run" and record.get("resumed"):
+                base = record.get("base_seq") or 0
+                superseded.update(
+                    r["seq"]
+                    for r in records
+                    if base < r["seq"] < record["seq"]
+                    and r["kind"] in ("feedback", "write")
+                )
+        return [r for r in records if r["seq"] not in superseded]
+
+    @staticmethod
+    def verify_meta(path: str | Path, db, config: dict) -> None:
+        """Fail fast when a journal belongs to a different session.
+
+        Compares the journal's ``meta`` record against the engine about
+        to consume it: the instance fingerprint must match *db* (the
+        session's initial instance) and the recorded config must match
+        *config*. Raises :class:`JournalError` on mismatch — the clear
+        error the later, confusing :class:`JournalReplayError` would
+        otherwise become. A journal without a meta record passes (there
+        is nothing to check against).
+        """
+        meta = next(
+            (r for r in FeedbackJournal.read(path) if r["kind"] == "meta"), None
+        )
+        if meta is None:
+            return
+        fingerprint = db_fingerprint(db)
+        if meta.get("fingerprint") != fingerprint:
+            raise JournalError(
+                f"journal {path} was recorded against a different instance: "
+                f"meta fingerprint {meta.get('fingerprint')!r} != restored "
+                f"instance fingerprint {fingerprint!r}"
+            )
+        recorded = {
+            k: _decode_value(v) for k, v in (meta.get("config") or {}).items()
+        }
+        diverged = sorted(
+            k for k in recorded.keys() | config.keys()
+            if recorded.get(k) != config.get(k)
+        )
+        if diverged:
+            raise JournalError(
+                f"journal {path} was recorded under a different config: "
+                f"{', '.join(diverged)} differ between the journal meta and "
+                f"the restored session"
+            )
 
     @staticmethod
     def replay_writes(path: str | Path, db, after_seq: int = 0) -> int:
         """Re-apply the WAL records onto *db*; returns writes applied.
 
-        Every ``write`` record with ``seq > after_seq`` is verified —
-        its ``old`` pre-image must equal the current cell value — then
-        applied. A mismatch raises :class:`JournalReplayError`: the
-        journal was recorded against a different database version.
+        Every effective ``write`` record (resume duplicates removed,
+        see :meth:`effective_records`) with ``seq > after_seq`` is
+        verified — its ``old`` pre-image must equal the current cell
+        value — then applied. A mismatch raises
+        :class:`JournalReplayError`: the journal was recorded against a
+        different database version.
         """
         applied = 0
-        for record in FeedbackJournal.read(path):
+        for record in FeedbackJournal.effective_records(path):
             if record["kind"] != "write" or record["seq"] <= after_seq:
                 continue
             tid = record["tid"]
@@ -273,9 +422,10 @@ class FeedbackJournal:
 
     @staticmethod
     def feedback_tail(path: str | Path, after_seq: int = 0) -> list[dict]:
-        """User feedback records after *after_seq*, decoded for replay."""
+        """Effective user feedback records after *after_seq*, decoded for
+        replay (resume duplicates removed, see :meth:`effective_records`)."""
         tail: list[dict] = []
-        for record in FeedbackJournal.read(path):
+        for record in FeedbackJournal.effective_records(path):
             if (
                 record["kind"] == "feedback"
                 and record["seq"] > after_seq

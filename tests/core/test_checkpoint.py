@@ -6,7 +6,7 @@ import pytest
 
 from repro.core import GDRConfig, GDREngine, GroundTruthOracle
 from repro.db import FeedbackJournal
-from repro.errors import ConfigError
+from repro.errors import ConfigError, JournalError
 
 
 def make_engine(dirty, clean, rules, tmp_path, preset="no_learning", **overrides):
@@ -63,6 +63,58 @@ class TestCheckpointRestore:
         assert restored.db.equals_data(baseline_db)
         assert result.remaining_dirty == expected.remaining_dirty
         assert result.feedback_used == expected.feedback_used
+
+    def test_resumed_journal_replays_linearly(
+        self, figure1_dirty, figure1_clean, figure1_rules, tmp_path
+    ):
+        cp = tmp_path / "auto.cp"
+        engine = make_engine(
+            figure1_dirty,
+            figure1_clean,
+            figure1_rules,
+            tmp_path,
+            preset="gdr",
+            checkpoint_path=str(cp),
+            checkpoint_every=1,
+        )
+        engine.run()
+        engine.detach()
+        final = engine.db.snapshot()
+        # restore from the drain-start checkpoint and re-run the drain:
+        # the re-execution appends its records under a resumed marker
+        restored = GDREngine.restore(
+            cp, figure1_rules, GroundTruthOracle(figure1_clean), figure1_clean
+        )
+        restored.resume()
+        assert restored.db.equals_data(final)
+        # the audit path survives the resume: the effective WAL replays
+        # onto a fresh copy of the initial instance and lands on the
+        # same final state, duplicates from the re-execution dropped
+        copy = restored.initial_db.snapshot()
+        FeedbackJournal.replay_writes(tmp_path / "journal.jsonl", copy)
+        assert copy.equals_data(restored.db)
+        restored.detach()
+
+    def test_resume_rejects_foreign_journal(
+        self, figure1_dirty, figure1_clean, figure1_rules, tmp_path
+    ):
+        engine = make_engine(figure1_dirty, figure1_clean, figure1_rules, tmp_path)
+        cp = tmp_path / "session.cp"
+        engine.checkpoint(cp)
+        engine.detach()
+        # swap in a journal recorded for a different instance
+        other_db = figure1_clean.snapshot()
+        journal_path = tmp_path / "journal.jsonl"
+        journal_path.unlink()
+        foreign = FeedbackJournal(journal_path)
+        foreign.log_meta(other_db, {"seed": 0})
+        foreign.close()
+        restored = GDREngine.restore(
+            cp, figure1_rules, GroundTruthOracle(figure1_clean), figure1_clean
+        )
+        with pytest.raises(JournalError, match="different instance"):
+            restored.resume()
+        restored.detach()
 
     def test_checkpoint_is_atomic(self, figure1_dirty, figure1_clean, figure1_rules, tmp_path):
         engine = make_engine(figure1_dirty, figure1_clean, figure1_rules, tmp_path)

@@ -89,6 +89,18 @@ class TestAudits:
             guarded.db.value(0, "city")
         )
 
+    def test_in_place_recoveries_do_not_degrade(self, guarded):
+        # sim_cache and columns recover fully in place (clear /
+        # re-encode); no consumer exists for a degraded flag, so none
+        # is set and degraded_steps stays honest
+        guarded.sim_cache._strs[("Westville", "Westvile")] = 0.001
+        guarded.db.columns.set_cell(0, 3, "CORRUPTED-CITY")
+        incidents = guarded.guard.audit()
+        assert {i.component for i in incidents} == {"sim_cache", "columns"}
+        assert not guarded.guard.consume_degraded("sim_cache")
+        assert not guarded.guard.consume_degraded("columns")
+        assert guarded.guard.stats["degraded_steps"] == 0
+
     def test_tick_audits_on_interval(self, guarded):
         guard = InvariantGuard(guarded, interval=3)
         for _ in range(6):

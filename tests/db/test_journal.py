@@ -70,6 +70,48 @@ class TestAppendRead:
         records = FeedbackJournal.read(path)
         assert [r["seq"] for r in records] == [1, 2]
 
+    def test_reopen_truncates_torn_final_line(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = FeedbackJournal(path)
+        journal.append("run", drain=True)
+        journal.append("write", tid=0)
+        journal.close()
+        # simulate a kill mid-append: final record half-written
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"seq": 3, "kind": "wri')
+        reopened = FeedbackJournal(path)
+        # the torn record never applied: it is truncated and its
+        # sequence number is reused by the replacement record
+        assert reopened.seq == 2
+        reopened.append("write", tid=1)
+        reopened.close()
+        records = FeedbackJournal.read(path)
+        assert [r["seq"] for r in records] == [1, 2, 3]
+        assert records[2]["tid"] == 1
+
+    def test_reopen_truncates_unterminated_parseable_line(self, tmp_path):
+        # killed after the payload flushed but before its newline: the
+        # line parses, but appending after it would glue two records
+        path = tmp_path / "j.jsonl"
+        journal = FeedbackJournal(path)
+        journal.append("run", drain=True)
+        journal.close()
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"seq": 2, "kind": "write", "tid": 0}')
+        reopened = FeedbackJournal(path)
+        assert reopened.seq == 1
+        reopened.append("checkpoint", path="cp", phase="drain")
+        reopened.close()
+        assert [r["seq"] for r in FeedbackJournal.read(path)] == [1, 2]
+
+    def test_reopen_interior_corruption_raises(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text(
+            '{"seq": 1, "kind": "run"}\n{"broken\n{"seq": 3, "kind": "run"}\n'
+        )
+        with pytest.raises(JournalError, match="corrupt record"):
+            FeedbackJournal(path)
+
     def test_torn_middle_line_is_corruption(self, tmp_path):
         path = tmp_path / "j.jsonl"
         path.write_text('{"seq": 1, "kind": "run"}\n{"broken\n{"seq": 3}\n')
@@ -171,6 +213,73 @@ class TestFeedbackTail:
                 "correction": "8",
             }
         ]
+
+
+class TestEffectiveRecords:
+    def test_resume_marker_supersedes_post_checkpoint_records(self, tmp_path, tiny_db):
+        path = tmp_path / "j.jsonl"
+        journal = FeedbackJournal(path)
+        journal.log_meta(tiny_db, {"seed": 0})  # seq 1
+        journal.log_write(0, "a", "x", "z", source="user")  # seq 2
+        base = journal.log_checkpoint("cp", phase="interactive")  # seq 3
+        journal.log_write(1, "b", "2", "9", source="user")  # seq 4: lost to the kill
+        journal.close()
+        # the resumed run re-executes from the checkpoint, re-appending
+        resumed = FeedbackJournal(path)
+        resumed.log_run(None, True, resumed=True, base_seq=base)  # seq 5
+        resumed.log_write(1, "b", "2", "9", source="user")  # seq 6: re-execution
+        resumed.close()
+        effective = FeedbackJournal.effective_records(path)
+        assert [r["seq"] for r in effective] == [1, 2, 3, 5, 6]
+        copy = tiny_db.snapshot()
+        assert FeedbackJournal.replay_writes(path, copy) == 2
+        assert copy.value(0, "a") == "z"
+        assert copy.value(1, "b") == "9"
+
+    def test_feedback_tail_drops_superseded_records(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = FeedbackJournal(path)
+        update = CandidateUpdate(0, "a", "z", 0.9)
+        base = journal.log_checkpoint("cp", phase="interactive")  # seq 1
+        journal.log_feedback(update, UserFeedback(Feedback.CONFIRM), source="user")  # 2
+        journal.log_run(None, True, resumed=True, base_seq=base)  # seq 3
+        journal.log_feedback(update, UserFeedback(Feedback.CONFIRM), source="user")  # 4
+        journal.close()
+        tail = FeedbackJournal.feedback_tail(path, after_seq=base)
+        assert [r["seq"] for r in tail] == [4]
+
+
+class TestVerifyMeta:
+    def test_matching_meta_passes(self, tmp_path, tiny_db):
+        path = tmp_path / "j.jsonl"
+        journal = FeedbackJournal(path)
+        journal.log_meta(tiny_db, {"seed": 0})
+        journal.close()
+        FeedbackJournal.verify_meta(path, tiny_db, {"seed": 0})
+
+    def test_fingerprint_mismatch_raises(self, tmp_path, tiny_db):
+        path = tmp_path / "j.jsonl"
+        journal = FeedbackJournal(path)
+        journal.log_meta(tiny_db, {"seed": 0})
+        journal.close()
+        tiny_db.set_value(0, "a", "changed", source="test")
+        with pytest.raises(JournalError, match="different instance"):
+            FeedbackJournal.verify_meta(path, tiny_db, {"seed": 0})
+
+    def test_config_mismatch_raises(self, tmp_path, tiny_db):
+        path = tmp_path / "j.jsonl"
+        journal = FeedbackJournal(path)
+        journal.log_meta(tiny_db, {"seed": 0})
+        journal.close()
+        with pytest.raises(JournalError, match="different config"):
+            FeedbackJournal.verify_meta(path, tiny_db, {"seed": 1})
+
+    def test_journal_without_meta_passes(self, tmp_path, tiny_db):
+        path = tmp_path / "j.jsonl"
+        journal = FeedbackJournal(path)
+        journal.append("run", drain=True)
+        journal.close()
+        FeedbackJournal.verify_meta(path, tiny_db, {"seed": 0})
 
 
 class _RecordingOracle:
