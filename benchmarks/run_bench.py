@@ -9,7 +9,10 @@ Each suite runs under ``pytest-benchmark`` and writes a flat
 default ``benchmarks/BENCH_micro.json`` for the micro suite (hot-path
 substrates), ``benchmarks/BENCH_loop.json`` for the end-to-end
 interactive loop (``bench_loop.py``, delta vs rebuild pipeline),
-``benchmarks/BENCH_drain.json`` for the learner drain, and
+``benchmarks/BENCH_drain.json`` for the learner drain,
+``benchmarks/BENCH_ml.json`` for the committee substrate
+(``bench_ml.py``, histogram forest vs exact-sort reference with a
+recorded parity flag), and
 ``benchmarks/BENCH_scaling.json`` for the table-size sweeps
 (``bench_scaling.py``, no-learning + full-pipeline + suggest parity) —
 so the performance trajectory is visible across PRs with a one-line
@@ -33,6 +36,7 @@ SUITES = {
     "micro": (BENCH_DIR / "bench_micro.py", BENCH_DIR / "BENCH_micro.json"),
     "loop": (BENCH_DIR / "bench_loop.py", BENCH_DIR / "BENCH_loop.json"),
     "drain": (BENCH_DIR / "bench_drain.py", BENCH_DIR / "BENCH_drain.json"),
+    "ml": (BENCH_DIR / "bench_ml.py", BENCH_DIR / "BENCH_ml.json"),
     "scaling": (BENCH_DIR / "bench_scaling.py", BENCH_DIR / "BENCH_scaling.json"),
 }
 

@@ -59,6 +59,7 @@ _LEARNINGS = ("active", "passive", "none")
 _PIPELINES = ("delta", "rebuild")
 _DRAINS = ("batched", "sequential")
 _SUGGESTS = ("batched", "scalar")
+_LEARNERS = ("hist", "exact")
 
 
 @dataclass(slots=True)
@@ -116,6 +117,15 @@ class GDRConfig:
         retained per-cell reference path (one Python DP per candidate
         pair); the batched path reproduces its ``GDRResult``
         byte-for-byte (tested across presets and datasets).
+    learner:
+        ``"hist"`` (default) trains the per-attribute committees as
+        histogram forests over warm, incrementally binned training
+        matrices — the fused split search and batched inference of
+        :class:`~repro.ml.forest.HistogramForestClassifier`.
+        ``"exact"`` keeps the exact-sort CART committees: the retained
+        reference, which the histogram path reproduces bit for bit
+        (same models, predictions and repair trajectories — tested
+        across presets and datasets).
     sim_cache_capacity:
         Entry bound for the engine-owned Eq. 7 similarity cache (the
         code-space pair memo shared by the generator and the learner's
@@ -169,6 +179,7 @@ class GDRConfig:
     drain: str = "batched"
     voi_cache_capacity: int = 1 << 20
     suggest: str = "batched"
+    learner: str = "hist"
     sim_cache_capacity: int = 1 << 20
     guard: bool = False
     guard_interval: int = 4
@@ -195,6 +206,8 @@ class GDRConfig:
             )
         if self.suggest not in _SUGGESTS:
             raise ConfigError(f"suggest must be one of {_SUGGESTS}, got {self.suggest!r}")
+        if self.learner not in _LEARNERS:
+            raise ConfigError(f"learner must be one of {_LEARNERS}, got {self.learner!r}")
         if self.sim_cache_capacity < 1:
             raise ConfigError(
                 f"sim_cache_capacity must be positive, got {self.sim_cache_capacity!r}"
@@ -359,6 +372,7 @@ class GDREngine:
                 max_depth=self.config.max_depth,
                 min_examples=self.config.min_examples,
                 seed=self.config.seed,
+                kind=self.config.learner,
             )
         self.voi = VOIEstimator(self.detector)
         self.strategy = self._build_strategy()

@@ -26,14 +26,129 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.db.schema import Schema
+from repro.errors import ConfigError
+from repro.ml.binning import BinnedMatrix
 from repro.ml.encoding import FEEDBACK_CLASSES, UpdateExampleEncoder, feedback_to_class
-from repro.ml.forest import RandomForestClassifier
+from repro.ml.forest import HistogramForestClassifier, RandomForestClassifier
 from repro.ml.metrics import vote_entropy
 from repro.repair.candidate import CandidateUpdate
 from repro.repair.feedback import Feedback
 from repro.repair.similarity import SimilarityFunction, similarity
+from repro.testing.faults import fault_hit
 
 __all__ = ["FeedbackLearner", "LearnerPrediction"]
+
+#: Committee implementations selectable per learner (and through
+#: ``GDRConfig(learner=...)``): the histogram forest is the default and
+#: is bit-identical to the exact-sort reference it replaces.
+LEARNER_KINDS = ("hist", "exact")
+
+
+class _ExampleStore:
+    """Growable per-attribute training matrix with a warm rank encoding.
+
+    Replaces the old list-of-1-row-arrays + ``np.vstack``-per-retrain
+    layout: rows land in amortised doubling arrays, and the lossless
+    bin encoding the histogram forest trains on is maintained
+    *incrementally* — only rows appended since the last refit are
+    re-ranked, and a column is fully re-encoded only when its
+    vocabulary actually grew.
+    """
+
+    __slots__ = ("_X", "_y", "_n", "_classes", "_codes", "_bin_values", "_encoded")
+
+    def __init__(self, n_features: int, capacity: int = 32) -> None:
+        self._X = np.empty((capacity, n_features), dtype=np.float64)
+        self._y = np.empty(capacity, dtype=np.int64)
+        self._n = 0
+        self._classes: set[int] = set()
+        # int64 rank codes for rows [0, _encoded); grown with _X
+        self._codes: np.ndarray | None = None
+        self._bin_values: list[np.ndarray] | None = None
+        self._encoded = 0
+
+    @classmethod
+    def from_arrays(cls, X: np.ndarray, y: np.ndarray) -> "_ExampleStore":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        store = cls(X.shape[1], capacity=max(32, len(y)))
+        store._X[: len(y)] = X
+        store._y[: len(y)] = y
+        store._n = len(y)
+        store._classes = {int(v) for v in np.unique(y)} if len(y) else set()
+        return store
+
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def n_features(self) -> int:
+        return self._X.shape[1]
+
+    @property
+    def X(self) -> np.ndarray:
+        """View of the filled rows (no copy, no vstack)."""
+        return self._X[: self._n]
+
+    @property
+    def y(self) -> np.ndarray:
+        return self._y[: self._n]
+
+    @property
+    def n_classes_seen(self) -> int:
+        return len(self._classes)
+
+    def append(self, features: np.ndarray, label: int) -> None:
+        if self._n == len(self._y):
+            capacity = max(32, 2 * len(self._y))
+            X = np.empty((capacity, self.n_features), dtype=np.float64)
+            X[: self._n] = self._X[: self._n]
+            self._X = X
+            y = np.empty(capacity, dtype=np.int64)
+            y[: self._n] = self._y[: self._n]
+            self._y = y
+            if self._codes is not None:
+                codes = np.empty((capacity, self.n_features), dtype=np.int64)
+                codes[: self._encoded] = self._codes[: self._encoded]
+                self._codes = codes
+        self._X[self._n] = features
+        self._y[self._n] = label
+        self._n += 1
+        self._classes.add(int(label))
+
+    def binned(self) -> BinnedMatrix:
+        """Lossless rank encoding of the current rows.
+
+        Equal to ``bin_matrix(self.X)`` (same bin tables, same codes) —
+        verified property-style in the test suite — but incremental:
+        appended rows are ranked by ``searchsorted`` against the
+        existing bin tables, and only a column that saw a *new* value
+        pays a full re-encode (one ``np.unique`` over that column).
+        """
+        n, m = self._n, self.n_features
+        if self._codes is None:
+            self._codes = np.empty((len(self._y), m), dtype=np.int64)
+            self._bin_values = [np.empty(0, dtype=np.float64)] * m
+            self._encoded = 0
+        if self._encoded < n:
+            lo = self._encoded
+            for j in range(m):
+                values = self._bin_values[j]
+                new = self._X[lo:n, j]
+                if len(values):
+                    pos = np.searchsorted(values, new)
+                    inside = pos < len(values)
+                    known = values[np.where(inside, pos, 0)] == new
+                    if bool((inside & known).all()):
+                        # vocabulary unchanged: ranks of the new rows
+                        # are plain binary-search positions
+                        self._codes[lo:n, j] = pos
+                        continue
+                values, inverse = np.unique(self._X[:n, j], return_inverse=True)
+                self._bin_values[j] = values
+                self._codes[:n, j] = inverse
+            self._encoded = n
+        return BinnedMatrix(self._codes[:n], tuple(self._bin_values))
 
 
 @dataclass(frozen=True, slots=True)
@@ -82,6 +197,13 @@ class FeedbackLearner:
         user.
     seed:
         Base random seed; attribute models get independent streams.
+    kind:
+        ``"hist"`` (default) trains
+        :class:`~repro.ml.forest.HistogramForestClassifier` committees
+        from warm, incrementally binned training matrices; ``"exact"``
+        keeps the exact-sort reference committees. The two produce
+        bit-identical models, so every prediction, version and repair
+        trajectory agrees between them.
     """
 
     def __init__(
@@ -95,7 +217,10 @@ class FeedbackLearner:
         trust_min_samples: int = 8,
         trust_min_accuracy: float = 0.85,
         seed: int = 0,
+        kind: str = "hist",
     ) -> None:
+        if kind not in LEARNER_KINDS:
+            raise ConfigError(f"kind must be one of {LEARNER_KINDS}, got {kind!r}")
         self.schema = schema
         self.encoder = UpdateExampleEncoder(schema, sim)
         self.n_estimators = n_estimators
@@ -105,8 +230,10 @@ class FeedbackLearner:
         self.trust_min_samples = trust_min_samples
         self.trust_min_accuracy = trust_min_accuracy
         self._seed = seed
-        self._features: dict[str, list[np.ndarray]] = {a: [] for a in schema.attributes}
-        self._labels: dict[str, list[int]] = {a: [] for a in schema.attributes}
+        self.kind = kind
+        self._stores: dict[str, _ExampleStore] = {
+            a: _ExampleStore(self.encoder.n_features) for a in schema.attributes
+        }
         self._models: dict[str, RandomForestClassifier | None] = {
             a: None for a in schema.attributes
         }
@@ -144,44 +271,62 @@ class FeedbackLearner:
         """
         attr = update.attribute
         features = self.encoder.encode(row_values, attr, update.value)
-        self._features[attr].append(features)
-        self._labels[attr].append(feedback_to_class(feedback))
+        self._stores[attr].append(features, feedback_to_class(feedback))
         self._stale.add(attr)
 
     def example_count(self, attribute: str) -> int:
         """Labelled examples accumulated for one attribute."""
-        return len(self._labels[attribute])
+        return len(self._stores[attribute])
 
     def total_examples(self) -> int:
         """Labelled examples accumulated across all attributes."""
-        return sum(len(v) for v in self._labels.values())
+        return sum(len(v) for v in self._stores.values())
 
     # ------------------------------------------------------------------
     # model lifecycle
     # ------------------------------------------------------------------
     def is_ready(self, attribute: str) -> bool:
         """True when the attribute's model can make decisions."""
-        labels = self._labels[attribute]
-        return len(labels) >= self.min_examples and len(set(labels)) >= 2
+        store = self._stores[attribute]
+        return len(store) >= self.min_examples and store.n_classes_seen >= 2
 
     def retrain(self, attribute: str) -> bool:
         """(Re)fit the attribute model if ready and stale.
 
-        Returns True when a fit actually happened.
+        Returns True when a fit actually happened. The refit is atomic
+        with respect to crashes: nothing below mutates learner state
+        until the new committee is fully fitted, so a kill at the fault
+        point (or anywhere mid-fit) leaves the previous model, its
+        version and the staleness flag untouched — a restored session
+        simply re-runs the refit.
         """
         if attribute not in self._stale or not self.is_ready(attribute):
             return False
-        X = np.vstack(self._features[attribute])
-        y = np.array(self._labels[attribute], dtype=np.int64)
+        store = self._stores[attribute]
+        fault_hit("learner.refit", attribute=attribute, examples=len(store))
         # zlib.crc32 is stable across processes (unlike hash(), which is
         # randomised by PYTHONHASHSEED) — runs must reproduce exactly
-        model = RandomForestClassifier(
-            n_estimators=self.n_estimators,
-            max_depth=self.max_depth,
-            min_samples_leaf=self.min_samples_leaf,
-            random_state=self._seed + zlib.crc32(attribute.encode()) % 100_000,
-        )
-        model.fit(X, y, n_classes=len(FEEDBACK_CLASSES))
+        random_state = self._seed + zlib.crc32(attribute.encode()) % 100_000
+        if self.kind == "hist":
+            model = HistogramForestClassifier(
+                n_estimators=self.n_estimators,
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                random_state=random_state,
+            )
+            # warm start: the store's incrementally maintained encoding
+            # skips re-binning the rows every previous refit already saw
+            model.fit(
+                store.X, store.y, n_classes=len(FEEDBACK_CLASSES), binned=store.binned()
+            )
+        else:
+            model = RandomForestClassifier(
+                n_estimators=self.n_estimators,
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                random_state=random_state,
+            )
+            model.fit(store.X, store.y, n_classes=len(FEEDBACK_CLASSES))
         self._models[attribute] = model
         self._model_versions[attribute] += 1
         self._stale.discard(attribute)
@@ -328,12 +473,24 @@ class FeedbackLearner:
         would reproduce them anyway (fits are seeded deterministically)
         but pickling keeps restore O(size) instead of O(refit) and
         works even for attributes whose staleness flag was clear.
+        Training examples export as dense per-attribute ``(X, y)``
+        arrays (format 2); :meth:`restore_state` also accepts the
+        pre-store per-row list format of older checkpoints.
         """
         import pickle
 
         return {
-            "features": {a: [f.copy() for f in v] for a, v in self._features.items()},
-            "labels": {a: list(v) for a, v in self._labels.items()},
+            "format": 2,
+            "examples": {
+                a: (store.X.copy(), store.y.copy())
+                for a, store in self._stores.items()
+            },
+            # the encoder's value→code dictionaries are trained-on
+            # state: without them a restored session re-encodes future
+            # examples against a fresh vocabulary and every fitted
+            # committee answers garbage (a divergence the chaos suite's
+            # mid-run kill tests would catch)
+            "vocab": self.encoder.export_vocab(),
             "models": pickle.dumps(self._models),
             "model_versions": dict(self._model_versions),
             "stale": set(self._stale),
@@ -346,11 +503,27 @@ class FeedbackLearner:
         The learner must have been constructed with the same schema and
         hyper-parameters; afterwards predictions, versions and trust
         judgements are byte-identical to the checkpointed instance.
+        Both the format-2 array layout and the legacy
+        ``"features"``/``"labels"`` per-row layout are accepted, so
+        checkpoints written before the store existed keep restoring.
         """
         import pickle
 
-        self._features = {a: [f.copy() for f in v] for a, v in state["features"].items()}
-        self._labels = {a: list(v) for a, v in state["labels"].items()}
+        if "vocab" in state:
+            self.encoder.restore_vocab(state["vocab"])
+        if "examples" in state:
+            self._stores = {
+                a: _ExampleStore.from_arrays(X, y)
+                for a, (X, y) in state["examples"].items()
+            }
+        else:
+            n_features = self.encoder.n_features
+            self._stores = {}
+            for a, rows in state["features"].items():
+                store = _ExampleStore(n_features, capacity=max(32, len(rows)))
+                for features, label in zip(rows, state["labels"][a]):
+                    store.append(features, int(label))
+                self._stores[a] = store
         self._models = pickle.loads(state["models"])
         self._model_versions = dict(state["model_versions"])
         self._stale = set(state["stale"])

@@ -1,22 +1,27 @@
 """From-scratch learning substrate: encoders, CART trees, random forests."""
 
+from repro.ml.binning import BinnedMatrix, bin_matrix
 from repro.ml.encoding import (
     FEEDBACK_CLASSES,
     CategoricalEncoder,
     UpdateExampleEncoder,
     feedback_to_class,
 )
-from repro.ml.forest import RandomForestClassifier
+from repro.ml.forest import HistogramForestClassifier, RandomForestClassifier
 from repro.ml.metrics import accuracy_score, confusion_matrix, entropy, vote_entropy
-from repro.ml.tree import DecisionTreeClassifier
+from repro.ml.tree import DecisionTreeClassifier, HistogramTreeClassifier
 
 __all__ = [
     "FEEDBACK_CLASSES",
+    "BinnedMatrix",
     "CategoricalEncoder",
     "DecisionTreeClassifier",
+    "HistogramForestClassifier",
+    "HistogramTreeClassifier",
     "RandomForestClassifier",
     "UpdateExampleEncoder",
     "accuracy_score",
+    "bin_matrix",
     "confusion_matrix",
     "entropy",
     "feedback_to_class",

@@ -66,6 +66,18 @@ class CategoricalEncoder:
         """The value carrying *code* (inverse of :meth:`encode`)."""
         return self._values[code]
 
+    def export_values(self) -> list[object]:
+        """The vocabulary in code order (for checkpoints)."""
+        return list(self._values)
+
+    @classmethod
+    def from_values(cls, values: Sequence[object]) -> "CategoricalEncoder":
+        """Rebuild an encoder whose codes match an exported vocabulary."""
+        encoder = cls()
+        for value in values:
+            encoder.encode(value)
+        return encoder
+
     def __len__(self) -> int:
         return len(self._values)
 
@@ -169,3 +181,19 @@ class UpdateExampleEncoder:
     def encoder_for(self, attribute: str) -> CategoricalEncoder:
         """The vocabulary encoder of one attribute (shared with ``v``)."""
         return self._encoders[attribute]
+
+    def export_vocab(self) -> dict[str, list[object]]:
+        """Per-attribute vocabularies in code order (for checkpoints).
+
+        The code assignment is *state*: committees are trained on these
+        codes, so a restored learner must encode future examples with
+        the same value→code mapping or its models answer against the
+        wrong dictionary.
+        """
+        return {a: enc.export_values() for a, enc in self._encoders.items()}
+
+    def restore_vocab(self, vocab: dict[str, list[object]]) -> None:
+        """Rebuild every attribute encoder from an exported vocabulary."""
+        self._encoders = {
+            a: CategoricalEncoder.from_values(values) for a, values in vocab.items()
+        }

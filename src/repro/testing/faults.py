@@ -28,6 +28,7 @@ Registered fault points (grep for ``fault_hit`` to verify):
 ``engine.iteration``      top of each interactive loop iteration
 ``engine.drain_pass``     top of each learner-drain pass
 ``drain.decision``        after each drain decision is applied
+``learner.refit``         before an attribute committee refit mutates state
 ========================  ====================================================
 """
 
@@ -53,6 +54,7 @@ FAULT_POINTS = (
     "engine.iteration",
     "engine.drain_pass",
     "drain.decision",
+    "learner.refit",
 )
 
 FaultAction = Callable[[dict], None]

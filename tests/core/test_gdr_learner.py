@@ -1,0 +1,127 @@
+"""Learner config tests: `learner="hist"` vs `"exact"`.
+
+The histogram committees (fused split search, batched inference, warm
+binned refits) must reproduce the exact-sort reference's ``GDRResult``
+byte-for-byte for fixed seeds — same labels, same learner decisions,
+same trajectory, same final instance — mirroring the
+``pipeline``/``drain``/``suggest`` reference-path discipline.
+"""
+
+import pytest
+
+from repro.core import GDRConfig, GDREngine, GroundTruthOracle
+from repro.datasets import load_dataset
+from repro.errors import ConfigError
+from repro.ml.forest import HistogramForestClassifier
+
+
+def _run(learner, preset, dataset="hospital", n=150, budget=40, data_seed=7,
+         config_seed=3, **overrides):
+    ds = load_dataset(dataset, n=n, seed=data_seed)
+    db = ds.fresh_dirty()
+    config = preset(seed=config_seed, learner=learner, **overrides)
+    engine = GDREngine(db, ds.rules, GroundTruthOracle(ds.clean), config, clean_db=ds.clean)
+    result = engine.run(feedback_limit=budget)
+    return db, result, engine
+
+
+def _trajectory(result):
+    return [(p.feedback, p.learner_decisions, p.loss) for p in result.trajectory]
+
+
+class TestLearnerConfig:
+    def test_default_is_hist(self):
+        assert GDRConfig().learner == "hist"
+
+    def test_invalid_learner_rejected(self):
+        with pytest.raises(ConfigError):
+            GDRConfig(learner="bogus")
+
+    def test_engine_passes_kind_to_learner(self):
+        ds = load_dataset("hospital", n=60, seed=0)
+        hist = GDREngine(
+            ds.fresh_dirty(), ds.rules, GroundTruthOracle(ds.clean), GDRConfig.gdr()
+        )
+        assert hist.learner.kind == "hist"
+        hist.detach()
+        exact = GDREngine(
+            ds.fresh_dirty(),
+            ds.rules,
+            GroundTruthOracle(ds.clean),
+            GDRConfig.gdr(learner="exact"),
+        )
+        assert exact.learner.kind == "exact"
+
+
+class TestByteIdenticalLearnerParity:
+    @pytest.mark.parametrize(
+        "preset",
+        [GDRConfig.gdr, GDRConfig.s_learning, GDRConfig.active_learning, GDRConfig.no_learning],
+        ids=["gdr", "s_learning", "active_learning", "no_learning"],
+    )
+    def test_hist_matches_exact(self, preset):
+        db_h, result_h, __ = _run("hist", preset)
+        db_e, result_e, __ = _run("exact", preset)
+        assert db_h.equals_data(db_e)
+        assert result_h.feedback_used == result_e.feedback_used
+        assert result_h.learner_decisions == result_e.learner_decisions
+        assert result_h.iterations == result_e.iterations
+        assert result_h.initial_loss == result_e.initial_loss
+        assert result_h.final_loss == result_e.final_loss
+        assert _trajectory(result_h) == _trajectory(result_e)
+        assert result_h.remaining_dirty == result_e.remaining_dirty
+
+    def test_adult_dataset_parity(self):
+        db_h, result_h, __ = _run("hist", GDRConfig.gdr, dataset="adult", n=120,
+                                  budget=30, data_seed=2, config_seed=1)
+        db_e, result_e, __ = _run("exact", GDRConfig.gdr, dataset="adult", n=120,
+                                  budget=30, data_seed=2, config_seed=1)
+        assert db_h.equals_data(db_e)
+        assert _trajectory(result_h) == _trajectory(result_e)
+
+    def test_hist_committees_actually_used(self):
+        __, __, engine = _run("hist", GDRConfig.gdr)
+        fitted = [m for m in engine.learner._models.values() if m is not None]
+        assert fitted
+        assert all(isinstance(m, HistogramForestClassifier) for m in fitted)
+
+
+class TestCheckpointRoundTrip:
+    def test_checkpoint_restores_hist_models(self, tmp_path):
+        """A checkpointed session with fitted histogram committees must
+        restore and resume to the uncheckpointed run's end state."""
+        ds = load_dataset("hospital", n=120, seed=7)
+        clean_db = ds.fresh_dirty()
+        clean_engine = GDREngine(
+            clean_db, ds.rules, GroundTruthOracle(ds.clean),
+            GDRConfig.gdr(seed=3), clean_db=ds.clean,
+        )
+        clean_result = clean_engine.run(feedback_limit=30)
+        clean_engine.detach()
+
+        db = ds.fresh_dirty()
+        engine = GDREngine(
+            db,
+            ds.rules,
+            GroundTruthOracle(ds.clean),
+            GDRConfig.gdr(
+                seed=3,
+                journal_path=str(tmp_path / "journal.jsonl"),
+                checkpoint_path=str(tmp_path / "session.cp"),
+                checkpoint_every=1,
+            ),
+            clean_db=ds.clean,
+        )
+        engine.run(feedback_limit=30)
+        engine.detach()
+
+        restored = GDREngine.restore(
+            tmp_path / "session.cp", ds.rules, GroundTruthOracle(ds.clean), ds.clean
+        )
+        fitted = [m for m in restored.learner._models.values() if m is not None]
+        assert fitted
+        assert all(isinstance(m, HistogramForestClassifier) for m in fitted)
+        result = restored.resume()
+        restored.detach()
+        assert restored.db.equals_data(clean_db)
+        assert result.remaining_dirty == clean_result.remaining_dirty

@@ -169,6 +169,45 @@ class TestGuardUnderFaults:
         assert result.remaining_dirty == clean_result.remaining_dirty
 
 
+class TestLearnerRefitKill:
+    @pytest.mark.parametrize("dataset_name", ["hospital", "adult"])
+    def test_kill_mid_retrain_resumes_to_identical_end_state(
+        self, dataset_name, chaos_datasets, tmp_path
+    ):
+        """Dying inside a committee refit must be invisible after
+        recovery: the refit is atomic (no partial model ever becomes
+        the attribute's committee), so the restored session re-runs it
+        and finishes byte-identical to the clean reference."""
+        ds = chaos_datasets[dataset_name]
+        clean_db, clean_result = run_clean(ds, "gdr")
+
+        engine = make_durable_engine(ds, "gdr", tmp_path)
+
+        def kill(ctx):
+            assert ctx["examples"] > 0
+            raise SessionKilled(
+                f"injected kill refitting {ctx['attribute']!r} at hit {ctx['hit']}"
+            )
+
+        with fault_scope():
+            arm("learner.refit", action=kill, at=2)
+            with pytest.raises(SessionKilled):
+                engine.run(feedback_limit=FEEDBACK_LIMIT)
+        engine.detach()
+
+        restored = GDREngine.restore(
+            tmp_path / "session.cp", ds.rules, GroundTruthOracle(ds.clean), ds.clean
+        )
+        result = restored.resume()
+        dump_chaos_log(f"learner_refit_kill_{dataset_name}", restored.health())
+        restored.detach()
+        assert restored.db.equals_data(clean_db)
+        assert result.feedback_used == clean_result.feedback_used
+        assert result.learner_decisions == clean_result.learner_decisions
+        assert result.remaining_dirty == clean_result.remaining_dirty
+        assert result.improvement == pytest.approx(clean_result.improvement)
+
+
 class TestJournalFailures:
     def test_failed_append_aborts_the_write(self, chaos_datasets, tmp_path):
         ds = chaos_datasets["hospital"]
