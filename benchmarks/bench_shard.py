@@ -1,0 +1,178 @@
+"""Sharded violation engine benchmark: serial vs partition-parallel.
+
+Times the operations the shard layer accelerates, on the deterministic
+scale-up instances from :mod:`repro.datasets.synth`:
+
+* ``test_detect_serial`` / ``test_detect_sharded`` — a full violation
+  detection pass (canonical columnar rebuild vs partition-local worker
+  detect + coordinator merge over the shared-memory code matrices);
+* ``test_what_if_serial`` / ``test_what_if_sharded`` — a drain-sized
+  batch of what-if probes (the VOI ranking hot path);
+* ``test_pipeline_first_group_sharded`` — cold start to first ranked
+  group: detector build, suggestion generation, one Eq. 6 ranking pass
+  (the acceptance metric: < 30 s at 10^6 rows, recorded locally).
+  Ingest (row materialisation + dictionary encoding of the code
+  matrices) happens in untimed setup — the timed region starts from an
+  encoded database, matching how a long-lived session sees a cold
+  detect.
+
+Every sharded entry carries a ``parity`` extra_info flag (1 = the
+sharded detect report merged byte-identical to the canonical
+detector's statistics on the same instance) so ``BENCH_shard.json``
+records correctness next to the speedup. Scale knobs::
+
+    REPRO_SHARD_SIZES   comma-separated row counts   (default 10000)
+    REPRO_SHARD_COUNTS  comma-separated shard counts (default 4)
+    REPRO_SHARD_DIRTY   base-block dirty rate        (default 0.3;
+                        use ~0.0005 for 10^5-10^6-row pipeline runs)
+
+CI smoke runs the default 10^4 instance and asserts the recorded
+parity flags (plus the 4-shard detect speedup when the runner has the
+cores for it); the 10^5/10^6 points are recorded locally, e.g.::
+
+    REPRO_SHARD_SIZES=10000,100000,1000000 REPRO_SHARD_DIRTY=0.0005 \\
+        python benchmarks/run_bench.py --suite shard
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.constraints.violations import ViolationDetector
+from repro.core import GDRConfig, GDREngine, GroundTruthOracle
+from repro.core.parallel import ShardedViolationEngine
+from repro.datasets import load_synth_dataset
+
+SIZES = tuple(
+    int(s) for s in os.environ.get("REPRO_SHARD_SIZES", "10000").split(",")
+)
+SHARD_COUNTS = tuple(
+    int(s) for s in os.environ.get("REPRO_SHARD_COUNTS", "4").split(",")
+)
+DIRTY_RATE = float(os.environ.get("REPRO_SHARD_DIRTY", "0.3"))
+
+#: Probe cells per what-if batch (one VOI ranking pass worth).
+PROBE_CELLS = 256
+#: Candidate values per probed cell.
+PROBE_CANDIDATES = 4
+
+_DATASETS: dict[int, object] = {}
+_SERIAL: dict[int, tuple[object, ViolationDetector]] = {}
+_SHARDED: dict[tuple[int, int], ShardedViolationEngine] = {}
+
+
+def _dataset(n: int):
+    ds = _DATASETS.get(n)
+    if ds is None:
+        ds = _DATASETS[n] = load_synth_dataset(
+            "hospital", n=n, base_n=min(2000, n), seed=11, dirty_rate=DIRTY_RATE
+        )
+    return ds
+
+
+def _serial(n: int):
+    entry = _SERIAL.get(n)
+    if entry is None:
+        ds = _dataset(n)
+        db = ds.fresh_dirty()
+        entry = _SERIAL[n] = (db, ViolationDetector(db, ds.rules))
+    return entry
+
+
+def _sharded(n: int, nshards: int) -> ShardedViolationEngine:
+    engine = _SHARDED.get((n, nshards))
+    if engine is None:
+        __, detector = _serial(n)
+        engine = _SHARDED[(n, nshards)] = ShardedViolationEngine(detector, nshards)
+    return engine
+
+
+def _probe_batch(db, seed: int = 17):
+    rng = np.random.default_rng(seed)
+    tids = sorted(db.tids())
+    attrs = list(db.schema.attributes)
+    cells = []
+    for _ in range(PROBE_CELLS):
+        tid = tids[int(rng.integers(0, len(tids)))]
+        attr = attrs[int(rng.integers(0, len(attrs)))]
+        pos = db.schema.position(attr)
+        dom = db.columns.values_at(pos, np.ones(len(db.columns), dtype=bool))
+        step = max(1, len(dom) // PROBE_CANDIDATES)
+        cells.append((tid, attr, [dom[i * step % len(dom)] for i in range(PROBE_CANDIDATES)]))
+    return cells
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_detect_serial(benchmark, n):
+    __, detector = _serial(n)
+    benchmark(detector.recompute)
+    benchmark.extra_info["rows"] = n
+
+
+@pytest.mark.parametrize("nshards", SHARD_COUNTS)
+@pytest.mark.parametrize("n", SIZES)
+def test_detect_sharded(benchmark, n, nshards):
+    engine = _sharded(n, nshards)
+    benchmark(lambda: engine.detect(parity=False))
+    report = engine.detect(parity=True)
+    benchmark.extra_info["rows"] = n
+    benchmark.extra_info["nshards"] = nshards
+    benchmark.extra_info["parity"] = int(report["parity"])
+    benchmark.extra_info["vio_total"] = report["vio_total"]
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_what_if_serial(benchmark, n):
+    db, detector = _serial(n)
+    cells = _probe_batch(db)
+    benchmark(detector.what_if_moved_many_cells, cells)
+    benchmark.extra_info["cells"] = len(cells)
+
+
+@pytest.mark.parametrize("nshards", SHARD_COUNTS)
+@pytest.mark.parametrize("n", SIZES)
+def test_what_if_sharded(benchmark, n, nshards):
+    db, detector = _serial(n)
+    engine = _sharded(n, nshards)
+    cells = _probe_batch(db)
+    benchmark(engine.what_if_moved_many_cells, cells)
+    benchmark.extra_info["cells"] = len(cells)
+    benchmark.extra_info["nshards"] = nshards
+    benchmark.extra_info["parity"] = int(
+        engine.what_if_moved_many_cells(cells)
+        == detector.what_if_moved_many_cells(cells)
+    )
+
+
+@pytest.mark.parametrize("nshards", SHARD_COUNTS)
+@pytest.mark.parametrize("n", SIZES)
+def test_pipeline_first_group_sharded(benchmark, n, nshards):
+    """Cold start to first ranked group — the < 30 s acceptance path."""
+    ds = _dataset(n)
+    # Untimed setup: materialise the dirty rows and dictionary-encode
+    # the code matrices (ingest, not detect). The timed region covers
+    # detector build, shard fan-out, suggestion generation, and the
+    # first Eq. 6 ranking pass.
+    db = ds.fresh_dirty()
+    len(db.columns)
+
+    def first_group():
+        engine = GDREngine(
+            db,
+            ds.rules,
+            GroundTruthOracle(ds.clean),
+            GDRConfig.no_learning(seed=3, shards=nshards),
+            clean_db=None,
+        )
+        picked = engine._pick_top_group()
+        engine.detach()
+        return picked
+
+    group, benefit, __, ranked = benchmark.pedantic(first_group, rounds=1, iterations=1)
+    benchmark.extra_info["rows"] = n
+    benchmark.extra_info["nshards"] = nshards
+    benchmark.extra_info["ranked_groups"] = ranked
+    benchmark.extra_info["dirty_rate"] = DIRTY_RATE

@@ -1256,6 +1256,19 @@ class ViolationDetector:
             for attr in rule.attributes:
                 self._attr_versions[attr] += 1
 
+    @property
+    def stats_epoch(self) -> int:
+        """Monotone counter over the detector's observable statistics.
+
+        Moves whenever any rule's violation/context statistics may have
+        changed (writes that moved stats, inserts, deletes, rebuilds).
+        Consumers caching decisions derived from the *whole* statistics
+        state — e.g. the update generator's cross-batch decision memo —
+        stamp entries with ``(db.version, stats_epoch)`` and drop them
+        when either moves.
+        """
+        return self._epoch
+
     def rule_stats_version(self, rule: CFD) -> int:
         """Statistics version of one rule.
 
@@ -1517,6 +1530,21 @@ class ViolationDetector:
                     if outcome[3] != 0:  # vio_reduction
                         results[ci].append((rule, outcome))
         return results
+
+    def what_if_moved_many_cells(self, cells):
+        """Batched :meth:`what_if_moved_many` over many cells.
+
+        *cells* is a sequence of ``(tid, attribute, values)`` probes;
+        the result list is aligned with it. This is the serial
+        reference implementation of the bulk probe entry point — the
+        sharded engine (``core/parallel.py``) overrides it with a
+        partition-parallel dispatch that is parity-tested against this
+        exact loop.
+        """
+        return [
+            self.what_if_moved_many(tid, attribute, values)
+            for tid, attribute, values in cells
+        ]
 
     def probe_signature(self, tid: int, attribute: str) -> bytes:
         """Codes of everything a what-if probe on ``⟨tid, attribute⟩`` reads.

@@ -39,6 +39,7 @@ from repro.core.session import (
     predict_many_snapshot,
 )
 from repro.core.user import UserOracle
+from repro.core.parallel import ShardedViolationEngine
 from repro.core.voi import GroupBenefitCache, VOIEstimator
 from repro.db.database import Database
 from repro.db.journal import FeedbackJournal, ReplayOracle
@@ -126,6 +127,17 @@ class GDRConfig:
         reference, which the histogram path reproduces bit for bit
         (same models, predictions and repair trajectories — tested
         across presets and datasets).
+    shards:
+        ``0`` (default) keeps the single-process reference violation
+        path. ``N >= 1`` fronts the detector with the sharded violation
+        engine (``core/parallel.py``): tuples are hash-partitioned by
+        the CFD shard key into ``N`` shards, worker processes map the
+        code matrix zero-copy through shared memory, and the bulk
+        what-if / detect entry points run partition-parallel. The
+        sharded path reproduces the ``shards=0`` ``GDRResult``
+        byte-for-byte (tested across presets and datasets); incremental
+        maintenance, journal, guard and checkpoint machinery stay on
+        the coordinator unchanged.
     sim_cache_capacity:
         Entry bound for the engine-owned Eq. 7 similarity cache (the
         code-space pair memo shared by the generator and the learner's
@@ -180,6 +192,7 @@ class GDRConfig:
     voi_cache_capacity: int = 1 << 20
     suggest: str = "batched"
     learner: str = "hist"
+    shards: int = 0
     sim_cache_capacity: int = 1 << 20
     guard: bool = False
     guard_interval: int = 4
@@ -208,6 +221,8 @@ class GDRConfig:
             raise ConfigError(f"suggest must be one of {_SUGGESTS}, got {self.suggest!r}")
         if self.learner not in _LEARNERS:
             raise ConfigError(f"learner must be one of {_LEARNERS}, got {self.learner!r}")
+        if not isinstance(self.shards, int) or self.shards < 0:
+            raise ConfigError(f"shards must be a non-negative int, got {self.shards!r}")
         if self.sim_cache_capacity < 1:
             raise ConfigError(
                 f"sim_cache_capacity must be positive, got {self.sim_cache_capacity!r}"
@@ -347,6 +362,15 @@ class GDREngine:
         self.initial_db = db.snapshot()
 
         self.detector = ViolationDetector(db, rules)
+        # shards > 0 fronts the detector with the partition-parallel
+        # engine; every bulk consumer below receives the front (it
+        # delegates everything it does not parallelise), shards=0 keeps
+        # the single-process reference wiring byte-identical
+        self.sharding = (
+            ShardedViolationEngine(self.detector, self.config.shards)
+            if self.config.shards > 0
+            else None
+        )
         self.state = RepairState()
         # engine-owned Eq. 7 cache: one code-space memo shared by the
         # suggestion engine and the learner's feature encoder — no
@@ -374,7 +398,7 @@ class GDREngine:
                 seed=self.config.seed,
                 kind=self.config.learner,
             )
-        self.voi = VOIEstimator(self.detector)
+        self.voi = VOIEstimator(self.sharding or self.detector)
         self.strategy = self._build_strategy()
         self.policy = EffortPolicy(
             batch_size=self.config.batch_size,
@@ -462,6 +486,8 @@ class GDREngine:
         compare configurations — so discarded engines stop receiving
         write and state events.
         """
+        if self.sharding is not None:
+            self.sharding.detach()
         self.detector.detach()
         self.manager.detach()
         self.generator.detach()
@@ -627,6 +653,8 @@ class GDREngine:
         keys mirror the component names (``sim`` →
         ``SimilarityCache.stats``, ``cache`` →
         ``GroupBenefitCache.stats``, ``voi`` → term-memo occupancy,
+        ``shards`` → sharded-engine pool size, dispatch/build/merge
+        timings and respawn counters (empty when ``shards=0``),
         ``guard`` → tick/audit/incident counters plus the structured
         incident records, ``journal`` → path and sequence).
         """
@@ -634,6 +662,7 @@ class GDREngine:
             "sim": dict(self.sim_cache.stats),
             "cache": dict(self.benefit_cache.stats) if self.benefit_cache is not None else {},
             "voi": {"term_memo_size": self.voi.term_memo_size},
+            "shards": self.sharding.health_info() if self.sharding is not None else {},
             "guard": dict(self.guard.stats) if self.guard is not None else {},
             "journal": (
                 {"path": str(self.journal.path), "seq": self.journal.seq}

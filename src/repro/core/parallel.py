@@ -1,0 +1,1213 @@
+"""Sharded violation engine: partition-parallel detect and what-if.
+
+The violation workload of the GDR loop — full detection sweeps and the
+Eq. 6 what-if probes behind every benefit score — decomposes along the
+CFD partition key: a variable rule's LHS partitions are equivalence
+classes of the key column's dictionary code, so hashing tuples by that
+code splits the relation into ``P`` shards whose partition statistics
+are disjoint. This module runs those shards in a persistent pool of
+worker processes:
+
+* :class:`ShardPlan` picks the shard key (the LHS column shared by the
+  most variable rules), classifies every variable rule as *local*
+  (shard key in its LHS — partitions never straddle shards) or *cross*
+  (evaluated on the coordinator), and compiles the rule set into a
+  pure-code-space payload workers can evaluate without any ``repro``
+  object graph;
+* workers map the coordinator's code matrix **zero-copy** through the
+  shared-memory arena (``db/shm.py``) — probes and detection sweeps
+  read the live pages, never a pickled copy;
+* :class:`ShardPool` keeps one spawned worker per shard alive across
+  calls, with respawn-on-death recovery (a replacement worker rebuilds
+  its shard state exactly from the shared pages);
+* :class:`ShardedViolationEngine` wraps the canonical
+  :class:`~repro.constraints.violations.ViolationDetector` — which
+  stays fully resident and incrementally maintained on the coordinator,
+  so the delta pipeline, journal, guard and checkpoint machinery are
+  untouched — and parallelises the two bulk entry points:
+  :meth:`~ShardedViolationEngine.what_if_moved_many_cells` (batched
+  probes) and :meth:`~ShardedViolationEngine.detect` (full sweep with
+  per-shard build and coordinator merge). Everything else delegates to
+  the canonical detector.
+
+Parity discipline: worker arithmetic is a line-for-line code-space
+mirror of ``_ConstantProbePlan.moved_many`` / ``_scalar_outcome`` and
+``_VariableRuleState.what_if_many``. Rule constants are pre-encoded
+into the column vocabularies at plan build and candidate values are
+encoded by the coordinator at dispatch (unseen values map to ``-1``,
+which can never equal a stored code), so code equality is exactly the
+dict-semantics value equality of the reference path and sharded
+results are byte-identical to ``shards=0``.
+
+Synchronisation: single-cell writes are maintained incrementally on
+the coordinator as before; the engine keeps a *pending-op* dirty
+cursor per shard (the tuples whose membership in that shard's local
+partitions may have moved) and prepends the ops to the next dispatch.
+Ops are idempotent — remove-then-readd from the current shared codes —
+so replays after a worker respawn are harmless. Inserts and deletions
+bump ``Database.structure_version``, which invalidates every worker's
+row mirror wholesale (workers rebuild from the shared pages on the
+next command).
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+import signal
+import time
+import traceback
+
+import numpy as np
+
+from repro.constraints.violations import (
+    WhatIfOutcome,
+    _ConstantRuleState,
+    _VariableRuleState,
+)
+from repro.db.shm import attach_matrix, share_column_store
+from repro.testing.faults import fault_hit
+
+__all__ = [
+    "ShardPlan",
+    "ShardPool",
+    "ShardWorkerError",
+    "ShardedViolationEngine",
+    "WorkerDied",
+    "get_pool",
+    "shard_of_code",
+]
+
+#: Knuth multiplicative hash constant: spreads consecutive dictionary
+#: codes (which are dense by construction) across shards.
+_HASH_MULT = 2654435761
+
+#: Batches smaller than this stay on the coordinator: pipe latency
+#: exceeds the probe cost for a handful of cells.
+_MIN_PARALLEL_CELLS = 8
+
+#: Seconds a coordinator waits on a worker reply before declaring it
+#: dead (detection sweeps over 10^6-row shards stay well under this).
+_REPLY_TIMEOUT = 600.0
+
+#: ``pos_const`` sentinel in worker code space. ``-1`` is the
+#: legitimate code of a never-stored candidate, so absence needs -2.
+_NO_CONST = -2
+
+
+def shard_of_code(code: int, nshards: int) -> int:
+    """Shard owning dictionary code *code* (scalar form)."""
+    return ((code * _HASH_MULT) & 0xFFFFFFFF) % nshards
+
+
+def _shard_mask(codes: np.ndarray, shard: int, nshards: int) -> np.ndarray:
+    """Vectorised :func:`shard_of_code`: mask of rows owned by *shard*."""
+    hashed = (codes.astype(np.uint64) * _HASH_MULT) & 0xFFFFFFFF
+    return (hashed % nshards) == shard
+
+
+class WorkerDied(Exception):
+    """A shard worker's pipe broke (crash, kill, or reply timeout)."""
+
+    def __init__(self, shard: int) -> None:
+        super().__init__(f"shard worker {shard} died")
+        self.shard = shard
+
+
+class ShardWorkerError(Exception):
+    """A shard worker raised while handling a command."""
+
+
+# ======================================================================
+# plan
+# ======================================================================
+
+
+class ShardPlan:
+    """Shard-key choice and code-space rule payload for one detector.
+
+    ``key_pos`` is the LHS column position shared by the most variable
+    rules (ties broken by lowest position; ``None`` when the rule set
+    has no variable rules, in which case rows are distributed round
+    robin). A variable rule is *local* when ``key_pos`` appears in its
+    LHS: its partitions are keyed by the shard column's code, so every
+    partition lives wholly on one shard and per-shard statistics merge
+    exactly. Remaining variable rules are *cross* and evaluate on the
+    coordinator's canonical state.
+    """
+
+    __slots__ = (
+        "nshards",
+        "key_pos",
+        "key_attr",
+        "local_vids",
+        "cross_vids",
+        "var_states",
+        "const_states",
+        "vid_of_rule",
+        "sync_positions",
+        "payload",
+    )
+
+    @classmethod
+    def build(cls, detector, nshards: int) -> ShardPlan:
+        plan = cls()
+        db = detector.db
+        schema = db.schema
+        cols = db.columns
+        plan.nshards = nshards
+        var_states = [s for s in detector._states if isinstance(s, _VariableRuleState)]
+        const_states = [s for s in detector._states if isinstance(s, _ConstantRuleState)]
+        plan.var_states = var_states
+        plan.const_states = const_states
+        counts: dict[int, int] = {}
+        for state in var_states:
+            for p in state._lhs_pos:
+                counts[p] = counts.get(p, 0) + 1
+        key_pos = min(counts, key=lambda p: (-counts[p], p)) if counts else None
+        plan.key_pos = key_pos
+        plan.key_attr = schema.attributes[key_pos] if key_pos is not None else None
+
+        var_payload: dict[int, dict] = {}
+        local_vids: set[int] = set()
+        cross_vids: set[int] = set()
+        sync_positions: set[int] = set()
+        for vid, state in enumerate(var_states):
+            local = key_pos is not None and key_pos in state._lhs_pos
+            (local_vids if local else cross_vids).add(vid)
+            if local:
+                sync_positions.update(state._lhs_pos)
+                sync_positions.add(state._rhs_pos)
+                for q, __ in state._lhs_consts:
+                    sync_positions.add(q)
+            var_payload[vid] = {
+                "lhs_pos": list(state._lhs_pos),
+                "rhs_pos": state._rhs_pos,
+                # constants are encoded (allocating) so worker-side code
+                # equality is exact value equality even for constants
+                # absent from the data
+                "consts": [
+                    (q, cols.vocabulary(q).encode(c)) for q, c in state._lhs_consts
+                ],
+                "local": local,
+            }
+        plan.local_vids = local_vids
+        plan.cross_vids = cross_vids
+        plan.vid_of_rule = {state.rule: vid for vid, state in enumerate(var_states)}
+        plan.sync_positions = sync_positions
+
+        attrs: dict[str, dict] = {}
+        for attr in detector._states_by_attr:
+            pos = schema.position(attr)
+            cplan, a_var_states, __, __, __ = detector._plan_for(attr, pos)
+            attrs[attr] = {
+                "pos": pos,
+                "slots": list(cplan._state_codes) if cplan is not None else [],
+                "simple": dict(cplan._simple_by_code) if cplan is not None else {},
+                "rhs_ctx": list(cplan._rhs_ctx_maps) if cplan is not None else [],
+                "check": list(cplan._check) if cplan is not None else [],
+                "vars": [plan.vid_of_rule[s.rule] for s in a_var_states],
+            }
+        detect_const = [
+            (
+                [(q, cols.vocabulary(q).encode(c)) for q, c in s._lhs_consts],
+                s._rhs_pos,
+                cols.vocabulary(s._rhs_pos).encode(s._rhs_const),
+            )
+            for s in const_states
+        ]
+        plan.payload = {
+            "nshards": nshards,
+            "key_pos": key_pos,
+            "var": var_payload,
+            "attrs": attrs,
+            "detect_const": detect_const,
+        }
+        return plan
+
+
+# ======================================================================
+# worker side (runs in spawned processes; no coordinator objects)
+# ======================================================================
+
+
+class _WorkerState:
+    """Per-process shard state: shared mapping + local partition mirror."""
+
+    def __init__(self, shard: int) -> None:
+        self.shard = shard
+        self.token = None
+        self.cfg = None
+        self.structure = None
+        self.shm = None
+        self.matrix = None
+        self.tids = None
+        self.generation = -1
+        self.nrows = 0
+        # vid -> (groups, membership) for local variable rules:
+        #   groups: {key code tuple: [size, {rhs code: count}]}
+        #   membership: {tid: (key code tuple, rhs code)}
+        self.runtimes: dict[int, tuple[dict, dict]] = {}
+
+    # -- lifecycle -----------------------------------------------------
+    def _attach(self, desc: dict) -> None:
+        if self.shm is not None and desc["name"] == self.shm.name:
+            return
+        old = self.shm
+        self.matrix = None
+        self.tids = None
+        self.shm, self.matrix, self.tids = attach_matrix(desc)
+        self.generation = desc["generation"]
+        if old is not None:
+            old.close()
+
+    def prime(self, msg: dict) -> dict:
+        start = time.perf_counter()
+        self.token = msg["token"]
+        self.cfg = msg["cfg"]
+        self.structure = msg["structure"]
+        self._attach(msg["desc"])
+        self.nrows = msg["nrows"]
+        self._build_runtimes()
+        return {
+            "ok": True,
+            "gen": self.generation,
+            "build_ms": (time.perf_counter() - start) * 1000.0,
+        }
+
+    def _stale(self, msg: dict) -> bool:
+        return (
+            self.cfg is None
+            or msg["token"] != self.token
+            or msg.get("structure", self.structure) != self.structure
+        )
+
+    # -- local rows / runtimes ----------------------------------------
+    def _local_rows(self) -> np.ndarray:
+        key_pos = self.cfg["key_pos"]
+        n = self.nrows
+        if key_pos is None:
+            return np.arange(self.shard, n, self.cfg["nshards"], dtype=np.int64)
+        mask = _shard_mask(self.matrix[key_pos, :n], self.shard, self.cfg["nshards"])
+        return np.nonzero(mask)[0]
+
+    def _build_runtimes(self) -> None:
+        self.runtimes = {}
+        matrix = self.matrix
+        rows = None
+        for vid, var in self.cfg["var"].items():
+            if not var["local"]:
+                continue
+            if rows is None:
+                rows = self._local_rows()
+            sel = rows
+            for q, code in var["consts"]:
+                sel = sel[matrix[q, sel] == code]
+            cols_lists = [matrix[p, sel].tolist() for p in var["lhs_pos"]]
+            rhs_list = matrix[var["rhs_pos"], sel].tolist()
+            tid_list = self.tids[sel].tolist()
+            groups: dict[tuple, list] = {}
+            membership: dict[int, tuple] = {}
+            for i, tid in enumerate(tid_list):
+                key = tuple(col[i] for col in cols_lists)
+                val = rhs_list[i]
+                group = groups.get(key)
+                if group is None:
+                    group = groups[key] = [0, {}]
+                group[0] += 1
+                counts = group[1]
+                counts[val] = counts.get(val, 0) + 1
+                membership[tid] = (key, val)
+            self.runtimes[vid] = (groups, membership)
+
+    def _apply_ops(self, ops: list) -> None:
+        """Re-derive each touched tuple's membership from the live codes.
+
+        Idempotent final-state semantics: remove whatever the mirror
+        holds for the tuple, then re-add from the current shared codes
+        iff the tuple (still) belongs to this shard and matches the
+        rule's constants. Replaying after a respawn-triggered rebuild is
+        a no-op.
+        """
+        matrix = self.matrix
+        key_pos = self.cfg["key_pos"]
+        nshards = self.cfg["nshards"]
+        for tid, row in ops:
+            for vid, (groups, membership) in self.runtimes.items():
+                var = self.cfg["var"][vid]
+                entry = membership.pop(tid, None)
+                if entry is not None:
+                    key, val = entry
+                    group = groups[key]
+                    group[0] -= 1
+                    counts = group[1]
+                    left = counts[val] - 1
+                    if left:
+                        counts[val] = left
+                    else:
+                        del counts[val]
+                    if group[0] == 0:
+                        del groups[key]
+                if shard_of_code(int(matrix[key_pos, row]), nshards) != self.shard:
+                    continue
+                if any(int(matrix[q, row]) != c for q, c in var["consts"]):
+                    continue
+                key = tuple(int(matrix[p, row]) for p in var["lhs_pos"])
+                val = int(matrix[var["rhs_pos"], row])
+                group = groups.get(key)
+                if group is None:
+                    group = groups[key] = [0, {}]
+                group[0] += 1
+                group[1][val] = group[1].get(val, 0) + 1
+                membership[tid] = (key, val)
+
+    # -- probes (code-space mirrors of the canonical arithmetic) -------
+    def probe(self, msg: dict) -> dict:
+        self._attach(msg["desc"])
+        self.nrows = msg["nrows"]
+        self._apply_ops(msg["ops"])
+        attr_globals = msg["attr_globals"]
+        var_globals = msg["var_globals"]
+        out = []
+        for __, tid, row, attr, pos, cand_codes in msg["cells"]:
+            out.append(
+                self._probe_cell(tid, row, attr, pos, cand_codes, attr_globals, var_globals)
+            )
+        return {"ok": True, "gen": self.generation, "cells": out}
+
+    def _probe_cell(self, tid, row, attr, pos, cand_codes, attr_globals, var_globals):
+        acfg = self.cfg["attrs"][attr]
+        matrix = self.matrix
+        vio_list, ctx_list = attr_globals[attr]
+        slots = acfg["slots"]
+        row_code = int(matrix[pos, row])
+
+        # _ConstantProbePlan._base_indices mirror
+        base = list(acfg["simple"].get(row_code, ()))
+        for q, cmap in acfg["rhs_ctx"]:
+            hits = cmap.get(int(matrix[q, row]))
+            if hits:
+                base.extend(hits)
+        base.extend(acfg["check"])
+
+        # variable-rule candidate-independent precomputation
+        # (_VariableRuleState.what_if_many entry/no-entry branches)
+        var_pre = []
+        for vid in acfg["vars"]:
+            runtime = self.runtimes.get(vid)
+            if runtime is None:  # cross rule: coordinator's job
+                continue
+            groups, membership = runtime
+            var = self.cfg["var"][vid]
+            vio_before, viol_count, ctx_size = var_globals[vid]
+            entry = membership.get(tid)
+            if entry is not None:
+                key0, val0 = entry
+                group0 = groups[key0]
+                size0 = group0[0]
+                counts0 = group0[1]
+                c0 = counts0.get(val0, 0)
+                base_vio = vio_before - 2 * (size0 - c0)
+                distinct0 = len(counts0)
+                distinct0_after = distinct0 - 1 if c0 == 1 else distinct0
+                base_viol = (
+                    viol_count
+                    - (size0 if distinct0 >= 2 else 0)
+                    + (size0 - 1 if distinct0_after >= 2 else 0)
+                )
+                base_ctx = ctx_size - 1
+                base_key = key0
+            else:
+                key0 = val0 = None
+                group0 = None
+                size0 = c0 = distinct0_after = 0
+                base_vio = vio_before
+                base_viol = viol_count
+                base_ctx = ctx_size
+                base_key = tuple(int(matrix[p, row]) for p in var["lhs_pos"])
+            others_match = True
+            pos_const = _NO_CONST
+            for p, c in var["consts"]:
+                if p == pos:
+                    pos_const = c
+                elif int(matrix[p, row]) != c:
+                    others_match = False
+                    break
+            key_idx = None
+            for i, p in enumerate(var["lhs_pos"]):
+                if p == pos:
+                    key_idx = i
+            rhs_pos = var["rhs_pos"]
+            var_pre.append(
+                (
+                    vid,
+                    groups,
+                    entry,
+                    key0,
+                    val0,
+                    group0,
+                    size0,
+                    distinct0_after,
+                    base_vio,
+                    base_viol,
+                    base_ctx,
+                    base_key,
+                    others_match,
+                    pos_const,
+                    key_idx,
+                    pos == rhs_pos,
+                    int(matrix[rhs_pos, row]),
+                    vio_before,
+                    viol_count,
+                    ctx_size,
+                )
+            )
+
+        per_candidate = []
+        for vcode in cand_codes:
+            # constant rules: _ConstantProbePlan.moved_many mirror
+            const_moved = []
+            if slots and vcode != row_code:
+                idxs = list(acfg["simple"].get(vcode, ()))
+                idxs.extend(base)
+                for i in sorted(idxs):
+                    consts, rhs_pos, rhs_const = slots[i]
+                    in_before = in_after = True
+                    for q, code in consts:
+                        if q == pos:
+                            if int(matrix[q, row]) != code:
+                                in_before = False
+                            if vcode != code:
+                                in_after = False
+                        elif int(matrix[q, row]) != code:
+                            in_before = in_after = False
+                            break
+                    rhs_before = int(matrix[rhs_pos, row])
+                    rhs_after = vcode if rhs_pos == pos else rhs_before
+                    viol_before = in_before and rhs_before != rhs_const
+                    viol_after = in_after and rhs_after != rhs_const
+                    vb = vio_list[i]
+                    va = vb - viol_before + viol_after
+                    if va != vb:
+                        sa = ctx_list[i] - in_before + in_after - va
+                        const_moved.append((i, vb, int(va), sa))
+
+            # local variable rules: what_if_many mirror
+            var_moved = []
+            for (
+                vid,
+                groups,
+                entry,
+                key0,
+                val0,
+                group0,
+                size0,
+                distinct0_after,
+                base_vio,
+                base_viol,
+                base_ctx,
+                base_key,
+                others_match,
+                pos_const,
+                key_idx,
+                is_rhs,
+                rhs_current,
+                vio_before,
+                viol_count,
+                ctx_size,
+            ) in var_pre:
+                current = row_code
+                if vcode == current:
+                    continue  # identity outcome: vio_reduction == 0
+                in_ctx = others_match and (pos_const == _NO_CONST or vcode == pos_const)
+                if not in_ctx:
+                    if base_vio != vio_before:
+                        var_moved.append(
+                            (vid, vio_before, base_vio, base_ctx - base_viol)
+                        )
+                    continue
+                if key_idx is None:
+                    new_key = base_key
+                else:
+                    new_key = base_key[:key_idx] + (vcode,) + base_key[key_idx + 1 :]
+                new_val = vcode if is_rhs else rhs_current
+                if entry is not None and new_key == key0:
+                    size_n = size0 - 1
+                    cnt_n = group0[1].get(new_val, 0) - (1 if new_val == val0 else 0)
+                    dist_n = distinct0_after
+                else:
+                    group = groups.get(new_key)
+                    if group is None:
+                        size_n = cnt_n = dist_n = 0
+                    else:
+                        size_n = group[0]
+                        cnt_n = group[1].get(new_val, 0)
+                        dist_n = len(group[1])
+                vio_after = base_vio + 2 * (size_n - cnt_n)
+                if vio_after == vio_before:
+                    continue
+                dist_after = dist_n + (1 if cnt_n == 0 else 0)
+                viol_after = (
+                    base_viol
+                    - (size_n if dist_n >= 2 else 0)
+                    + (size_n + 1 if dist_after >= 2 else 0)
+                )
+                var_moved.append((vid, vio_before, vio_after, base_ctx + 1 - viol_after))
+            per_candidate.append((const_moved, var_moved))
+        return per_candidate
+
+    # -- stateless detection sweep -------------------------------------
+    def detect(self, msg: dict) -> dict:
+        start = time.perf_counter()
+        self._attach(msg["desc"])
+        self.nrows = msg["nrows"]
+        matrix = self.matrix
+        tids = self.tids
+        rows = self._local_rows()
+        const_stats = []
+        for consts, rhs_pos, rhs_code in self.cfg["detect_const"]:
+            sel = rows
+            for q, code in consts:
+                sel = sel[matrix[q, sel] == code]
+            vio = tids[sel[matrix[rhs_pos, sel] != rhs_code]]
+            const_stats.append((int(sel.size), vio.tolist()))
+        var_stats = {}
+        for vid, var in self.cfg["var"].items():
+            if not var["local"]:
+                continue
+            sel = rows
+            for q, code in var["consts"]:
+                sel = sel[matrix[q, sel] == code]
+            m = int(sel.size)
+            if m == 0:
+                var_stats[vid] = (0, 0, [])
+                continue
+            lhs_cols = [matrix[p, sel] for p in var["lhs_pos"]]
+            combined = lhs_cols[0].astype(np.int64)
+            bound = int(combined.max()) + 1
+            for col in lhs_cols[1:]:
+                card = int(col.max()) + 1
+                if bound * card >= 2**62:  # pragma: no cover - very wide keys
+                    combined = np.unique(combined, return_inverse=True)[1]
+                    bound = int(combined.max()) + 1
+                combined = combined * card + col
+                bound *= card
+            uniq, gid = np.unique(combined, return_inverse=True)
+            sizes = np.bincount(gid, minlength=len(uniq))
+            rhs_codes = matrix[var["rhs_pos"], sel]
+            rhs_uniq, rhs_inv = np.unique(rhs_codes, return_inverse=True)
+            n_rhs = len(rhs_uniq)
+            pair_sorted = np.sort(gid * n_rhs + rhs_inv)
+            starts = np.nonzero(
+                np.concatenate(([True], pair_sorted[1:] != pair_sorted[:-1]))
+            )[0]
+            ends = np.concatenate((starts[1:], [m]))
+            pair_counts = ends - starts
+            distinct = np.bincount(pair_sorted[starts] // n_rhs, minlength=len(uniq))
+            total_vio = int(
+                (sizes.astype(np.int64) ** 2).sum()
+                - (pair_counts.astype(np.int64) ** 2).sum()
+            )
+            mixed = distinct >= 2
+            var_stats[vid] = (total_vio, m, tids[sel[mixed[gid]]].tolist())
+        return {
+            "ok": True,
+            "gen": self.generation,
+            "const": const_stats,
+            "var": var_stats,
+            "rows": int(rows.size),
+            "detect_ms": (time.perf_counter() - start) * 1000.0,
+        }
+
+    # -- zero-copy proof hook ------------------------------------------
+    def peek(self, msg: dict) -> dict:
+        """Read one cell straight off the shared mapping (test hook)."""
+        self._attach(msg["desc"])
+        return {"ok": True, "code": int(self.matrix[msg["pos"], msg["row"]])}
+
+
+def _worker_main(conn, shard: int) -> None:
+    """Entry point of one spawned shard worker."""
+    state = _WorkerState(shard)
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):  # pragma: no cover - coordinator gone
+            break
+        cmd = msg.get("cmd")
+        if cmd == "shutdown":
+            try:
+                conn.send({"ok": True})
+            except (BrokenPipeError, OSError):  # pragma: no cover
+                pass
+            break
+        try:
+            if cmd == "prime":
+                reply = state.prime(msg)
+            elif cmd == "ping":
+                reply = {"ok": True, "pid": os.getpid()}
+            elif state._stale(msg):
+                reply = {"stale": True}
+            elif cmd == "probe":
+                reply = state.probe(msg)
+            elif cmd == "detect":
+                reply = state.detect(msg)
+            elif cmd == "peek":
+                reply = state.peek(msg)
+            else:
+                reply = {"error": f"unknown command {cmd!r}"}
+        except Exception:  # noqa: BLE001 - report, keep serving
+            reply = {"error": traceback.format_exc()}
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):  # pragma: no cover
+            break
+    conn.close()
+
+
+# ======================================================================
+# pool
+# ======================================================================
+
+
+class ShardPool:
+    """One persistent spawned worker per shard, with respawn recovery."""
+
+    def __init__(self, nshards: int) -> None:
+        self.nshards = nshards
+        self._ctx = multiprocessing.get_context("spawn")
+        self._conns: list = [None] * nshards
+        self._procs: list = [None] * nshards
+        self.respawns = 0
+        self._closed = False
+        for shard in range(nshards):
+            self._spawn(shard)
+
+    def _spawn(self, shard: int) -> None:
+        parent, child = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=_worker_main, args=(child, shard), daemon=True, name=f"shard-{shard}"
+        )
+        proc.start()
+        child.close()
+        self._conns[shard] = parent
+        self._procs[shard] = proc
+
+    def alive(self) -> bool:
+        return not self._closed
+
+    def pid(self, shard: int) -> int:
+        return self._procs[shard].pid
+
+    def send(self, shard: int, msg: dict) -> None:
+        try:
+            self._conns[shard].send(msg)
+        except (BrokenPipeError, EOFError, OSError) as exc:
+            raise WorkerDied(shard) from exc
+
+    def recv(self, shard: int, timeout: float = _REPLY_TIMEOUT) -> dict:
+        conn = self._conns[shard]
+        try:
+            if not conn.poll(timeout):
+                raise WorkerDied(shard)
+            reply = conn.recv()
+        except (BrokenPipeError, EOFError, OSError) as exc:
+            raise WorkerDied(shard) from exc
+        if "error" in reply:
+            raise ShardWorkerError(reply["error"])
+        return reply
+
+    def request(self, shard: int, msg: dict) -> dict:
+        self.send(shard, msg)
+        return self.recv(shard)
+
+    def respawn(self, shard: int) -> None:
+        """Replace a dead worker (fresh process, empty state)."""
+        proc = self._procs[shard]
+        conn = self._conns[shard]
+        if conn is not None:
+            conn.close()
+        if proc is not None:
+            proc.terminate()
+            proc.join(timeout=5.0)
+        self._spawn(shard)
+        self.respawns += 1
+
+    def kill_worker(self, shard: int) -> None:
+        """SIGKILL one worker (fault-injection hook for chaos tests)."""
+        os.kill(self._procs[shard].pid, signal.SIGKILL)
+        self._procs[shard].join(timeout=5.0)
+
+    def shutdown(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for shard in range(self.nshards):
+            conn = self._conns[shard]
+            proc = self._procs[shard]
+            if conn is not None:
+                try:
+                    conn.send({"cmd": "shutdown"})
+                except (BrokenPipeError, OSError):
+                    pass
+                conn.close()
+            self._conns[shard] = None
+            if proc is not None:
+                proc.join(timeout=2.0)
+                if proc.is_alive():  # pragma: no cover - stuck worker
+                    proc.terminate()
+                    proc.join(timeout=2.0)
+            self._procs[shard] = None
+
+
+#: Pool cache: engines with equal shard counts share one pool (workers
+#: multiplex engines through per-message tokens).
+_POOLS: dict[int, ShardPool] = {}
+
+#: Monotonic engine-configuration tokens; a worker primed by another
+#: engine (or freshly respawned) answers ``stale`` and gets re-primed.
+_TOKEN_COUNTER = [0]
+
+
+def get_pool(nshards: int) -> ShardPool:
+    """The shared worker pool for *nshards* (spawned on first use)."""
+    pool = _POOLS.get(nshards)
+    if pool is None or not pool.alive():
+        pool = _POOLS[nshards] = ShardPool(nshards)
+    return pool
+
+
+def _shutdown_pools() -> None:  # pragma: no cover - interpreter exit
+    for pool in _POOLS.values():
+        pool.shutdown()
+    _POOLS.clear()
+
+
+atexit.register(_shutdown_pools)
+
+
+# ======================================================================
+# coordinator engine
+# ======================================================================
+
+
+class ShardedViolationEngine:
+    """Partition-parallel front of a canonical :class:`ViolationDetector`.
+
+    Wraps (never replaces) the coordinator's detector: incremental
+    maintenance, the dirty tracker, rule versions, signatures and every
+    scalar query delegate straight through. The engine parallelises the
+    two bulk entry points — :meth:`what_if_moved_many_cells` and
+    :meth:`detect` — across the shared worker pool, keeping per-shard
+    pending-op cursors in sync with coordinator writes.
+    """
+
+    def __init__(self, detector, nshards: int) -> None:
+        if nshards < 1:
+            raise ValueError(f"nshards must be >= 1, got {nshards}")
+        self.detector = detector
+        self.db = detector.db
+        self.nshards = nshards
+        self.plan = ShardPlan.build(detector, nshards)
+        self.arena = share_column_store(self.db.columns)
+        self.pool = get_pool(nshards)
+        _TOKEN_COUNTER[0] += 1
+        self.token = _TOKEN_COUNTER[0]
+        self.min_parallel_cells = _MIN_PARALLEL_CELLS
+        self._primed = [False] * nshards
+        self._pending: list[dict[int, None]] = [{} for __ in range(nshards)]
+        self._structure_version = self.db.structure_version
+        self.stats = {
+            "pool_size": nshards,
+            "key_attr": self.plan.key_attr,
+            "local_rules": len(self.plan.local_vids),
+            "cross_rules": len(self.plan.cross_vids),
+            "dispatches": 0,
+            "worker_cells": 0,
+            "canonical_cells": 0,
+            "respawns": 0,
+            "build_ms": {},
+            "detect_ms": {},
+            "merge_ms": 0.0,
+        }
+        self.db.add_listener(self._on_change)
+
+    def __getattr__(self, name):
+        # everything not overridden is the canonical detector's business
+        return getattr(object.__getattribute__(self, "detector"), name)
+
+    # -- write synchronisation -----------------------------------------
+    def _on_change(self, change) -> None:
+        plan = self.plan
+        if not plan.sync_positions:
+            return
+        pos = self.db.schema.position(change.attribute)
+        if pos not in plan.sync_positions:
+            return
+        cols = self.db.columns
+        tid = change.tid
+        if pos == plan.key_pos:
+            # the tuple may have migrated: both the old and the new
+            # key's shard must re-derive its membership
+            old_code = cols.code_for(pos, change.old)
+            new_code = cols.code_for(pos, change.new)
+            self._pending[shard_of_code(old_code, self.nshards)][tid] = None
+            self._pending[shard_of_code(new_code, self.nshards)][tid] = None
+        else:
+            row = cols.position_of(tid)
+            key_code = cols.code_at(row, plan.key_pos)
+            self._pending[shard_of_code(key_code, self.nshards)][tid] = None
+
+    def _check_structure(self) -> None:
+        version = self.db.structure_version
+        if version != self._structure_version:
+            self._structure_version = version
+            # workers rebuild wholesale from the shared pages on their
+            # next prime; per-tuple ops for the old row layout are moot
+            for pending in self._pending:
+                pending.clear()
+            self._primed = [False] * self.nshards
+
+    # -- pool recovery --------------------------------------------------
+    def _prime(self, shard: int) -> None:
+        msg = {
+            "cmd": "prime",
+            "token": self.token,
+            "cfg": self.plan.payload,
+            "desc": self.arena.descriptor(),
+            "nrows": len(self.db.columns),
+            "structure": self._structure_version,
+        }
+        try:
+            reply = self.pool.request(shard, msg)
+        except WorkerDied:
+            self.pool.respawn(shard)
+            self.stats["respawns"] += 1
+            reply = self.pool.request(shard, msg)
+        self._pending[shard].clear()
+        self._primed[shard] = True
+        self.stats["build_ms"][shard] = reply["build_ms"]
+
+    def _dispatch(self, shard: int, msg: dict) -> None:
+        if not self._primed[shard]:
+            self._prime(shard)
+        fault_hit("shard.dispatch", pool=self.pool, shard=shard)
+        try:
+            self.pool.send(shard, msg)
+        except WorkerDied:
+            self.pool.respawn(shard)
+            self.stats["respawns"] += 1
+            self._prime(shard)
+            self.pool.send(shard, msg)
+
+    def _collect(self, shard: int, msg: dict) -> dict:
+        """Receive one reply, recovering from death or staleness.
+
+        A respawned worker rebuilds its exact shard state from the
+        shared pages during prime, so resending the original message
+        (including its idempotent ops) yields the same answer.
+        """
+        attempts = 0
+        while True:
+            try:
+                reply = self.pool.recv(shard)
+            except WorkerDied:
+                attempts += 1
+                if attempts > 2:
+                    raise
+                self.pool.respawn(shard)
+                self.stats["respawns"] += 1
+                self._prime(shard)
+                self.pool.send(shard, msg)
+                continue
+            if reply.get("stale"):
+                attempts += 1
+                if attempts > 2:
+                    raise ShardWorkerError(f"shard {shard} stayed stale after re-prime")
+                self._prime(shard)
+                self.pool.send(shard, msg)
+                continue
+            return reply
+
+    # -- batched what-if -------------------------------------------------
+    def what_if_moved_many_cells(self, cells):
+        """Sharded :meth:`ViolationDetector.what_if_moved_many_cells`.
+
+        *cells* is a list of ``(tid, attribute, values)`` probes; the
+        result list is aligned with it, each entry being the canonical
+        per-candidate ``(rule, outcome)`` pairs. Cells are routed to
+        the shard owning the tuple's partition; probes on the shard key
+        column itself (a candidate may move the tuple to a partition on
+        another shard) and cells whose rules have no worker-resident
+        state stay on the coordinator. Cross-shard variable rules are
+        evaluated canonically and merged into each cell's pair list in
+        rule order, so the output is byte-identical to the serial path.
+        """
+        detector = self.detector
+        self._check_structure()
+        if len(cells) < self.min_parallel_cells:
+            self.stats["canonical_cells"] += len(cells)
+            return detector.what_if_moved_many_cells(cells)
+        cols = self.db.columns
+        plan = self.plan
+        key_pos = plan.key_pos
+        results: list = [None] * len(cells)
+        canonical: list[int] = []
+        shard_cells: list[list] = [[] for __ in range(self.nshards)]
+        attrs_needed: set[str] = set()
+        vids_needed: set[int] = set()
+        cross_jobs: list[tuple] = []
+        for ci, (tid, attribute, values) in enumerate(cells):
+            acfg = plan.payload["attrs"].get(attribute)
+            if acfg is None:
+                results[ci] = [[] for __ in values]
+                continue
+            pos = acfg["pos"]
+            local_vids = [v for v in acfg["vars"] if v in plan.local_vids]
+            if pos == key_pos or not (acfg["slots"] or local_vids):
+                canonical.append(ci)
+                continue
+            row = cols.position_of(tid)
+            if key_pos is None:
+                shard = ci % self.nshards
+            else:
+                shard = shard_of_code(cols.code_at(row, key_pos), self.nshards)
+            code_of = cols.vocabulary(pos).code_of
+            shard_cells[shard].append(
+                (ci, tid, row, attribute, pos, [code_of(v) for v in values])
+            )
+            attrs_needed.add(attribute)
+            vids_needed.update(local_vids)
+            cross_here = [v for v in acfg["vars"] if v not in plan.local_vids]
+            if cross_here:
+                cross_jobs.append((ci, tid, pos, values, cross_here))
+
+        # per-batch globals snapshot (canonical aggregates)
+        attr_globals = {}
+        for attribute in attrs_needed:
+            pos = plan.payload["attrs"][attribute]["pos"]
+            cplan = detector._plan_for(attribute, pos)[0]
+            if cplan is None:
+                attr_globals[attribute] = ((), ())
+            else:
+                cplan.refresh(detector._epoch)
+                attr_globals[attribute] = (list(cplan._vio_list), list(cplan._ctx_list))
+        var_globals = {}
+        for vid in vids_needed:
+            state = plan.var_states[vid]
+            var_globals[vid] = (state.total_vio, len(state.violating), state.context_size)
+
+        desc = self.arena.descriptor()
+        nrows = len(cols)
+        messages = {}
+        for shard, batch in enumerate(shard_cells):
+            if not batch:
+                continue
+            ops = [(tid, cols.position_of(tid)) for tid in self._pending[shard]]
+            msg = {
+                "cmd": "probe",
+                "token": self.token,
+                "desc": desc,
+                "nrows": nrows,
+                "structure": self._structure_version,
+                "ops": ops,
+                "attr_globals": attr_globals,
+                "var_globals": var_globals,
+                "cells": batch,
+            }
+            self._dispatch(shard, msg)
+            messages[shard] = msg
+
+        # coordinator work overlaps the workers: canonical cells and
+        # cross-shard variable rules
+        for ci in canonical:
+            tid, attribute, values = cells[ci]
+            results[ci] = detector.what_if_moved_many(tid, attribute, values)
+        cross_out: dict[int, dict] = {}
+        for ci, tid, pos, values, cross_here in cross_jobs:
+            row = self.db.values_view(tid)
+            current = row[pos]
+            cross_out[ci] = {
+                vid: plan.var_states[vid].what_if_many(tid, row, pos, current, values)
+                for vid in cross_here
+            }
+
+        for shard, msg in messages.items():
+            reply = self._collect(shard, msg)
+            self.stats["dispatches"] += 1
+            for cell, cell_out in zip(msg["cells"], reply["cells"]):
+                ci = cell[0]
+                results[ci] = self._assemble(
+                    cell[3], cell[4], cells[ci][2], cell_out, cross_out.get(ci)
+                )
+                self.stats["worker_cells"] += 1
+            self._pending[shard].clear()
+        self.stats["canonical_cells"] += len(canonical)
+        # every dispatched worker answered at the current generation, so
+        # no name older than it can ever be attached again
+        if messages:
+            self.arena.release_retired(self.arena.generation)
+        return results
+
+    def _assemble(self, attribute, pos, values, cell_out, cross):
+        """Worker triples + cross outcomes -> canonical pair lists."""
+        detector = self.detector
+        plan = self.plan
+        cplan, var_states, __, __, __ = detector._plan_for(attribute, pos)
+        out = []
+        for k in range(len(values)):
+            const_moved, var_moved = cell_out[k]
+            pairs = [
+                (cplan.rules[slot], WhatIfOutcome(vb, va, sa))
+                for slot, vb, va, sa in const_moved
+            ]
+            if var_states:
+                local = {vid: triple for vid, *triple in var_moved}
+                for state in var_states:
+                    vid = plan.vid_of_rule[state.rule]
+                    if vid in plan.local_vids:
+                        triple = local.get(vid)
+                        if triple is not None:
+                            pairs.append((state.rule, WhatIfOutcome(*triple)))
+                    else:
+                        outcome = cross[vid][k]
+                        if outcome[3] != 0:
+                            pairs.append((state.rule, outcome))
+            out.append(pairs)
+        return out
+
+    # -- parallel detection sweep ---------------------------------------
+    def detect(self, parity: bool = True) -> dict:
+        """Full violation sweep across all shards, merged and verified.
+
+        Every worker rebuilds its shard's statistics from the shared
+        pages (stateless — no incremental worker state is trusted); the
+        coordinator sums constant-rule contexts, unions violating sets,
+        adds local variable-rule shard aggregates (exact: partitions
+        never straddle shards) and takes cross-shard rules from its own
+        canonical state. With ``parity=True`` the merge is compared
+        against the canonical detector statistic-for-statistic.
+        """
+        detector = self.detector
+        self._check_structure()
+        desc = self.arena.descriptor()
+        nrows = len(self.db.columns)
+        msg = {
+            "cmd": "detect",
+            "token": self.token,
+            "desc": desc,
+            "nrows": nrows,
+            "structure": self._structure_version,
+        }
+        start = time.perf_counter()
+        for shard in range(self.nshards):
+            self._dispatch(shard, msg)
+        replies = [self._collect(shard, msg) for shard in range(self.nshards)]
+        detect_s = time.perf_counter() - start
+        merge_start = time.perf_counter()
+        plan = self.plan
+        ok = True
+        vio_total = 0
+        dirty: set[int] = set()
+        for idx, state in enumerate(plan.const_states):
+            ctx = sum(reply["const"][idx][0] for reply in replies)
+            violating: set[int] = set()
+            for reply in replies:
+                violating.update(reply["const"][idx][1])
+            vio_total += len(violating)
+            dirty |= violating
+            if ctx != len(state.context) or violating != state.violating:
+                ok = False
+        for vid in sorted(plan.local_vids):
+            state = plan.var_states[vid]
+            total_vio = sum(reply["var"][vid][0] for reply in replies)
+            ctx = sum(reply["var"][vid][1] for reply in replies)
+            violating = set()
+            for reply in replies:
+                violating.update(reply["var"][vid][2])
+            vio_total += total_vio
+            dirty |= violating
+            if (
+                total_vio != state.total_vio
+                or ctx != state.context_size
+                or violating != state.violating
+            ):
+                ok = False
+        for vid in sorted(plan.cross_vids):
+            state = plan.var_states[vid]
+            vio_total += state.total_vio
+            dirty |= state.violating
+        if parity and dirty != detector.dirty_tuples():
+            ok = False
+        merge_ms = (time.perf_counter() - merge_start) * 1000.0
+        self.stats["detect_ms"] = {
+            shard: reply["detect_ms"] for shard, reply in enumerate(replies)
+        }
+        self.stats["merge_ms"] = merge_ms
+        self.arena.release_retired(self.arena.generation)
+        return {
+            "nshards": self.nshards,
+            "rows": nrows,
+            "shard_rows": [reply["rows"] for reply in replies],
+            "parity": bool(ok) if parity else None,
+            "vio_total": vio_total,
+            "dirty": len(dirty),
+            "local_rules": len(plan.local_vids),
+            "cross_rules": len(plan.cross_vids),
+            "detect_s": detect_s,
+            "detect_ms": self.stats["detect_ms"],
+            "merge_ms": merge_ms,
+            "build_ms": dict(self.stats["build_ms"]),
+        }
+
+    # -- zero-copy proof -------------------------------------------------
+    def peek(self, shard: int, tid: int, attribute: str) -> int:
+        """Read one live cell code through a worker's shared mapping.
+
+        Test hook proving the zero-copy path: the returned code comes
+        straight off the worker's view of the shared pages — a write
+        through ``set_value`` is visible without any resend.
+        """
+        if not self._primed[shard]:
+            self._prime(shard)
+        cols = self.db.columns
+        msg = {
+            "cmd": "peek",
+            "token": self.token,
+            "structure": self._structure_version,
+            "desc": self.arena.descriptor(),
+            "pos": self.db.schema.position(attribute),
+            "row": cols.position_of(tid),
+        }
+        return self.pool.request(shard, msg)["code"]
+
+    # -- health / lifecycle ----------------------------------------------
+    def health_info(self) -> dict:
+        """Shard section of :meth:`GDREngine.health`."""
+        info = dict(self.stats)
+        info["build_ms"] = dict(self.stats["build_ms"])
+        info["detect_ms"] = dict(self.stats["detect_ms"]) if isinstance(
+            self.stats["detect_ms"], dict
+        ) else self.stats["detect_ms"]
+        info["pool_respawns"] = self.pool.respawns
+        info["arena_generation"] = self.arena.generation
+        info["arena_retired"] = self.arena.retired_count()
+        info["pending_ops"] = [len(p) for p in self._pending]
+        return info
+
+    def detach(self) -> None:
+        """Stop syncing and return the column store to private memory.
+
+        The shared pool stays up (other engines may use it); this
+        engine's workers go stale naturally via their token.
+        """
+        self.db.remove_listener(self._on_change)
+        self.arena.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedViolationEngine({self.nshards} shards, "
+            f"key={self.plan.key_attr!r}, "
+            f"{len(self.plan.local_vids)} local / {len(self.plan.cross_vids)} cross var rules)"
+        )

@@ -14,6 +14,7 @@ from repro.datasets.hospital import (
     hospital_rules,
 )
 from repro.datasets.loader import DATASET_NAMES, GDRDataset, load_dataset
+from repro.datasets.synth import REKEY_ATTRIBUTES, load_synth_dataset, scale_dataset
 
 __all__ = [
     "ADULT_SCHEMA",
@@ -24,10 +25,13 @@ __all__ = [
     "GDRDataset",
     "HOSPITAL_SCHEMA",
     "HospitalConfig",
+    "REKEY_ATTRIBUTES",
     "corrupt_database",
     "generate_adult_dataset",
     "generate_hospital_dataset",
     "hospital_rules",
     "load_dataset",
+    "load_synth_dataset",
     "perturb_string",
+    "scale_dataset",
 ]

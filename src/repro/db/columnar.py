@@ -125,6 +125,10 @@ class ColumnStore:
         self._tids = np.empty(_MIN_CAPACITY, dtype=np.int64)
         self._pos_of: dict[int, int] = {}
         self._size = 0
+        # optional (ncols, capacity) -> (matrix, tids) allocator; the
+        # shared-memory arena (db/shm.py) installs one so capacity
+        # doubling lands in a fresh shared segment (copy-on-grow)
+        self._reallocator = None
         for tid, values in sorted(items):
             self.append(tid, values)
 
@@ -133,10 +137,14 @@ class ColumnStore:
     # ------------------------------------------------------------------
     def _grow(self) -> None:
         capacity = max(_MIN_CAPACITY, 2 * self._size)
-        matrix = np.empty((len(self.schema), capacity), dtype=np.int32)
+        ncols = len(self.schema)
+        if self._reallocator is not None:
+            matrix, tids = self._reallocator(ncols, capacity)
+        else:
+            matrix = np.empty((ncols, capacity), dtype=np.int32)
+            tids = np.empty(capacity, dtype=np.int64)
         matrix[:, : self._size] = self._matrix[:, : self._size]
         self._matrix = matrix
-        tids = np.empty(capacity, dtype=np.int64)
         tids[: self._size] = self._tids[: self._size]
         self._tids = tids
 

@@ -119,6 +119,7 @@ class Database:
         self._write_hooks: list[WriteHook] = []
         self._change_seq = 0
         self._version = 0
+        self._structure_version = 0
         self._columns: ColumnStore | None = None
         if rows is not None:
             for row in rows:
@@ -135,6 +136,17 @@ class Database:
         generator's witness-lookup memo, for example).
         """
         return self._version
+
+    @property
+    def structure_version(self) -> int:
+        """Monotonic shape version: bumps only on insert/delete.
+
+        Cell writes notify listeners, but insertions and deletions do
+        not; consumers mirroring row *positions* (the sharded violation
+        engine's workers) compare this stamp to detect shape changes
+        that require a full rebuild rather than a delta.
+        """
+        return self._structure_version
 
     @property
     def columns(self) -> ColumnStore:
@@ -195,6 +207,7 @@ class Database:
         self._next_tid += 1
         self._rows[tid] = values
         self._version += 1
+        self._structure_version += 1
         if self._columns is not None:
             self._columns.append(tid, values)
         return tid
@@ -222,6 +235,7 @@ class Database:
             raise UnknownTupleError(tid)
         del self._rows[tid]
         self._version += 1
+        self._structure_version += 1
         if self._columns is not None:
             self._columns.remove(tid)
 

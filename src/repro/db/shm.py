@@ -1,0 +1,232 @@
+"""Shared-memory backing for :class:`ColumnStore` code matrices.
+
+The sharded violation engine (``core/parallel.py``) runs detector
+builds and what-if probes in worker processes. Workers never receive
+the code matrix by value: :func:`share_column_store` moves a store's
+``int32`` code matrix and ``int64`` tid array into one
+:mod:`multiprocessing.shared_memory` segment, and workers map the same
+physical pages read-only by name — coordinator writes through
+``set_cell``/``append``/``remove`` are visible to every worker without
+any serialization.
+
+Growth keeps zero-copy semantics via *copy-on-grow*: the arena installs
+itself as the store's ``_reallocator``, so when the store doubles its
+capacity the new arrays land in a **new** shared segment (a new
+*generation*). Old generations cannot be unlinked eagerly — a POSIX shm
+segment that is unlinked before a worker attaches by name is
+unreachable for that worker — so they are *retired* and only unlinked
+once the pool reports every worker has acknowledged a message carrying
+the replacing generation (see :meth:`SharedMatrixArena.release_retired`).
+
+Worker-side attachment goes through :func:`attach_matrix`, which works
+around the ``resource_tracker`` over-tracking wart of Python < 3.13
+(attaching by name registers the segment for destruction at worker
+exit, which would tear the mapping out from under sibling workers).
+"""
+
+from __future__ import annotations
+
+import atexit
+from collections.abc import Callable
+
+import numpy as np
+
+__all__ = ["SharedMatrixArena", "attach_matrix", "share_column_store"]
+
+#: int32 code matrix entries / int64 tids — fixed by ColumnStore.
+_MATRIX_DTYPE = np.int32
+_TIDS_DTYPE = np.int64
+
+
+def _segment_layout(ncols: int, capacity: int) -> tuple[int, int]:
+    """``(tids byte offset, total bytes)`` for one generation's segment.
+
+    The matrix occupies the head of the segment; the tid array follows
+    at the next 8-byte boundary so the ``int64`` view stays aligned.
+    """
+    matrix_bytes = ncols * capacity * _MATRIX_DTYPE().itemsize
+    tids_offset = (matrix_bytes + 7) & ~7
+    return tids_offset, tids_offset + capacity * _TIDS_DTYPE().itemsize
+
+
+def attach_matrix(descriptor: dict) -> tuple[object, np.ndarray, np.ndarray]:
+    """Attach to a shared generation by descriptor (worker side).
+
+    Returns ``(shm, matrix, tids)`` where the arrays are zero-copy
+    views over the shared pages (full capacity; the coordinator sends
+    the live row count separately with each command). The caller owns
+    the ``shm`` handle and must keep it alive as long as the views are
+    in use.
+    """
+    from multiprocessing import shared_memory
+
+    name = descriptor["name"]
+    try:
+        shm = shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no track kwarg
+        # Attaching registers the segment with the resource tracker,
+        # which would unlink it when *this* worker exits and destroy it
+        # for the coordinator and sibling workers. Suppress the
+        # registration; the coordinator's arena owns the lifetime.
+        from multiprocessing import resource_tracker
+
+        original_register = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            shm = shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original_register
+    ncols = descriptor["ncols"]
+    capacity = descriptor["capacity"]
+    tids_offset, __ = _segment_layout(ncols, capacity)
+    matrix = np.ndarray((ncols, capacity), dtype=_MATRIX_DTYPE, buffer=shm.buf)
+    tids = np.ndarray((capacity,), dtype=_TIDS_DTYPE, buffer=shm.buf, offset=tids_offset)
+    return shm, matrix, tids
+
+
+class SharedMatrixArena:
+    """Owns the shared-memory generations backing one :class:`ColumnStore`.
+
+    Construct via :func:`share_column_store`. The arena copies the
+    store's current arrays into generation 0 and installs a reallocator
+    so every future ``_grow`` allocates generation ``g+1`` in fresh
+    shared memory, retiring generation ``g``.
+    """
+
+    def __init__(self, store) -> None:
+        self._store = store
+        self._shm = None
+        self._generation = 0
+        # [(replaced_by_generation, shm)] — unlinkable once every worker
+        # has acknowledged a command at >= replaced_by_generation.
+        self._retired: list[tuple[int, object]] = []
+        self._closed = False
+        # one stable bound-method object: fresh ``self._reallocate``
+        # accesses are never ``is``-identical, and close() must be able
+        # to tell whether the store still points at *this* arena
+        self._hook = self._reallocate
+        ncols = len(store.schema)
+        capacity = store._matrix.shape[1]
+        matrix, tids = self._allocate(ncols, capacity)
+        matrix[:, : len(store)] = store._matrix[:, : len(store)]
+        tids[: len(store)] = store._tids[: len(store)]
+        store._matrix = matrix
+        store._tids = tids
+        store._reallocator = self._hook
+        atexit.register(self.close)
+
+    # ------------------------------------------------------------------
+    def _allocate(self, ncols: int, capacity: int) -> tuple[np.ndarray, np.ndarray]:
+        from multiprocessing import shared_memory
+
+        tids_offset, nbytes = _segment_layout(ncols, capacity)
+        shm = shared_memory.SharedMemory(create=True, size=nbytes)
+        if self._shm is not None:
+            self._retired.append((self._generation + 1, self._shm))
+            self._generation += 1
+        self._shm = shm
+        self._capacity = capacity
+        self._ncols = ncols
+        matrix = np.ndarray((ncols, capacity), dtype=_MATRIX_DTYPE, buffer=shm.buf)
+        tids = np.ndarray((capacity,), dtype=_TIDS_DTYPE, buffer=shm.buf, offset=tids_offset)
+        return matrix, tids
+
+    def _reallocate(self, ncols: int, capacity: int) -> tuple[np.ndarray, np.ndarray]:
+        """Copy-on-grow hook called by ``ColumnStore._grow``."""
+        if self._closed:  # arena torn down; fall back to plain arrays
+            return (
+                np.empty((ncols, capacity), dtype=_MATRIX_DTYPE),
+                np.empty(capacity, dtype=_TIDS_DTYPE),
+            )
+        return self._allocate(ncols, capacity)
+
+    # ------------------------------------------------------------------
+    @property
+    def generation(self) -> int:
+        """Current generation; bumps on every copy-on-grow."""
+        return self._generation
+
+    def descriptor(self) -> dict:
+        """Attachment descriptor for the current generation."""
+        return {
+            "name": self._shm.name,
+            "ncols": self._ncols,
+            "capacity": self._capacity,
+            "generation": self._generation,
+        }
+
+    def retired_count(self) -> int:
+        """Generations awaiting worker acknowledgement before unlink."""
+        return len(self._retired)
+
+    def release_retired(self, min_acked_generation: int) -> int:
+        """Unlink retired generations every worker has moved past.
+
+        A generation replaced by generation ``g`` is reclaimable once
+        all workers acknowledged a command at generation >= ``g`` (they
+        can never again attach to the old name). Returns the number of
+        segments unlinked.
+        """
+        kept: list[tuple[int, object]] = []
+        released = 0
+        for replaced_by, shm in self._retired:
+            if replaced_by <= min_acked_generation:
+                _unlink_quietly(shm)
+                released += 1
+            else:
+                kept.append((replaced_by, shm))
+        self._retired = kept
+        return released
+
+    def close(self) -> None:
+        """Unlink every segment and detach the store (idempotent).
+
+        The store gets private copies of its arrays so it keeps working
+        after the shared pages go away; future growth reverts to plain
+        ``np.empty``.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        atexit.unregister(self.close)
+        store = self._store
+        if store is not None and store._reallocator is self._hook:
+            store._matrix = store._matrix.copy()
+            store._tids = store._tids.copy()
+            store._reallocator = None
+        self._store = None
+        for __, shm in self._retired:
+            _unlink_quietly(shm)
+        self._retired = []
+        if self._shm is not None:
+            _unlink_quietly(self._shm)
+            self._shm = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "closed" if self._closed else f"gen {self._generation}"
+        return f"SharedMatrixArena({state}, {len(self._retired)} retired)"
+
+
+def _unlink_quietly(shm) -> None:
+    """Close + unlink, tolerating live exported views and double unlinks."""
+    try:
+        shm.close()
+    except BufferError:
+        # A numpy view over the buffer is still referenced somewhere;
+        # the mapping stays until those views are collected, but the
+        # name can still be removed below.
+        pass
+    try:
+        shm.unlink()
+    except FileNotFoundError:
+        pass
+
+
+def share_column_store(store) -> SharedMatrixArena:
+    """Move *store*'s arrays into shared memory; return the owning arena."""
+    if getattr(store, "_reallocator", None) is not None:
+        raise RuntimeError("ColumnStore is already shared")
+    return SharedMatrixArena(store)
+
+
+Reallocator = Callable[[int, int], tuple[np.ndarray, np.ndarray]]

@@ -22,7 +22,9 @@ The engine drives generation through the **batched** path
 (:meth:`UpdateGenerator.generate_for_cells`): cells are processed in
 order, each tuple's violated-rule list is resolved once, cells sharing
 an ``(attribute, current code, witness signature)`` reuse one selection
-decision, and candidate pools are scored through the batched Eq. 7
+decision — carried *across* batches while ``(db.version,
+detector.stats_epoch)`` holds still — and candidate pools are scored
+through the batched Eq. 7
 kernel (:meth:`~repro.repair.similarity.SimilarityCache.scores`). The
 per-cell scalar path (:meth:`UpdateGenerator.generate_for_cell` with
 ``batched=False``) is retained as the byte-identical reference behind
@@ -48,6 +50,9 @@ __all__ = ["UpdateGenerator"]
 #: Scenario-2 histogram memo bound; the memo is cleared wholesale when
 #: it fills (entries for dead partitions would otherwise accumulate).
 _RHS_MEMO_CAPACITY = 4096
+
+#: Cross-batch decision memo bound (cleared wholesale when full).
+_DECISION_MEMO_CAPACITY = 8192
 
 _UNSET = object()
 
@@ -109,6 +114,12 @@ class UpdateGenerator:
         self._rhs_memo: dict[tuple, tuple[int, list[object]]] = {}
         # (rule, attribute) -> witness column positions, fixed per rule
         self._witness_positions: dict[tuple, tuple[tuple[str, ...], tuple[int, ...]]] = {}
+        # witness signature -> shared selection outcome, carried across
+        # generate_for_cells batches while (db version, detector stats
+        # epoch) hold still; a signature pins every pool input, so the
+        # stamp is the only remaining variable
+        self._decision_memo: dict[tuple, tuple[object | None, float]] = {}
+        self._decision_stamp: tuple[int, int] = (-1, -1)
 
     # ------------------------------------------------------------------
     def generate_all(self) -> list[CandidateUpdate]:
@@ -170,8 +181,12 @@ class UpdateGenerator:
         database, the detector and the cell's own prevented/changeable
         flags), so violated-rule lists are shared per tuple and the
         full selection outcome is shared across cells with an equal
-        witness signature. Pools are scored through the batched Eq. 7
-        kernel when the similarity function supports it.
+        witness signature. The decision memo survives between calls,
+        stamped by ``(db.version, detector.stats_epoch)`` — repeated
+        generation passes over an unchanged substrate (e.g. re-ranking
+        between feedback batches) skip pool construction and scoring
+        entirely. Pools are scored through the batched Eq. 7 kernel
+        when the similarity function supports it.
         """
         if not self.batched:
             return [self.generate_for_cell(tid, attr) for tid, attr in cells]
@@ -183,7 +198,11 @@ class UpdateGenerator:
         if violated_by_tid is None:
             violated_by_tid = {}
         results: list[CandidateUpdate | None] = []
-        decisions: dict[tuple, tuple[object | None, float]] = {}
+        stamp = (db.version, detector.stats_epoch)
+        if stamp != self._decision_stamp:
+            self._decision_memo.clear()
+            self._decision_stamp = stamp
+        decisions = self._decision_memo
         for cell in cells:
             tid, attribute = cell
             if not state.is_changeable(cell):
@@ -211,6 +230,8 @@ class UpdateGenerator:
                 pools = self._pools_for(tid, attribute, violated)
                 decision = self._select_best(attribute, current, pools, prevented)
                 if signature is not None:
+                    if len(decisions) >= _DECISION_MEMO_CAPACITY:
+                        decisions.clear()
                     decisions[signature] = decision
             best_value, best_score = decision
             if best_value is None:
@@ -434,3 +455,5 @@ class UpdateGenerator:
         self._witness_memo_version = -1
         self._rhs_memo.clear()
         self._witness_positions.clear()
+        self._decision_memo.clear()
+        self._decision_stamp = (-1, -1)

@@ -29,6 +29,7 @@ Registered fault points (grep for ``fault_hit`` to verify):
 ``engine.drain_pass``     top of each learner-drain pass
 ``drain.decision``        after each drain decision is applied
 ``learner.refit``         before an attribute committee refit mutates state
+``shard.dispatch``        before a message is sent to a shard worker
 ========================  ====================================================
 """
 
@@ -55,6 +56,7 @@ FAULT_POINTS = (
     "engine.drain_pass",
     "drain.decision",
     "learner.refit",
+    "shard.dispatch",
 )
 
 FaultAction = Callable[[dict], None]

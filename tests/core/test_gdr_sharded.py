@@ -1,0 +1,92 @@
+"""Serial-vs-sharded byte parity for full GDR sessions.
+
+``GDRConfig(shards=0)`` is the retained single-process reference;
+``shards=N`` must reproduce its every observable — feedback spent,
+learner decisions, loss trajectory and the final repaired instance —
+byte for byte, across all four paper presets and both datasets.
+"""
+
+import pytest
+
+from repro.core import GDRConfig, GDREngine, GroundTruthOracle
+from repro.datasets import load_dataset
+from repro.errors import ConfigError
+
+PRESETS = ("gdr", "s_learning", "active_learning", "no_learning")
+
+
+@pytest.fixture(scope="module")
+def parity_datasets():
+    return {name: load_dataset(name, n=110, seed=7) for name in ("hospital", "adult")}
+
+
+def _signature(db, result):
+    return (
+        result.feedback_used,
+        result.learner_decisions,
+        result.iterations,
+        result.final_loss,
+        tuple((p.feedback, p.learner_decisions, p.loss) for p in result.trajectory),
+        tuple(tuple(row.values) for row in db.rows()),
+    )
+
+
+def _run(ds, preset, shards, budget=25):
+    db = ds.fresh_dirty()
+    config = getattr(GDRConfig, preset)(seed=3, shards=shards)
+    engine = GDREngine(
+        db, ds.rules, GroundTruthOracle(ds.clean), config, clean_db=ds.clean
+    )
+    result = engine.run(feedback_limit=budget)
+    health = engine.health()
+    engine.detach()
+    return _signature(db, result), health
+
+
+@pytest.mark.parametrize("dataset_name", ["hospital", "adult"])
+@pytest.mark.parametrize("preset", PRESETS)
+def test_sharded_run_is_byte_identical(preset, dataset_name, parity_datasets):
+    ds = parity_datasets[dataset_name]
+    serial, serial_health = _run(ds, preset, shards=0)
+    sharded, sharded_health = _run(ds, preset, shards=2)
+    assert sharded == serial
+    assert serial_health["shards"] == {}
+    info = sharded_health["shards"]
+    assert info["pool_size"] == 2
+    if preset != "active_learning":
+        # active learning ranks by committee disagreement, not VOI, so
+        # its sessions never reach the batched what-if entry point
+        assert info["worker_cells"] + info["canonical_cells"] > 0
+
+
+def test_health_shards_section_shape(parity_datasets):
+    ds = parity_datasets["hospital"]
+    __, health = _run(ds, "gdr", shards=2, budget=10)
+    info = health["shards"]
+    for key in (
+        "pool_size",
+        "key_attr",
+        "local_rules",
+        "cross_rules",
+        "dispatches",
+        "worker_cells",
+        "canonical_cells",
+        "pool_respawns",
+        "arena_generation",
+        "pending_ops",
+    ):
+        assert key in info
+
+
+class TestShardsConfig:
+    def test_default_is_serial(self):
+        assert GDRConfig().shards == 0
+
+    @pytest.mark.parametrize("bad", [-1, 1.5, "two", None])
+    def test_rejects_bad_values(self, bad):
+        with pytest.raises(ConfigError):
+            GDRConfig(shards=bad)
+
+    def test_presets_accept_shards(self):
+        for preset in PRESETS:
+            assert getattr(GDRConfig, preset)(shards=3).shards == 3

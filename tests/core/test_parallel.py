@@ -1,0 +1,187 @@
+"""Tests for :mod:`repro.core.parallel` — sharded violation engine.
+
+Byte-parity against the single-process detector is the contract: every
+probe outcome and every detect report the sharded engine produces must
+equal what the canonical :class:`ViolationDetector` computes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.constraints.violations import ViolationDetector
+from repro.core.parallel import (
+    ShardPlan,
+    ShardedViolationEngine,
+    _shard_mask,
+    shard_of_code,
+)
+from repro.datasets import load_dataset
+
+
+@pytest.fixture(scope="module")
+def substrates():
+    return {name: load_dataset(name, n=250, seed=3) for name in ("hospital", "adult")}
+
+
+def _engine(ds, nshards):
+    db = ds.fresh_dirty()
+    detector = ViolationDetector(db, ds.rules)
+    engine = ShardedViolationEngine(detector, nshards)
+    return db, detector, engine
+
+
+def _probe_cells(db, rng, ncells=25, ncand=3):
+    tids = sorted(db.tids())
+    attrs = list(db.schema.attributes)
+    cells = []
+    for _ in range(ncells):
+        tid = tids[int(rng.integers(0, len(tids)))]
+        attr = attrs[int(rng.integers(0, len(attrs)))]
+        pos = db.schema.position(attr)
+        dom = db.columns.values_at(pos, np.ones(len(db.columns), dtype=bool))
+        values = [dom[int(rng.integers(0, len(dom)))] for _ in range(ncand)]
+        values.append("<<never-seen-value>>")
+        values.append(db.values_snapshot(tid)[pos])  # identity candidate
+        cells.append((tid, attr, values))
+    return cells
+
+
+def _assert_probe_parity(engine, detector, db, rng):
+    cells = _probe_cells(db, rng)
+    assert engine.what_if_moved_many_cells(cells) == detector.what_if_moved_many_cells(
+        cells
+    )
+
+
+class TestShardHash:
+    def test_scalar_and_vector_agree(self):
+        codes = np.arange(0, 5000, dtype=np.int32)
+        for nshards in (2, 3, 4):
+            vector = np.zeros(len(codes), dtype=np.int64)
+            for shard in range(nshards):
+                vector[_shard_mask(codes, shard, nshards)] = shard
+            scalar = [shard_of_code(int(c), nshards) for c in codes]
+            assert vector.tolist() == scalar
+
+    def test_every_shard_nonempty_on_real_keys(self, substrates):
+        ds = substrates["hospital"]
+        db, detector, engine = _engine(ds, 3)
+        try:
+            report = engine.detect()
+            assert sum(report["shard_rows"]) == len(db)
+            assert all(rows > 0 for rows in report["shard_rows"])
+        finally:
+            engine.detach()
+            detector.detach()
+
+
+class TestShardPlan:
+    def test_hospital_key_and_rule_split(self, substrates):
+        ds = substrates["hospital"]
+        db = ds.fresh_dirty()
+        detector = ViolationDetector(db, ds.rules)
+        plan = ShardPlan.build(detector, 3)
+        assert plan.key_attr == "hospital"
+        # hospital_street / hospital_zip partition by the key -> local;
+        # street_city_zip straddles shards -> coordinator
+        assert len(plan.local_vids) == 2
+        assert len(plan.cross_vids) == 1
+        detector.detach()
+
+    def test_adult_key(self, substrates):
+        ds = substrates["adult"]
+        db = ds.fresh_dirty()
+        detector = ViolationDetector(db, ds.rules)
+        plan = ShardPlan.build(detector, 2)
+        assert plan.key_attr == "relationship"
+        detector.detach()
+
+
+@pytest.mark.parametrize("name,nshards", [("hospital", 3), ("adult", 2)])
+class TestProbeAndDetectParity:
+    def test_lifecycle_parity(self, name, nshards, substrates):
+        ds = substrates[name]
+        db, detector, engine = _engine(ds, nshards)
+        rng = np.random.default_rng(11)
+        try:
+            _assert_probe_parity(engine, detector, db, rng)
+            assert engine.detect()["parity"] is True
+
+            # writes, including the shard-key column (cross-shard moves)
+            tids = sorted(db.tids())
+            attrs = list(db.schema.attributes)
+            key_attr = engine.plan.key_attr or attrs[0]
+            for i in range(20):
+                tid = tids[int(rng.integers(0, len(tids)))]
+                attr = attrs[int(rng.integers(0, len(attrs)))] if i % 3 else key_attr
+                pos = db.schema.position(attr)
+                dom = db.columns.values_at(pos, np.ones(len(db.columns), dtype=bool))
+                db.set_value(tid, attr, dom[int(rng.integers(0, len(dom)))])
+            _assert_probe_parity(engine, detector, db, rng)
+            assert engine.detect()["parity"] is True
+
+            # structure changes: grow via inserts, then delete
+            template = db.values_snapshot(tids[0])
+            for _ in range(30):
+                db.insert(dict(zip(db.schema.attributes, template)))
+            detector.recompute()
+            _assert_probe_parity(engine, detector, db, rng)
+            db.delete(sorted(db.tids())[-1])
+            detector.recompute()
+            _assert_probe_parity(engine, detector, db, rng)
+            assert engine.detect()["parity"] is True
+        finally:
+            engine.detach()
+            detector.detach()
+
+    def test_small_batches_stay_canonical(self, name, nshards, substrates):
+        ds = substrates[name]
+        db, detector, engine = _engine(ds, nshards)
+        rng = np.random.default_rng(5)
+        try:
+            cells = _probe_cells(db, rng, ncells=2)
+            before = engine.stats["worker_cells"]
+            assert engine.what_if_moved_many_cells(
+                cells
+            ) == detector.what_if_moved_many_cells(cells)
+            assert engine.stats["worker_cells"] == before
+            assert engine.stats["canonical_cells"] >= len(cells)
+        finally:
+            engine.detach()
+            detector.detach()
+
+
+class TestZeroCopy:
+    def test_peek_sees_writes_without_resend(self, substrates):
+        ds = substrates["hospital"]
+        db, detector, engine = _engine(ds, 3)
+        try:
+            engine.detect()  # prime all workers
+            tid = sorted(db.tids())[0]
+            attr = db.schema.attributes[0]
+            pos = db.schema.position(attr)
+            row = db.columns.position_of(tid)
+            for shard in range(3):
+                assert engine.peek(shard, tid, attr) == db.columns.code_at(row, pos)
+            # a direct write lands in the shared pages; the worker sees
+            # the new code without any message carrying it
+            db.set_value(tid, attr, "<<fresh-shm-value>>")
+            assert engine.peek(0, tid, attr) == db.columns.code_at(row, pos)
+        finally:
+            engine.detach()
+            detector.detach()
+
+    def test_health_info_reports_arena(self, substrates):
+        ds = substrates["adult"]
+        db, detector, engine = _engine(ds, 2)
+        try:
+            engine.detect()
+            info = engine.health_info()
+            assert info["pool_size"] == 2
+            assert info["key_attr"] == "relationship"
+            assert info["arena_generation"] >= 0
+            assert info["pool_respawns"] >= 0
+            assert info["pending_ops"] == [0, 0]
+        finally:
+            engine.detach()
+            detector.detach()

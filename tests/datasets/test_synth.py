@@ -1,0 +1,101 @@
+"""Tests for :mod:`repro.datasets.synth`."""
+
+import pytest
+
+from repro.constraints.violations import ViolationDetector
+from repro.datasets import load_dataset, load_synth_dataset, scale_dataset
+from repro.errors import DatasetError
+
+
+def _rows(db):
+    return [tuple(row.values) for row in db.rows()]
+
+
+def _violation_profile(ds):
+    detector = ViolationDetector(ds.dirty, ds.rules)
+    profile = (
+        len(detector.dirty_tuples()),
+        tuple(sorted((state.rule.name, len(state.violating)) for state in detector._states)),
+    )
+    detector.detach()
+    return profile
+
+
+class TestScaleDataset:
+    def test_round_trips_at_base_size(self):
+        base = load_dataset("hospital", n=200, seed=7)
+        ds = scale_dataset(base, 200)
+        assert ds.name == "hospital-synth"
+        assert _rows(ds.dirty) == _rows(base.dirty)
+        assert _rows(ds.clean) == _rows(base.clean)
+        assert ds.corruption.dirty_tuples == base.corruption.dirty_tuples
+
+    @pytest.mark.parametrize("name", ["hospital", "adult"])
+    def test_deterministic(self, name):
+        a = load_synth_dataset(name, n=600, base_n=200, seed=5)
+        b = load_synth_dataset(name, n=600, base_n=200, seed=5)
+        assert _rows(a.dirty) == _rows(b.dirty)
+        assert _rows(a.clean) == _rows(b.clean)
+        assert a.corruption.dirty_tuples == b.corruption.dirty_tuples
+        assert a.corruption.corrupted_cells == b.corruption.corrupted_cells
+
+    def test_hospital_violations_scale_linearly(self):
+        # Re-keying keeps every variable-rule partition block-local, so
+        # a 3x replica has exactly 3x the dirty tuples and 3x each
+        # rule's violating set.
+        base = load_dataset("hospital", n=300, seed=7)
+        base_dirty, base_per_rule = _violation_profile(base)
+        synth = scale_dataset(base, 900)
+        synth_dirty, synth_per_rule = _violation_profile(synth)
+        assert synth_dirty == 3 * base_dirty
+        assert synth_per_rule == tuple(
+            (name, 3 * count) for name, count in base_per_rule
+        )
+
+    def test_adult_replicates_verbatim(self):
+        base = load_dataset("adult", n=150, seed=5)
+        synth = scale_dataset(base, 450)
+        rows = _rows(synth.dirty)
+        assert rows[:150] == _rows(base.dirty)
+        assert rows[150:300] == rows[:150]
+        # A replica violates exactly when its original does (merging
+        # identical partitions never flips consistency), so the
+        # detector's dirty count scales linearly here too.
+        base_dirty, _ = _violation_profile(base)
+        synth_dirty, _ = _violation_profile(synth)
+        assert synth_dirty == 3 * base_dirty
+
+    def test_truncated_final_block(self):
+        base = load_dataset("hospital", n=200, seed=7)
+        ds = scale_dataset(base, 450)
+        assert len(ds.dirty) == 450
+        assert len(ds.clean) == 450
+        assert max(ds.corruption.dirty_tuples) < 450
+        assert all(tid < 450 for tid, _ in ds.corruption.corrupted_cells)
+
+    def test_provenance_rebased_per_block(self):
+        base = load_dataset("hospital", n=200, seed=7)
+        ds = scale_dataset(base, 600)
+        expected = {
+            block * 200 + tid
+            for block in range(3)
+            for tid in base.corruption.dirty_tuples
+        }
+        assert ds.corruption.dirty_tuples == expected
+
+    def test_rekeyed_ground_truth_matches_blocks(self):
+        base = load_dataset("hospital", n=200, seed=7)
+        ds = scale_dataset(base, 400)
+        pos = base.dirty.schema.position("hospital")
+        block0 = _rows(ds.clean)[:200]
+        block1 = _rows(ds.clean)[200:]
+        for row0, row1 in zip(block0, block1):
+            assert row1[pos] == f"{row0[pos]}~1"
+
+    def test_rejects_bad_sizes_and_names(self):
+        base = load_dataset("hospital", n=100, seed=0)
+        with pytest.raises(DatasetError):
+            scale_dataset(base, 0)
+        base.name = "mystery"
+        with pytest.raises(DatasetError):
+            scale_dataset(base, 200)

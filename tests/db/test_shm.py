@@ -1,0 +1,154 @@
+"""Shared-memory backing for ColumnStore code matrices (db/shm.py)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.db.database import Database
+from repro.db.schema import Schema
+from repro.db.shm import SharedMatrixArena, attach_matrix, share_column_store
+
+
+@pytest.fixture
+def db() -> Database:
+    schema = Schema("t", ("a", "b", "c"))
+    rows = [[f"a{i % 5}", f"b{i % 3}", f"c{i}"] for i in range(40)]
+    return Database(schema, rows)
+
+
+def _snapshot(store):
+    return (
+        store._matrix[:, : len(store)].copy(),
+        store._tids[: len(store)].copy(),
+    )
+
+
+class TestShareColumnStore:
+    def test_share_preserves_contents(self, db):
+        store = db.columns
+        matrix_before, tids_before = _snapshot(store)
+        arena = share_column_store(store)
+        try:
+            matrix_after, tids_after = _snapshot(store)
+            np.testing.assert_array_equal(matrix_before, matrix_after)
+            np.testing.assert_array_equal(tids_before, tids_after)
+            assert arena.generation == 0
+        finally:
+            arena.close()
+
+    def test_double_share_rejected(self, db):
+        arena = share_column_store(db.columns)
+        try:
+            with pytest.raises(RuntimeError):
+                share_column_store(db.columns)
+        finally:
+            arena.close()
+
+    def test_set_cell_writes_into_shared_pages(self, db):
+        store = db.columns
+        arena = share_column_store(store)
+        try:
+            shm, matrix, tids = attach_matrix(arena.descriptor())
+            try:
+                db.set_value(3, "b", "rewritten")
+                row = store.position_of(3)
+                pos = db.schema.position("b")
+                # the external mapping sees the write without any resend
+                assert matrix[pos, row] == store.code_at(row, pos)
+                assert matrix[pos, row] == store.code_for(pos, "rewritten")
+            finally:
+                del matrix, tids
+                shm.close()
+        finally:
+            arena.close()
+
+    def test_grow_bumps_generation_and_retires_segment(self, db):
+        store = db.columns
+        arena = share_column_store(store)
+        try:
+            old_name = arena.descriptor()["name"]
+            before_matrix, before_tids = _snapshot(store)
+            while arena.generation == 0:
+                db.insert({"a": "x", "b": "y", "c": f"z{db.version}"})
+            assert arena.retired_count() == 1
+            desc = arena.descriptor()
+            assert desc["name"] != old_name
+            assert desc["capacity"] >= len(store)
+            # pre-grow rows survived the copy
+            np.testing.assert_array_equal(
+                store._matrix[:, : len(before_tids)], before_matrix
+            )
+            np.testing.assert_array_equal(store._tids[: len(before_tids)], before_tids)
+            # new generation attachable; old generation still attachable
+            # (not yet unlinked) until workers ack the new generation
+            shm, matrix, tids = attach_matrix(desc)
+            np.testing.assert_array_equal(
+                matrix[:, : len(store)], store._matrix[:, : len(store)]
+            )
+            del matrix, tids
+            shm.close()
+            assert arena.release_retired(0) == 0
+            assert arena.release_retired(arena.generation) == 1
+            assert arena.retired_count() == 0
+        finally:
+            arena.close()
+
+    def test_remove_keeps_shared_view_dense(self, db):
+        store = db.columns
+        arena = share_column_store(store)
+        try:
+            shm, matrix, tids = attach_matrix(arena.descriptor())
+            try:
+                db.delete(0)  # swap-with-last lands in the shared pages
+                n = len(store)
+                np.testing.assert_array_equal(matrix[:, :n], store._matrix[:, :n])
+                np.testing.assert_array_equal(tids[:n], store._tids[:n])
+            finally:
+                del matrix, tids
+                shm.close()
+        finally:
+            arena.close()
+
+    def test_close_is_idempotent_and_detaches(self, db):
+        store = db.columns
+        arena = share_column_store(store)
+        matrix_before, tids_before = _snapshot(store)
+        arena.close()
+        arena.close()
+        # store keeps working on private arrays after close
+        np.testing.assert_array_equal(store._matrix[:, : len(store)], matrix_before)
+        db.set_value(1, "a", "post-close")
+        for _ in range(100):
+            db.insert({"a": "x", "b": "y", "c": f"g{db.version}"})
+        assert store._reallocator is None
+        # and the store can be re-shared afterwards
+        arena2 = share_column_store(store)
+        arena2.close()
+
+    def test_alignment_with_odd_column_counts(self):
+        # 3 columns * int32 keeps the matrix byte count off any 8-byte
+        # boundary for odd capacities; the tid view must stay aligned
+        schema = Schema("odd", ("a", "b", "c"))
+        db = Database(schema, [[i, i, i] for i in range(17)])
+        arena = share_column_store(db.columns)
+        try:
+            shm, matrix, tids = attach_matrix(arena.descriptor())
+            try:
+                assert tids.dtype == np.int64
+                np.testing.assert_array_equal(tids[: len(db.columns)], db.columns.tids())
+            finally:
+                del matrix, tids
+                shm.close()
+        finally:
+            arena.close()
+
+
+class TestArenaLifecycle:
+    def test_reallocate_after_close_falls_back_to_private(self, db):
+        store = db.columns
+        arena = share_column_store(store)
+        arena.close()
+        matrix, tids = arena._reallocate(3, 64)
+        assert matrix.shape == (3, 64)
+        assert tids.shape == (64,)

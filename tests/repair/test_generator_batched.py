@@ -162,6 +162,79 @@ class TestRhsHistogramMemo:
         assert gen._witness_positions == {}
 
 
+class TestCrossBatchDecisionMemo:
+    def test_repeat_pass_skips_selection(self, monkeypatch):
+        ds = load_dataset("hospital", n=120, seed=4)
+        db, detector, state, gen = _substrate(ds, batched=True)
+        gen.generate_all()
+        assert gen._decision_memo
+        stamp = gen._decision_stamp
+        assert stamp == (db.version, detector.stats_epoch)
+        calls = []
+        monkeypatch.setattr(
+            gen,
+            "_select_best",
+            lambda *a, **k: calls.append(1) or (None, -1.0),
+        )
+        # substrate unchanged: the second pass must answer every
+        # unprevented cell from the carried memo
+        before = _pool(state)
+        gen.generate_all()
+        assert calls == []
+        assert _pool(state) == before
+        assert gen._decision_stamp == stamp
+
+    def test_db_write_invalidates(self):
+        ds = load_dataset("hospital", n=120, seed=4)
+        db, detector, state, gen = _substrate(ds, batched=True)
+        gen.generate_all()
+        stamp = gen._decision_stamp
+        tid = next(iter(detector.dirty_tuples()))
+        db.set_value(tid, "complaint", "unrelated-write")
+        gen.generate_all()
+        assert gen._decision_stamp != stamp
+        assert gen._decision_stamp == (db.version, detector.stats_epoch)
+
+    def test_carried_memo_matches_scalar_after_writes(self):
+        # identical write sequence through one long-lived batched
+        # generator (memo carried and invalidated across passes) and a
+        # long-lived scalar reference; pools must agree after every pass
+        ds = load_dataset("hospital", n=120, seed=9)
+        db_b, det_b, state_b, gen_b = _substrate(ds, batched=True)
+        db_s, det_s, state_s, gen_s = _substrate(ds, batched=False)
+        gen_b.generate_all()
+        gen_s.generate_all()
+        assert _pool(state_b) == _pool(state_s)
+        victims = list(det_b.dirty_tuples_ordered())[:5]
+        for tid in victims:
+            updates = state_b.updates_for_tuple(tid)
+            if not updates:
+                continue
+            update = updates[0]
+            db_b.set_value(update.tid, update.attribute, update.value)
+            db_s.set_value(update.tid, update.attribute, update.value)
+            gen_b.generate_all()
+            gen_s.generate_all()
+            assert _pool(state_b) == _pool(state_s)
+
+    def test_capacity_clears(self, monkeypatch):
+        import repro.repair.generator as gen_mod
+
+        ds = load_dataset("hospital", n=80, seed=4)
+        __, __, __, gen = _substrate(ds, batched=True)
+        monkeypatch.setattr(gen_mod, "_DECISION_MEMO_CAPACITY", 1)
+        gen.generate_all()
+        assert len(gen._decision_memo) <= 1
+
+    def test_detach_clears(self):
+        ds = load_dataset("hospital", n=80, seed=4)
+        __, __, __, gen = _substrate(ds, batched=True)
+        gen.generate_all()
+        gen.detach()
+        assert gen._decision_memo == {}
+        assert gen._decision_stamp == (-1, -1)
+
+
 def test_regeneration_after_writes_matches_scalar():
     """Drive identical write sequences through both modes and compare
     the regenerated pools after every write."""
