@@ -1,0 +1,94 @@
+"""Committed baseline of grandfathered findings.
+
+The lint gate is a *ratchet*: findings present when a rule lands are
+recorded (fingerprint + human-readable context) in a committed JSON
+file, and only **new** findings fail the run. Fixing a baselined
+finding leaves a *stale* entry behind, which the CLI reports so the
+baseline can be re-tightened (``--write-baseline``) — the file may
+only ever shrink.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.core import Finding
+
+__all__ = ["Baseline", "DEFAULT_BASELINE_NAME", "diff_findings"]
+
+DEFAULT_BASELINE_NAME = "repolint-baseline.json"
+
+_FORMAT_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """The set of grandfathered finding fingerprints."""
+
+    entries: dict[str, dict[str, object]] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        data = json.loads(path.read_text(encoding="utf-8"))
+        if data.get("version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported baseline version {data.get('version')!r} in {path}"
+            )
+        return cls({e["fingerprint"]: e for e in data.get("findings", [])})
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        return cls({f.fingerprint(): f.as_dict() for f in findings})
+
+    def save(self, path: str | Path) -> None:
+        path = Path(path)
+        entries = sorted(
+            self.entries.values(),
+            key=lambda e: (str(e.get("path", "")), str(e.get("rule", "")), str(e.get("message", ""))),
+        )
+        payload = {"version": _FORMAT_VERSION, "findings": entries}
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+
+    def __contains__(self, finding: Finding) -> bool:
+        return finding.fingerprint() in self.entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+@dataclass
+class LintOutcome:
+    """One run's findings split against the baseline."""
+
+    new: list[Finding]
+    baselined: list[Finding]
+    stale: list[dict[str, object]]  # baseline entries no longer observed
+
+    @property
+    def ok(self) -> bool:
+        return not self.new
+
+
+def diff_findings(findings: list[Finding], baseline: Baseline) -> LintOutcome:
+    """Split *findings* into new vs grandfathered; spot stale entries."""
+    new: list[Finding] = []
+    baselined: list[Finding] = []
+    seen: set[str] = set()
+    for finding in findings:
+        fingerprint = finding.fingerprint()
+        if fingerprint in baseline.entries:
+            baselined.append(finding)
+            seen.add(fingerprint)
+        else:
+            new.append(finding)
+    stale = [
+        entry
+        for fingerprint, entry in sorted(baseline.entries.items())
+        if fingerprint not in seen
+    ]
+    return LintOutcome(new=new, baselined=baselined, stale=stale)

@@ -1,0 +1,124 @@
+"""``python -m repro.analysis`` — the repolint command line.
+
+Exit codes: ``0`` clean (no findings outside the committed baseline),
+``1`` new findings, ``2`` usage or internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import TextIO
+
+from repro.analysis.baseline import DEFAULT_BASELINE_NAME, Baseline, diff_findings
+from repro.analysis.core import all_rules
+from repro.analysis.project import Project, find_repo_root, run_rules
+from repro.analysis.report import render_json, render_text
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="repolint: AST-based contract checks for this repository",
+    )
+    parser.add_argument(
+        "--root",
+        default=None,
+        help="repository root (default: auto-detected from cwd / install path)",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated rule ids to run (default: all registered rules)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help=f"baseline file (default: <root>/{DEFAULT_BASELINE_NAME})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline: every finding is reported as new",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="rewrite the baseline from this run's findings and exit 0",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the JSON report on stdout instead of the human report",
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="also write the JSON report to this file (CI artifact)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None, stdout: TextIO | None = None) -> int:
+    out = stdout if stdout is not None else sys.stdout
+    parser = _build_parser()
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:  # argparse exits 2 on usage errors
+        return int(exc.code or 0)
+
+    rules = all_rules()
+    if args.rules:
+        wanted = {part.strip() for part in args.rules.split(",") if part.strip()}
+        known = {rule.id for rule in rules}
+        unknown = wanted - known
+        if unknown:
+            out.write(f"unknown rule id(s): {', '.join(sorted(unknown))}\n")
+            out.write(f"known: {', '.join(sorted(known))}\n")
+            return 2
+        rules = [rule for rule in rules if rule.id in wanted]
+
+    if args.list_rules:
+        for rule in rules:
+            out.write(f"{rule.id} [{rule.scope}] — {rule.title}\n")
+            out.write(f"    {rule.rationale}\n")
+        return 0
+
+    try:
+        root = Path(args.root).resolve() if args.root else find_repo_root()
+    except FileNotFoundError as exc:
+        out.write(f"{exc}\n")
+        return 2
+
+    start = time.perf_counter()
+    project = Project(root)
+    findings = run_rules(project, rules)
+    elapsed = time.perf_counter() - start
+
+    baseline_path = Path(args.baseline) if args.baseline else root / DEFAULT_BASELINE_NAME
+    if args.write_baseline:
+        Baseline.from_findings(findings).save(baseline_path)
+        out.write(f"wrote {len(findings)} finding(s) to {baseline_path}\n")
+        return 0
+    baseline = Baseline() if args.no_baseline else Baseline.load(baseline_path)
+    outcome = diff_findings(findings, baseline)
+
+    files_scanned = len(project.files())
+    json_report = render_json(outcome, rules, elapsed, files_scanned)
+    if args.output:
+        Path(args.output).write_text(json_report + "\n", encoding="utf-8")
+    if args.json:
+        out.write(json_report + "\n")
+    else:
+        render_text(outcome, rules, elapsed, files_scanned, out)
+    return 0 if outcome.ok else 1

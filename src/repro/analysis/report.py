@@ -1,0 +1,77 @@
+"""Human-readable and JSON reporters for one lint run."""
+
+from __future__ import annotations
+
+import json
+from typing import TextIO
+
+from repro.analysis.baseline import LintOutcome
+from repro.analysis.core import Finding, Rule
+
+__all__ = ["render_json", "render_text"]
+
+
+def render_json(
+    outcome: LintOutcome,
+    rules: list[Rule],
+    elapsed_s: float,
+    files_scanned: int,
+) -> str:
+    """Machine-readable report (the CI artifact)."""
+    payload = {
+        "summary": {
+            "ok": outcome.ok,
+            "new": len(outcome.new),
+            "baselined": len(outcome.baselined),
+            "stale_baseline_entries": len(outcome.stale),
+            "files_scanned": files_scanned,
+            "elapsed_s": round(elapsed_s, 3),
+            "rules": [rule.id for rule in rules],
+        },
+        "new_findings": [f.as_dict() for f in outcome.new],
+        "baselined_findings": [f.as_dict() for f in outcome.baselined],
+        "stale_baseline_entries": outcome.stale,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_text(
+    outcome: LintOutcome,
+    rules: list[Rule],
+    elapsed_s: float,
+    files_scanned: int,
+    stream: TextIO,
+) -> None:
+    """Human report: new findings in full, the rest summarised."""
+    if outcome.new:
+        stream.write(f"repolint: {len(outcome.new)} new finding(s)\n\n")
+        for finding in outcome.new:
+            _write_finding(stream, finding)
+    if outcome.baselined:
+        stream.write(
+            f"{len(outcome.baselined)} grandfathered finding(s) "
+            "(in the committed baseline; fix when touched):\n"
+        )
+        for finding in outcome.baselined:
+            stream.write(f"  - {finding.location()}  [{finding.rule}] {finding.message}\n")
+        stream.write("\n")
+    if outcome.stale:
+        stream.write(
+            f"{len(outcome.stale)} stale baseline entr(y/ies) — the finding is "
+            "gone; re-run with --write-baseline to ratchet the file down:\n"
+        )
+        for entry in outcome.stale:
+            stream.write(f"  - {entry.get('path')}  [{entry.get('rule')}] {entry.get('message')}\n")
+        stream.write("\n")
+    verdict = "OK" if outcome.ok else "FAIL"
+    stream.write(
+        f"repolint {verdict}: {files_scanned} files, {len(rules)} rules, "
+        f"{len(outcome.new)} new / {len(outcome.baselined)} baselined, "
+        f"{elapsed_s:.2f}s\n"
+    )
+
+
+def _write_finding(stream: TextIO, finding: Finding) -> None:
+    symbol = f" in {finding.symbol}" if finding.symbol else ""
+    stream.write(f"{finding.location()}: [{finding.rule}]{symbol}\n")
+    stream.write(f"    {finding.message}\n")

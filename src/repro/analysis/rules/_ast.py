@@ -1,0 +1,115 @@
+"""Shared AST utilities for the rule implementations."""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+__all__ = [
+    "build_parents",
+    "call_name",
+    "dotted_name",
+    "enclosing_symbol",
+    "import_map",
+    "resolve_dotted",
+    "walk_calls",
+]
+
+
+def import_map(tree: ast.Module) -> dict[str, str]:
+    """Map of local alias -> canonical dotted module/object path.
+
+    ``import numpy as np`` -> ``{"np": "numpy"}``;
+    ``from numpy.random import default_rng`` ->
+    ``{"default_rng": "numpy.random.default_rng"}``. Only module-level
+    imports are considered — the conventions this repo enforces all use
+    module-level imports, and function-local imports of banned modules
+    still resolve through their (module-level) canonical names at the
+    call site when aliased identically.
+    """
+    out: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                out[alias.asname or alias.name.split(".")[0]] = (
+                    alias.name if alias.asname else alias.name.split(".")[0]
+                )
+                if alias.asname:
+                    out[alias.asname] = alias.name
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                out[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return out
+
+
+def dotted_name(node: ast.AST) -> list[str] | None:
+    """``a.b.c`` attribute chain as ``["a", "b", "c"]`` (None if not one)."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return parts[::-1]
+    return None
+
+
+def resolve_dotted(node: ast.AST, imports: dict[str, str]) -> str | None:
+    """Canonical dotted path of an expression, via the import map.
+
+    ``np.random.default_rng`` -> ``"numpy.random.default_rng"``. Heads
+    that are not imported names resolve to None (locals, attributes of
+    ``self`` — never flagged).
+    """
+    parts = dotted_name(node)
+    if not parts:
+        return None
+    head = imports.get(parts[0])
+    if head is None:
+        return None
+    return ".".join([head, *parts[1:]])
+
+
+def call_name(node: ast.Call) -> str | None:
+    """Trailing name of a call target: ``a.b.c()`` -> ``"c"``."""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def walk_calls(tree: ast.AST) -> Iterator[ast.Call]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            yield node
+
+
+def build_parents(tree: ast.AST) -> dict[ast.AST, ast.AST]:
+    """Child -> parent map for flow-ish checks."""
+    parents: dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents
+
+
+def enclosing_symbol(node: ast.AST, parents: dict[ast.AST, ast.AST]) -> str:
+    """Dotted class/function path enclosing *node* (may be empty)."""
+    names: list[str] = []
+    cursor = parents.get(node)
+    while cursor is not None:
+        if isinstance(cursor, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            names.append(cursor.name)
+        cursor = parents.get(cursor)
+    return ".".join(reversed(names))
+
+
+def string_arg(node: ast.Call, index: int = 0) -> str | None:
+    """The call's positional arg *index* when it is a string constant."""
+    if len(node.args) > index:
+        arg = node.args[index]
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            return arg.value
+    return None

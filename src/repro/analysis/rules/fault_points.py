@@ -1,0 +1,199 @@
+"""Fault-point cross-check: registry, instrumentation and chaos tests.
+
+``testing/faults.py`` declares the named fault points the chaos suite
+can arm (``FAULT_POINT_REGISTRY``: name, description, owning module).
+Three things must stay in lockstep, and any drift silently erodes the
+kill-and-restore guarantees:
+
+* every registered point is **instrumented** — its owning module calls
+  ``fault_hit("<name>", ...)``;
+* every ``fault_hit``/``arm`` call site names a **registered** point —
+  an unregistered string either never fires (``arm`` raises) or is a
+  point the registry (and ``engine.health()``) cannot see;
+* every registered point is **exercised** — at least one test arms it,
+  so the failure mode it models stays chaos-tested.
+
+Deleting a registry entry while call sites remain, or deleting the
+last test arming a point, therefore fails the lint run.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from typing import TYPE_CHECKING
+
+from repro.analysis.core import Finding, Rule, register
+from repro.analysis.rules._ast import call_name, string_arg, walk_calls
+
+if TYPE_CHECKING:
+    from repro.analysis.project import Project, SourceFile
+
+FAULTS_MODULE = "src/repro/testing/faults.py"
+REGISTRY_NAME = "FAULT_POINT_REGISTRY"
+
+
+def parse_registry(tree: ast.Module) -> dict[str, dict[str, str]] | None:
+    """``{point name: {"description":…, "module":…}}`` from faults.py.
+
+    Returns None when the registry assignment is missing entirely.
+    Entries are ``FaultPoint(name, description, module)`` constructor
+    calls (positional or keyword); non-literal entries are skipped.
+    """
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+        else:
+            continue
+        if not any(isinstance(t, ast.Name) and t.id == REGISTRY_NAME for t in targets):
+            continue
+        entries: dict[str, dict[str, str]] = {}
+        value = node.value
+        elts = value.elts if isinstance(value, (ast.Tuple, ast.List)) else []
+        for elt in elts:
+            if not isinstance(elt, ast.Call):
+                continue
+            fields = {}
+            for pos, field_name in enumerate(("name", "description", "module")):
+                arg: ast.AST | None = elt.args[pos] if len(elt.args) > pos else None
+                if arg is None:
+                    for kw in elt.keywords:
+                        if kw.arg == field_name:
+                            arg = kw.value
+                if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                    fields[field_name] = arg.value
+            if "name" in fields:
+                entries[fields["name"]] = {
+                    "description": fields.get("description", ""),
+                    "module": fields.get("module", ""),
+                }
+        return entries
+    return None
+
+
+def _module_to_path(module: str) -> str:
+    return "src/" + module.replace(".", "/") + ".py"
+
+
+@register
+class FaultRegistryRule(Rule):
+    id: str = "fault-registry"
+    title: str = "fault points: registered ⟺ instrumented ⟺ chaos-tested"
+    rationale: str = (
+        "the chaos suite only proves recovery for fault points that exist in "
+        "the registry, fire in production code, and are armed by a test; any "
+        "one-sided edit quietly drops a failure mode from coverage"
+    )
+    scope: str = "project"
+
+    def check_project(self, project: Project) -> list[Finding]:
+        faults = project.file(FAULTS_MODULE)
+        if faults is None or faults.tree is None:
+            return [
+                self.finding(
+                    FAULTS_MODULE, 0, "fault-point registry module is missing or unparseable"
+                )
+            ]
+        registry = parse_registry(faults.tree)
+        if registry is None:
+            return [
+                self.finding(
+                    FAULTS_MODULE,
+                    0,
+                    f"{REGISTRY_NAME} not found — the machine-readable fault-point "
+                    "registry is the single source of truth for arm(), health() "
+                    "and this check",
+                )
+            ]
+        findings: list[Finding] = []
+
+        # production instrumentation: fault_hit("X") call sites
+        hit_sites: dict[str, list[tuple[str, int]]] = {}
+        for source in project.iter_prefix("src/repro"):
+            tree = source.tree
+            if tree is None or source.rel == FAULTS_MODULE:
+                continue
+            for call in walk_calls(tree):
+                if call_name(call) != "fault_hit":
+                    continue
+                name = string_arg(call)
+                if name is not None:
+                    hit_sites.setdefault(name, []).append((source.rel, call.lineno))
+
+        # test arming: arm("X") call sites
+        armed: dict[str, list[tuple[str, int]]] = {}
+        for source in project.test_files():
+            tree = source.tree
+            if tree is None:
+                continue
+            for call in walk_calls(tree):
+                if call_name(call) != "arm":
+                    continue
+                name = string_arg(call)
+                if name is not None:
+                    armed.setdefault(name, []).append((source.rel, call.lineno))
+
+        for name, info in sorted(registry.items()):
+            sites = hit_sites.get(name, [])
+            if not sites:
+                findings.append(
+                    self.finding(
+                        FAULTS_MODULE,
+                        0,
+                        f"fault point {name!r} is registered but no src module calls "
+                        f"fault_hit({name!r}, ...) — it can never fire",
+                        symbol=name,
+                    )
+                )
+            else:
+                owner = _module_to_path(info["module"]) if info["module"] else ""
+                if owner and all(rel != owner for rel, __ in sites):
+                    where = ", ".join(sorted({rel for rel, __ in sites}))
+                    findings.append(
+                        self.finding(
+                            FAULTS_MODULE,
+                            0,
+                            f"fault point {name!r} declares owning module "
+                            f"{info['module']!r} but fires from {where} — fix the "
+                            "registry's module field",
+                            symbol=name,
+                        )
+                    )
+            if name not in armed:
+                findings.append(
+                    self.finding(
+                        FAULTS_MODULE,
+                        0,
+                        f"fault point {name!r} is registered but no test arms it — "
+                        "its failure mode is not chaos-tested",
+                        symbol=name,
+                    )
+                )
+
+        for name, sites in sorted(hit_sites.items()):
+            if name not in registry:
+                rel, line = sites[0]
+                findings.append(
+                    self.finding(
+                        rel,
+                        line,
+                        f"fault_hit({name!r}, ...) names an unregistered fault point — "
+                        f"add it to {REGISTRY_NAME} with a description and owner",
+                        symbol=name,
+                    )
+                )
+        for name, sites in sorted(armed.items()):
+            if name not in registry:
+                rel, line = sites[0]
+                findings.append(
+                    self.finding(
+                        rel,
+                        line,
+                        f"arm({name!r}, ...) names an unregistered fault point — the "
+                        "test would raise before proving anything",
+                        symbol=name,
+                    )
+                )
+        return findings

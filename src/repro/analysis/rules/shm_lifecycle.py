@@ -1,0 +1,196 @@
+"""Shm lifecycle: every shared-memory acquisition has a visible release.
+
+A POSIX shared-memory segment outlives the Python objects that forgot
+it: a ``SharedMemory(create=True)`` (or a ``share_column_store`` arena)
+leaked on an error path stays in ``/dev/shm`` until reboot, and a
+worker-side attach leaked mid-setup pins pages for the life of the
+process. This rule requires every function that acquires a segment
+(``SharedMemory``, ``share_column_store``, ``attach_matrix``) to show a
+release construct the reader can point at:
+
+* the acquisition sits in a ``with`` item, **or**
+* the function contains a ``try`` whose ``except`` or ``finally``
+  invokes a release method (``close``/``unlink``/``detach``/
+  ``shutdown``/``release``) — a visible failure-path release, **or**
+* the function is a pure factory: its last statement directly
+  ``return``\\ s the acquisition call (ownership transfers whole; no
+  code runs between acquire and return).
+
+When the handle lands in a ``self`` attribute, the owning class must
+additionally define a release method, so some caller *can* free it.
+The contract is deliberately syntactic — it cannot prove every path
+releases, but it guarantees each acquiring function carries an
+explicit release an auditor (and the chaos suite) can exercise.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from typing import TYPE_CHECKING
+
+from repro.analysis.core import Finding, Rule, register
+from repro.analysis.rules._ast import build_parents, enclosing_symbol
+
+if TYPE_CHECKING:
+    from repro.analysis.project import Project, SourceFile
+
+_ACQUIRERS = {"SharedMemory", "share_column_store", "attach_matrix"}
+_RELEASE_METHODS = {"close", "unlink", "detach", "shutdown", "release"}
+
+
+def _is_acquirer_call(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    name = func.attr if isinstance(func, ast.Attribute) else getattr(func, "id", None)
+    return name in _ACQUIRERS
+
+
+def _calls_release(tree: ast.AST) -> bool:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in _RELEASE_METHODS:
+                return True
+    return False
+
+
+def _has_guarded_release(fn: ast.AST) -> bool:
+    """A try whose except-handler or finally invokes a release method."""
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.Try):
+            continue
+        for handler in node.handlers:
+            if any(_calls_release(stmt) for stmt in handler.body):
+                return True
+        if any(_calls_release(stmt) for stmt in node.finalbody):
+            return True
+    return False
+
+
+def _is_pure_factory(
+    fn: ast.FunctionDef | ast.AsyncFunctionDef,
+    call: ast.Call,
+    parents: dict[ast.AST, ast.AST],
+) -> bool:
+    """The acquisition is the value of the function's final return."""
+    cursor = parents.get(call)
+    if not isinstance(cursor, ast.Return):
+        return False
+    return fn.body and fn.body[-1] is cursor
+
+
+def _in_with_item(call: ast.Call, parents: dict[ast.AST, ast.AST]) -> bool:
+    cursor = parents.get(call)
+    while cursor is not None and not isinstance(
+        cursor, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Module)
+    ):
+        if isinstance(cursor, ast.withitem):
+            return True
+        cursor = parents.get(cursor)
+    return False
+
+
+def _assigns_to_self(call: ast.Call, parents: dict[ast.AST, ast.AST]) -> bool:
+    cursor = parents.get(call)
+    if isinstance(cursor, (ast.Assign, ast.AnnAssign)):
+        targets = cursor.targets if isinstance(cursor, ast.Assign) else [cursor.target]
+        for target in targets:
+            for node in ast.walk(target):
+                if (
+                    isinstance(node, ast.Attribute)
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id == "self"
+                ):
+                    return True
+    return False
+
+
+def _enclosing_function(
+    call: ast.Call, parents: dict[ast.AST, ast.AST]
+) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+    cursor = parents.get(call)
+    while cursor is not None:
+        if isinstance(cursor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return cursor
+        cursor = parents.get(cursor)
+    return None
+
+
+def _enclosing_class(fn: ast.AST, parents: dict[ast.AST, ast.AST]) -> ast.ClassDef | None:
+    cursor = parents.get(fn)
+    while cursor is not None:
+        if isinstance(cursor, ast.ClassDef):
+            return cursor
+        cursor = parents.get(cursor)
+    return None
+
+
+def _class_defines_release(cls: ast.ClassDef) -> bool:
+    for stmt in cls.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if stmt.name in _RELEASE_METHODS or stmt.name == "__exit__":
+                return True
+    return False
+
+
+@register
+class ShmLifecycleRule(Rule):
+    id: str = "shm-lifecycle"
+    title: str = "shared-memory acquisitions carry an explicit release path"
+    rationale: str = (
+        "a leaked POSIX segment survives the process (/dev/shm fills until "
+        "reboot); every acquiring function must show a with-block, a "
+        "try/except-or-finally release, or be a pure factory return"
+    )
+    scope: str = "file"
+
+    def check_file(self, source: SourceFile, project: Project) -> list[Finding]:
+        if not source.rel.startswith("src/repro/"):
+            return []
+        tree = source.tree
+        if tree is None:
+            return []
+        parents = build_parents(tree)
+        findings: list[Finding] = []
+        for node in ast.walk(tree):
+            if not _is_acquirer_call(node):
+                continue
+            # definition sites, not call sites: `def share_column_store`
+            fn = _enclosing_function(node, parents)
+            if fn is None:
+                continue  # module-level acquisition: left to import-time review
+            if _in_with_item(node, parents):
+                continue
+            if _is_pure_factory(fn, node, parents):
+                continue
+            symbol = enclosing_symbol(node, parents)
+            if _assigns_to_self(node, parents):
+                cls = _enclosing_class(fn, parents)
+                if cls is not None:
+                    if _class_defines_release(cls):
+                        # ownership transfers to the instance; the class's
+                        # release method is the explicit release path
+                        continue
+                    findings.append(
+                        self.finding(
+                            source.rel,
+                            node.lineno,
+                            f"{cls.name} stores a shared-memory handle but defines no "
+                            "release method (close/detach/shutdown/release/__exit__)",
+                            symbol=symbol,
+                        )
+                    )
+                    continue
+            if not _has_guarded_release(fn):
+                findings.append(
+                    self.finding(
+                        source.rel,
+                        node.lineno,
+                        f"{fn.name}() acquires shared memory with no failure-path "
+                        "release: wrap the post-acquisition steps in try/except (or "
+                        "finally) that closes/unlinks the segment, or use a with block",
+                        symbol=symbol,
+                    )
+                )
+        return findings

@@ -1,0 +1,132 @@
+"""Spawn safety: worker entry points and payloads must survive pickling.
+
+The shard pool (``core/parallel.py``) uses the *spawn* start method —
+the only one that is fork-safe next to NumPy and threads — which means
+a worker's ``target`` is located by import: it must be a module-level
+function. A lambda, a nested function or a bound method either fails
+immediately under spawn or, worse, works under fork in one environment
+and dies in CI. The same goes for payloads: anything routed through
+``send``/``request``/``submit``-style dispatch must be
+picklable-by-construction, so function objects do not belong in
+messages at all.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from typing import TYPE_CHECKING
+
+from repro.analysis.core import Finding, Rule, register
+from repro.analysis.rules._ast import build_parents, enclosing_symbol
+
+if TYPE_CHECKING:
+    from repro.analysis.project import Project, SourceFile
+
+_DISPATCH_METHODS = {"send", "request", "submit", "apply_async", "map_async"}
+
+
+def _module_level_callables(tree: ast.Module) -> set[str]:
+    """Names importable from the module: top-level defs, classes, imports."""
+    names: set[str] = set()
+    for stmt in tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            names.add(stmt.name)
+        elif isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                names.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(stmt, ast.ImportFrom):
+            for alias in stmt.names:
+                names.add(alias.asname or alias.name)
+    return names
+
+
+def _nested_callables(tree: ast.Module) -> set[str]:
+    """Names of defs nested inside functions (not importable by spawn)."""
+    nested: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for inner in ast.walk(node):
+                if inner is node:
+                    continue
+                if isinstance(inner, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    nested.add(inner.name)
+    return nested
+
+
+@register
+class SpawnSafetyRule(Rule):
+    id: str = "spawn-safety"
+    title: str = "spawned targets are module-level; dispatch payloads carry no functions"
+    rationale: str = (
+        "the shard pool uses the spawn start method: workers import their "
+        "target by name and unpickle every message — lambdas, nested defs and "
+        "function-bearing payloads fail at dispatch time (or only in CI)"
+    )
+    scope: str = "file"
+
+    def check_file(self, source: SourceFile, project: Project) -> list[Finding]:
+        if not source.rel.startswith("src/repro/"):
+            return []
+        tree = source.tree
+        if tree is None:
+            return []
+        module_level = _module_level_callables(tree)
+        nested = _nested_callables(tree)
+        parents = build_parents(tree)
+        findings: list[Finding] = []
+
+        def add(node: ast.AST, message: str) -> None:
+            findings.append(
+                self.finding(
+                    source.rel,
+                    getattr(node, "lineno", 0),
+                    message,
+                    symbol=enclosing_symbol(node, parents),
+                )
+            )
+
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = func.attr if isinstance(func, ast.Attribute) else getattr(func, "id", None)
+            if name == "Process":
+                target = next((kw.value for kw in node.keywords if kw.arg == "target"), None)
+                if target is None:
+                    continue
+                if isinstance(target, ast.Lambda):
+                    add(target, "Process target is a lambda — not importable under spawn")
+                elif isinstance(target, ast.Name):
+                    if target.id in nested and target.id not in module_level:
+                        add(
+                            target,
+                            f"Process target {target.id!r} is a nested function — "
+                            "spawn imports targets by name; hoist it to module level",
+                        )
+                elif isinstance(target, ast.Attribute):
+                    chain_head = target.value
+                    if isinstance(chain_head, ast.Name) and chain_head.id == "self":
+                        add(
+                            target,
+                            f"Process target self.{target.attr} is a bound method — "
+                            "spawn workers must start from a module-level function",
+                        )
+                # payload args must not carry function objects
+                for arg in node.args:
+                    for sub in ast.walk(arg):
+                        if isinstance(sub, ast.Lambda):
+                            add(sub, "Process args contain a lambda — unpicklable payload")
+            elif (
+                isinstance(func, ast.Attribute)
+                and func.attr in _DISPATCH_METHODS
+            ):
+                for arg in [*node.args, *[kw.value for kw in node.keywords]]:
+                    for sub in ast.walk(arg):
+                        if isinstance(sub, ast.Lambda):
+                            add(
+                                sub,
+                                f".{func.attr}(...) payload contains a lambda — "
+                                "dispatch messages must be picklable-by-construction",
+                            )
+        return findings

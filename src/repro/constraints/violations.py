@@ -1174,6 +1174,9 @@ class ViolationDetector:
         # only change when one of its own cells is written (vocabulary
         # codes are append-only and position moves don't re-encode)
         self._sig_cache: dict[int, dict[str, bytes]] = {}
+        self._sig_cache_hits = 0
+        self._sig_cache_misses = 0
+        self._sig_cache_clears = 0
         for rule in rules:
             state: _ConstantRuleState | _VariableRuleState
             if rule.is_constant:
@@ -1268,6 +1271,17 @@ class ViolationDetector:
         when either moves.
         """
         return self._epoch
+
+    @property
+    def stats(self) -> dict[str, int]:
+        """Cache-health counters for the probe-signature cache."""
+        return {
+            "sig_cache_size": len(self._sig_cache),
+            "sig_cache_capacity": _SIG_CACHE_CAPACITY,
+            "sig_cache_hits": self._sig_cache_hits,
+            "sig_cache_misses": self._sig_cache_misses,
+            "sig_cache_clears": self._sig_cache_clears,
+        }
 
     def rule_stats_version(self, rule: CFD) -> int:
         """Statistics version of one rule.
@@ -1566,11 +1580,14 @@ class ViolationDetector:
         if per_tid is None:
             if len(self._sig_cache) >= _SIG_CACHE_CAPACITY:
                 self._sig_cache.clear()
+                self._sig_cache_clears += 1
             per_tid = self._sig_cache[tid] = {}
         else:
             cached = per_tid.get(attribute)
             if cached is not None:
+                self._sig_cache_hits += 1
                 return cached
+        self._sig_cache_misses += 1
         __, __, __, __, probe_cols = self._plan_for(
             attribute, self.db.schema.position(attribute)
         )

@@ -656,8 +656,12 @@ class GDREngine:
         ``shards`` → sharded-engine pool size, dispatch/build/merge
         timings and respawn counters (empty when ``shards=0``),
         ``guard`` → tick/audit/incident counters plus the structured
-        incident records, ``journal`` → path and sequence).
+        incident records, ``journal`` → path and sequence, ``faults`` →
+        the registered fault points (from the machine-readable
+        ``FAULT_POINT_REGISTRY``) and whichever are currently armed).
         """
+        from repro.testing.faults import armed_points, fault_points
+
         snapshot: dict = {
             "sim": dict(self.sim_cache.stats),
             "cache": dict(self.benefit_cache.stats) if self.benefit_cache is not None else {},
@@ -669,6 +673,12 @@ class GDREngine:
                 if self.journal is not None
                 else {}
             ),
+            "faults": {
+                "registered": {
+                    name: point.module for name, point in fault_points().items()
+                },
+                "armed": armed_points(),
+            },
         }
         if self.guard is not None:
             snapshot["incidents"] = [i.as_dict() for i in self.guard.incidents]

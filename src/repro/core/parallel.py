@@ -255,12 +255,22 @@ class _WorkerState:
         if self.shm is not None and desc["name"] == self.shm.name:
             return
         old = self.shm
+        self.shm = None
         self.matrix = None
         self.tids = None
-        self.shm, self.matrix, self.tids = attach_matrix(desc)
-        self.generation = desc["generation"]
         if old is not None:
             old.close()
+        self.shm, self.matrix, self.tids = attach_matrix(desc)
+        self.generation = desc["generation"]
+
+    def close(self) -> None:
+        """Drop the worker's mapping of the current generation."""
+        shm = self.shm
+        self.shm = None
+        self.matrix = None
+        self.tids = None
+        if shm is not None:
+            shm.close()
 
     def prime(self, msg: dict) -> dict:
         start = time.perf_counter()
@@ -663,6 +673,7 @@ def _worker_main(conn, shard: int) -> None:
             conn.send(reply)
         except (BrokenPipeError, OSError):  # pragma: no cover
             break
+    state.close()
     conn.close()
 
 
@@ -811,27 +822,33 @@ class ShardedViolationEngine:
         self.nshards = nshards
         self.plan = ShardPlan.build(detector, nshards)
         self.arena = share_column_store(self.db.columns)
-        self.pool = get_pool(nshards)
-        _TOKEN_COUNTER[0] += 1
-        self.token = _TOKEN_COUNTER[0]
-        self.min_parallel_cells = _MIN_PARALLEL_CELLS
-        self._primed = [False] * nshards
-        self._pending: list[dict[int, None]] = [{} for __ in range(nshards)]
-        self._structure_version = self.db.structure_version
-        self.stats = {
-            "pool_size": nshards,
-            "key_attr": self.plan.key_attr,
-            "local_rules": len(self.plan.local_vids),
-            "cross_rules": len(self.plan.cross_vids),
-            "dispatches": 0,
-            "worker_cells": 0,
-            "canonical_cells": 0,
-            "respawns": 0,
-            "build_ms": {},
-            "detect_ms": {},
-            "merge_ms": 0.0,
-        }
-        self.db.add_listener(self._on_change)
+        try:
+            self.pool = get_pool(nshards)
+            _TOKEN_COUNTER[0] += 1
+            self.token = _TOKEN_COUNTER[0]
+            self.min_parallel_cells = _MIN_PARALLEL_CELLS
+            self._primed = [False] * nshards
+            self._pending: list[dict[int, None]] = [{} for __ in range(nshards)]
+            self._structure_version = self.db.structure_version
+            self.stats = {
+                "pool_size": nshards,
+                "key_attr": self.plan.key_attr,
+                "local_rules": len(self.plan.local_vids),
+                "cross_rules": len(self.plan.cross_vids),
+                "dispatches": 0,
+                "worker_cells": 0,
+                "canonical_cells": 0,
+                "respawns": 0,
+                "build_ms": {},
+                "detect_ms": {},
+                "merge_ms": 0.0,
+            }
+            self.db.add_listener(self._on_change)
+        except BaseException:
+            # a half-built engine must not leak its arena segment: close()
+            # re-points the store at private arrays and unlinks /dev/shm
+            self.arena.close()
+            raise
 
     def __getattr__(self, name):
         # everything not overridden is the canonical detector's business

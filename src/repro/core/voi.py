@@ -109,6 +109,9 @@ class VOIEstimator:
         # hold still — reject/retain feedback and learner refits leave
         # them untouched, so most re-rankings reuse every term
         self._term_memo: dict[tuple, tuple[int, list[tuple[float, int, int]]]] = {}
+        self._term_memo_hits = 0
+        self._term_memo_misses = 0
+        self._term_memo_clears = 0
 
     def _weights(self) -> Mapping[CFD, float]:
         if self._fixed_weights is not None:
@@ -119,6 +122,17 @@ class VOIEstimator:
     def term_memo_size(self) -> int:
         """Current occupancy of the persistent Eq. 6 term memo."""
         return len(self._term_memo)
+
+    @property
+    def stats(self) -> dict[str, int]:
+        """Cache-health counters for the persistent Eq. 6 term memo."""
+        return {
+            "term_memo_size": len(self._term_memo),
+            "term_memo_capacity": _TERM_MEMO_CAPACITY,
+            "term_memo_hits": self._term_memo_hits,
+            "term_memo_misses": self._term_memo_misses,
+            "term_memo_clears": self._term_memo_clears,
+        }
 
     def update_benefit(
         self,
@@ -184,6 +198,7 @@ class VOIEstimator:
         persistent = caller_weights is None and stats_version is not None
         if persistent and len(self._term_memo) > _TERM_MEMO_CAPACITY:
             self._term_memo.clear()
+            self._term_memo_clears += 1
         term_memo = self._term_memo if persistent else {}
         attr_versions: dict[str, int] = {}
         weights_get = weights.get
@@ -205,8 +220,10 @@ class VOIEstimator:
                         version = attr_versions[attribute] = stats_version(attribute)
                     entry = term_memo.get(memo_key)
                     if entry is not None and entry[0] == version:
+                        self._term_memo_hits += 1
                         terms_of[i] = entry[1]
                         continue
+                    self._term_memo_misses += 1
                 else:
                     terms = term_memo.get(memo_key)
                     if terms is not None:

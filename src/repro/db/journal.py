@@ -64,6 +64,8 @@ from repro.errors import JournalError, JournalReplayError
 from repro.testing.faults import fault_hit
 
 if TYPE_CHECKING:  # circular at runtime: repair imports constraints imports db
+    from repro.core.user import UserOracle
+    from repro.db.database import Database
     from repro.repair.candidate import CandidateUpdate
     from repro.repair.feedback import UserFeedback
 
@@ -85,7 +87,7 @@ def _decode_value(value: object) -> object:
     return value
 
 
-def db_fingerprint(db) -> str:
+def db_fingerprint(db: Database) -> str:
     """Order-independent content hash of a database instance.
 
     Stable across processes (no ``hash()``); used to match journals
@@ -187,7 +189,7 @@ class FeedbackJournal:
         """True once :meth:`close` has been called."""
         return self._handle is None
 
-    def append(self, kind: str, **payload) -> int:
+    def append(self, kind: str, **payload: object) -> int:
         """Append one record and flush; returns its sequence number.
 
         The record is durable (flushed, optionally fsynced) before the
@@ -221,7 +223,7 @@ class FeedbackJournal:
     # ------------------------------------------------------------------
     # typed appenders
     # ------------------------------------------------------------------
-    def log_meta(self, db, config: dict) -> int:
+    def log_meta(self, db: Database, config: dict) -> int:
         """Session header: schema, config, instance fingerprint."""
         return self.append(
             "meta",
@@ -352,7 +354,7 @@ class FeedbackJournal:
         return [r for r in records if r["seq"] not in superseded]
 
     @staticmethod
-    def verify_meta(path: str | Path, db, config: dict) -> None:
+    def verify_meta(path: str | Path, db: Database, config: dict) -> None:
         """Fail fast when a journal belongs to a different session.
 
         Compares the journal's ``meta`` record against the engine about
@@ -390,7 +392,7 @@ class FeedbackJournal:
             )
 
     @staticmethod
-    def replay_writes(path: str | Path, db, after_seq: int = 0) -> int:
+    def replay_writes(path: str | Path, db: Database, after_seq: int = 0) -> int:
         """Re-apply the WAL records onto *db*; returns writes applied.
 
         Every effective ``write`` record (resume duplicates removed,
@@ -460,7 +462,7 @@ class ReplayOracle:
     the only copy, which is the point.
     """
 
-    def __init__(self, tail: list[dict], inner) -> None:
+    def __init__(self, tail: list[dict], inner: UserOracle) -> None:
         self._tail = list(tail)
         self._cursor = 0
         self.inner = inner

@@ -28,6 +28,12 @@ from __future__ import annotations
 
 import atexit
 from collections.abc import Callable
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # type-only: columnar.py stays shm-agnostic at runtime
+    from multiprocessing.shared_memory import SharedMemory
+
+    from repro.db.columnar import ColumnStore
 
 import numpy as np
 
@@ -76,11 +82,21 @@ def attach_matrix(descriptor: dict) -> tuple[object, np.ndarray, np.ndarray]:
             shm = shared_memory.SharedMemory(name=name)
         finally:
             resource_tracker.register = original_register
-    ncols = descriptor["ncols"]
-    capacity = descriptor["capacity"]
-    tids_offset, __ = _segment_layout(ncols, capacity)
-    matrix = np.ndarray((ncols, capacity), dtype=_MATRIX_DTYPE, buffer=shm.buf)
-    tids = np.ndarray((capacity,), dtype=_TIDS_DTYPE, buffer=shm.buf, offset=tids_offset)
+    try:
+        ncols = descriptor["ncols"]
+        capacity = descriptor["capacity"]
+        tids_offset, __ = _segment_layout(ncols, capacity)
+        matrix = np.ndarray((ncols, capacity), dtype=_MATRIX_DTYPE, buffer=shm.buf)
+        tids = np.ndarray(
+            (capacity,), dtype=_TIDS_DTYPE, buffer=shm.buf, offset=tids_offset
+        )
+    except BaseException:
+        # a malformed descriptor must not pin the mapping for the life
+        # of the worker process (drop any half-built view first: close()
+        # raises BufferError while an ndarray still exports the buffer)
+        matrix = tids = None  # noqa: F841
+        shm.close()
+        raise
     return shm, matrix, tids
 
 
@@ -93,7 +109,7 @@ class SharedMatrixArena:
     shared memory, retiring generation ``g``.
     """
 
-    def __init__(self, store) -> None:
+    def __init__(self, store: ColumnStore) -> None:
         self._store = store
         self._shm = None
         self._generation = 0
@@ -108,11 +124,20 @@ class SharedMatrixArena:
         ncols = len(store.schema)
         capacity = store._matrix.shape[1]
         matrix, tids = self._allocate(ncols, capacity)
-        matrix[:, : len(store)] = store._matrix[:, : len(store)]
-        tids[: len(store)] = store._tids[: len(store)]
-        store._matrix = matrix
-        store._tids = tids
-        store._reallocator = self._hook
+        try:
+            matrix[:, : len(store)] = store._matrix[:, : len(store)]
+            tids[: len(store)] = store._tids[: len(store)]
+            store._matrix = matrix
+            store._tids = tids
+            store._reallocator = self._hook
+        except BaseException:
+            # a failed copy must not leak generation 0: it was never
+            # handed to the store, so no worker can have attached yet
+            self._closed = True
+            matrix = tids = None  # noqa: F841
+            self._shm.close()
+            self._shm.unlink()
+            raise
         atexit.register(self.close)
 
     # ------------------------------------------------------------------
@@ -121,14 +146,23 @@ class SharedMatrixArena:
 
         tids_offset, nbytes = _segment_layout(ncols, capacity)
         shm = shared_memory.SharedMemory(create=True, size=nbytes)
+        try:
+            matrix = np.ndarray((ncols, capacity), dtype=_MATRIX_DTYPE, buffer=shm.buf)
+            tids = np.ndarray(
+                (capacity,), dtype=_TIDS_DTYPE, buffer=shm.buf, offset=tids_offset
+            )
+        except BaseException:
+            # freshly created and never published: safe to unlink eagerly
+            matrix = tids = None  # noqa: F841
+            shm.close()
+            shm.unlink()
+            raise
         if self._shm is not None:
             self._retired.append((self._generation + 1, self._shm))
             self._generation += 1
         self._shm = shm
         self._capacity = capacity
         self._ncols = ncols
-        matrix = np.ndarray((ncols, capacity), dtype=_MATRIX_DTYPE, buffer=shm.buf)
-        tids = np.ndarray((capacity,), dtype=_TIDS_DTYPE, buffer=shm.buf, offset=tids_offset)
         return matrix, tids
 
     def _reallocate(self, ncols: int, capacity: int) -> tuple[np.ndarray, np.ndarray]:
@@ -207,7 +241,7 @@ class SharedMatrixArena:
         return f"SharedMatrixArena({state}, {len(self._retired)} retired)"
 
 
-def _unlink_quietly(shm) -> None:
+def _unlink_quietly(shm: SharedMemory) -> None:
     """Close + unlink, tolerating live exported views and double unlinks."""
     try:
         shm.close()
@@ -222,7 +256,7 @@ def _unlink_quietly(shm) -> None:
         pass
 
 
-def share_column_store(store) -> SharedMatrixArena:
+def share_column_store(store: ColumnStore) -> SharedMatrixArena:
     """Move *store*'s arrays into shared memory; return the owning arena."""
     if getattr(store, "_reallocator", None) is not None:
         raise RuntimeError("ColumnStore is already shared")

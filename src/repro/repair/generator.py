@@ -54,6 +54,11 @@ _RHS_MEMO_CAPACITY = 4096
 #: Cross-batch decision memo bound (cleared wholesale when full).
 _DECISION_MEMO_CAPACITY = 8192
 
+#: Witness-group value-pool memo bound; within one database version the
+#: memo holds one entry per distinct witness signature, which is
+#: unbounded in the number of partitions at scale.
+_WITNESS_MEMO_CAPACITY = 1 << 16
+
 _UNSET = object()
 
 
@@ -120,6 +125,9 @@ class UpdateGenerator:
         # stamp is the only remaining variable
         self._decision_memo: dict[tuple, tuple[object | None, float]] = {}
         self._decision_stamp: tuple[int, int] = (-1, -1)
+        self._memo_hits = {"witness": 0, "rhs": 0, "decision": 0}
+        self._memo_misses = {"witness": 0, "rhs": 0, "decision": 0}
+        self._memo_clears = {"witness": 0, "rhs": 0, "decision": 0}
 
     # ------------------------------------------------------------------
     def generate_all(self) -> list[CandidateUpdate]:
@@ -230,9 +238,13 @@ class UpdateGenerator:
                 pools = self._pools_for(tid, attribute, violated)
                 decision = self._select_best(attribute, current, pools, prevented)
                 if signature is not None:
+                    self._memo_misses["decision"] += 1
                     if len(decisions) >= _DECISION_MEMO_CAPACITY:
                         decisions.clear()
+                        self._memo_clears["decision"] += 1
                     decisions[signature] = decision
+            elif signature is not None:
+                self._memo_hits["decision"] += 1
             best_value, best_score = decision
             if best_value is None:
                 state.remove(cell)
@@ -348,12 +360,16 @@ class UpdateGenerator:
         version = detector.rule_stats_version(rule)
         entry = self._rhs_memo.get(memo_key)
         if entry is None or entry[0] != version:
+            self._memo_misses["rhs"] += 1
             counts = detector.group_value_counts(tid, rule)
             ranked = [(count, value) for value, count in counts.items()]
             ranked.sort(key=lambda pair: (-pair[0], str(pair[1])))
             if len(self._rhs_memo) >= _RHS_MEMO_CAPACITY:
                 self._rhs_memo.clear()
+                self._memo_clears["rhs"] += 1
             entry = self._rhs_memo[memo_key] = (version, [value for __, value in ranked])
+        else:
+            self._memo_hits["rhs"] += 1
         current = self.db.value(tid, rule.rhs)
         return [value for value in entry[1] if value != current]
 
@@ -390,6 +406,7 @@ class UpdateGenerator:
             memo_key = (positions, codes, attr_pos)
             values = self._witness_memo.get(memo_key)
             if values is None:
+                self._memo_misses["witness"] += 1
                 # no exclude_tid: the tuple's own value re-enters the pool
                 # but is never admissible (it equals the current value), so
                 # the lookup is shareable across the whole witness group
@@ -400,7 +417,12 @@ class UpdateGenerator:
                     )
                 else:
                     values = []
+                if len(self._witness_memo) >= _WITNESS_MEMO_CAPACITY:
+                    self._witness_memo.clear()
+                    self._memo_clears["witness"] += 1
                 self._witness_memo[memo_key] = values
+            else:
+                self._memo_hits["witness"] += 1
             pool.update(values)
         return pool
 
@@ -448,6 +470,23 @@ class UpdateGenerator:
             return scores(self.db.schema.position(attribute), current, values)
         sim = self.sim
         return [sim(current, value) for value in values]
+
+    @property
+    def stats(self) -> dict[str, int]:
+        """Cache-health counters for the generator's three memos."""
+        out: dict[str, int] = {
+            "witness_memo_size": len(self._witness_memo),
+            "witness_memo_capacity": _WITNESS_MEMO_CAPACITY,
+            "rhs_memo_size": len(self._rhs_memo),
+            "rhs_memo_capacity": _RHS_MEMO_CAPACITY,
+            "decision_memo_size": len(self._decision_memo),
+            "decision_memo_capacity": _DECISION_MEMO_CAPACITY,
+        }
+        for memo in ("witness", "rhs", "decision"):
+            out[f"{memo}_memo_hits"] = self._memo_hits[memo]
+            out[f"{memo}_memo_misses"] = self._memo_misses[memo]
+            out[f"{memo}_memo_clears"] = self._memo_clears[memo]
+        return out
 
     def detach(self) -> None:
         """Release the generator's derived caches."""

@@ -6,21 +6,27 @@ the point. See :mod:`repro.testing.faults`.
 """
 
 from repro.testing.faults import (
+    FAULT_POINT_REGISTRY,
     FAULT_POINTS,
+    FaultPoint,
     SessionKilled,
     arm,
     armed_points,
     disarm,
     fault_hit,
+    fault_points,
     fault_scope,
 )
 
 __all__ = [
+    "FAULT_POINT_REGISTRY",
     "FAULT_POINTS",
+    "FaultPoint",
     "SessionKilled",
     "arm",
     "armed_points",
     "disarm",
     "fault_hit",
+    "fault_points",
     "fault_scope",
 ]

@@ -21,16 +21,13 @@ seed → schedule → run is exactly reproducible; :class:`SessionKilled`
 is the conventional "process died here" signal used by the
 kill-and-restore tests.
 
-Registered fault points (grep for ``fault_hit`` to verify):
-
-========================  ====================================================
-``journal.append``        before a journal record is written to disk
-``engine.iteration``      top of each interactive loop iteration
-``engine.drain_pass``     top of each learner-drain pass
-``drain.decision``        after each drain decision is applied
-``learner.refit``         before an attribute committee refit mutates state
-``shard.dispatch``        before a message is sent to a shard worker
-========================  ====================================================
+The registered points live in :data:`FAULT_POINT_REGISTRY` — a
+machine-readable tuple of :class:`FaultPoint` records (name,
+description, owning module) that is the single source of truth
+consumed by :func:`fault_points`, ``GDREngine.health()`` and the
+``fault-registry`` repolint cross-check (which verifies every entry is
+instrumented in its owning module and armed by at least one test, and
+that no call site names an unregistered point).
 """
 
 from __future__ import annotations
@@ -41,23 +38,73 @@ from dataclasses import dataclass, field
 
 __all__ = [
     "FAULT_POINTS",
+    "FAULT_POINT_REGISTRY",
+    "FaultPoint",
     "SessionKilled",
     "arm",
     "armed_points",
     "disarm",
     "fault_hit",
+    "fault_points",
     "fault_scope",
 ]
 
-#: The fault points production code is instrumented with.
-FAULT_POINTS = (
-    "journal.append",
-    "engine.iteration",
-    "engine.drain_pass",
-    "drain.decision",
-    "learner.refit",
-    "shard.dispatch",
+
+@dataclass(frozen=True)
+class FaultPoint:
+    """One registered fault point: name, what it models, who fires it."""
+
+    name: str
+    description: str
+    #: Dotted module whose code calls ``fault_hit(name, ...)``.
+    module: str
+
+
+#: The fault points production code is instrumented with — the single
+#: source of truth for arm(), engine.health() and the lint cross-check.
+#: Entries must stay literal (name/description/module as plain strings):
+#: the repolint ``fault-registry`` rule reads this assignment from the
+#: AST without importing the package.
+FAULT_POINT_REGISTRY: tuple[FaultPoint, ...] = (
+    FaultPoint(
+        "journal.append",
+        "before a journal record is written to disk",
+        "repro.db.journal",
+    ),
+    FaultPoint(
+        "engine.iteration",
+        "top of each interactive loop iteration",
+        "repro.core.gdr",
+    ),
+    FaultPoint(
+        "engine.drain_pass",
+        "top of each learner-drain pass",
+        "repro.core.gdr",
+    ),
+    FaultPoint(
+        "drain.decision",
+        "after each drain decision is applied",
+        "repro.core.gdr",
+    ),
+    FaultPoint(
+        "learner.refit",
+        "before an attribute committee refit mutates state",
+        "repro.core.learner",
+    ),
+    FaultPoint(
+        "shard.dispatch",
+        "before a message is sent to a shard worker",
+        "repro.core.parallel",
+    ),
 )
+
+#: Point names, registry order (kept for existing callers/tests).
+FAULT_POINTS: tuple[str, ...] = tuple(point.name for point in FAULT_POINT_REGISTRY)
+
+
+def fault_points() -> dict[str, FaultPoint]:
+    """The registry as ``{name: FaultPoint}`` (a fresh dict per call)."""
+    return {point.name: point for point in FAULT_POINT_REGISTRY}
 
 FaultAction = Callable[[dict], None]
 

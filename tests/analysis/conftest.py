@@ -1,0 +1,33 @@
+"""Shared helpers for the repolint test suite.
+
+Rules are exercised against synthetic trees: a :class:`Project` rooted
+in an empty temp directory whose whole file set comes from *overrides*.
+That keeps every positive/negative fixture self-contained and lets the
+contract-removal tests lint a hypothetical edit of the real repository
+without touching disk.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.core import RULES, all_rules
+from repro.analysis.project import Project, find_repo_root, run_rules
+
+all_rules()  # populate the registry once for the whole suite
+
+
+@pytest.fixture
+def lint(tmp_path):
+    """``lint({rel: text}, rule_id)`` -> findings over a synthetic tree."""
+
+    def run(files: dict[str, str], rule_id: str):
+        project = Project(tmp_path, overrides=files)
+        return run_rules(project, [RULES[rule_id]])
+
+    return run
+
+
+@pytest.fixture(scope="session")
+def repo_root():
+    return find_repo_root()

@@ -1,0 +1,88 @@
+"""cache-discipline: memos must be stamped, bounded and observable."""
+
+from __future__ import annotations
+
+import textwrap
+
+
+def _src(body: str) -> str:
+    return textwrap.dedent(body)
+
+
+NAKED = _src(
+    """
+    class Scorer:
+        def __init__(self):
+            self._term_memo = {}
+    """
+)
+
+COMPLIANT = _src(
+    """
+    _CAPACITY = 1024
+
+
+    class Scorer:
+        def __init__(self, db):
+            self._term_memo = {}
+            self._version = db.version
+            self._hits = 0
+
+        def lookup(self, key):
+            if len(self._term_memo) >= _CAPACITY:
+                self._term_memo.clear()
+            return self._term_memo.get((self._version, key))
+
+        @property
+        def stats(self):
+            return {"size": len(self._term_memo), "hits": self._hits}
+    """
+)
+
+
+class TestPositive:
+    def test_naked_memo_reports_all_three_aspects(self, lint):
+        findings = lint({"src/repro/core/scorer.py": NAKED}, "cache-discipline")
+        messages = [f.message for f in findings]
+        assert len(findings) == 3
+        assert any("version/epoch/stamp/generation" in m for m in messages)
+        assert any("capacity/maxsize" in m for m in messages)
+        assert any("`stats`" in m for m in messages)
+        assert all(f.symbol == "Scorer" for f in findings)
+
+    def test_cache_named_class_with_dict_state(self, lint):
+        code = "class TermCache:\n    def __init__(self):\n        self.data = {}\n"
+        findings = lint({"src/repro/repair/c.py": code}, "cache-discipline")
+        assert len(findings) == 3
+
+    def test_lru_cache_banned(self, lint):
+        code = _src(
+            """
+            import functools
+
+
+            @functools.lru_cache(maxsize=None)
+            def expensive(x):
+                return x * x
+            """
+        )
+        findings = lint({"src/repro/ml/m.py": code}, "cache-discipline")
+        assert len(findings) == 1
+        assert "process-global memo" in findings[0].message
+
+
+class TestNegative:
+    def test_compliant_memo_passes(self, lint):
+        assert lint({"src/repro/core/scorer.py": COMPLIANT}, "cache-discipline") == []
+
+    def test_plain_dict_attributes_are_not_caches(self, lint):
+        code = "class Plan:\n    def __init__(self):\n        self.columns = {}\n"
+        assert lint({"src/repro/core/plan.py": code}, "cache-discipline") == []
+
+    def test_suppression_on_class_line(self, lint):
+        code = (
+            "class PureCache:  # repolint: disable=cache-discipline\n"
+            "    def __init__(self):\n"
+            "        self.data = {}\n"
+        )
+        assert lint({"src/repro/repair/p.py": code}, "cache-discipline") == []

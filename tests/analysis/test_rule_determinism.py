@@ -1,0 +1,80 @@
+"""determinism: wall clocks and unseeded RNG in replay-contract packages."""
+
+from __future__ import annotations
+
+import textwrap
+
+
+def _src(body: str) -> str:
+    return textwrap.dedent(body)
+
+
+BAD = _src(
+    """
+    import os
+    import random
+    import time
+    import numpy as np
+
+
+    def decide():
+        stamp = time.time()
+        noise = random.random()
+        rng = np.random.default_rng()
+        salt = os.urandom(8)
+        return stamp, noise, rng, salt
+    """
+)
+
+GOOD = _src(
+    """
+    import random
+    import time
+    import numpy as np
+
+
+    def decide(seed):
+        started = time.perf_counter()
+        rng = np.random.default_rng(seed)
+        local = random.Random(seed)
+        return started, rng.integers(10), local.random()
+    """
+)
+
+
+class TestPositive:
+    def test_seeded_violations_caught(self, lint):
+        findings = lint({"src/repro/core/decider.py": BAD}, "determinism")
+        messages = "\n".join(f.message for f in findings)
+        assert len(findings) == 4
+        assert "time.time()" in messages
+        assert "random.random()" in messages
+        assert "numpy.random.default_rng() without a seed" in messages
+        assert "os.urandom()" in messages
+        # findings carry the enclosing symbol for stable fingerprints
+        assert all(f.symbol == "decide" for f in findings)
+
+    def test_module_global_numpy_rng(self, lint):
+        code = "import numpy as np\n\n\ndef f():\n    return np.random.shuffle([1])\n"
+        findings = lint({"src/repro/repair/f.py": code}, "determinism")
+        assert len(findings) == 1
+        assert "module-global numpy RNG" in findings[0].message
+
+    def test_import_alias_resolved(self, lint):
+        code = "from time import time as now\n\n\ndef f():\n    return now()\n"
+        findings = lint({"src/repro/ml/f.py": code}, "determinism")
+        assert len(findings) == 1
+
+
+class TestNegative:
+    def test_seeded_and_telemetry_calls_pass(self, lint):
+        assert lint({"src/repro/constraints/ok.py": GOOD}, "determinism") == []
+
+    def test_outside_core_prefixes_ignored(self, lint):
+        # experiments/ and testing/ may use wall clocks freely
+        assert lint({"src/repro/experiments/bench.py": BAD}, "determinism") == []
+        assert lint({"tests/core/test_x.py": BAD}, "determinism") == []
+
+    def test_unrelated_callable_named_time_passes(self, lint):
+        code = "def time():\n    return 0\n\n\ndef f():\n    return time()\n"
+        assert lint({"src/repro/core/t.py": code}, "determinism") == []

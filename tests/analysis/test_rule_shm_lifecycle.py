@@ -1,0 +1,121 @@
+"""shm-lifecycle: every acquisition carries an explicit release path."""
+
+from __future__ import annotations
+
+import textwrap
+
+
+def _src(body: str) -> str:
+    return textwrap.dedent(body)
+
+
+class TestPositive:
+    def test_bare_acquisition_flagged(self, lint):
+        code = _src(
+            """
+            from multiprocessing.shared_memory import SharedMemory
+
+
+            def attach(name):
+                shm = SharedMemory(name=name)
+                data = shm.buf[:8]
+                return data
+            """
+        )
+        findings = lint({"src/repro/db/s.py": code}, "shm-lifecycle")
+        assert len(findings) == 1
+        assert "no failure-path release" in findings[0].message
+        assert findings[0].symbol == "attach"
+
+    def test_self_storage_without_release_method(self, lint):
+        code = _src(
+            """
+            class Worker:
+                def attach(self, desc):
+                    self.shm = attach_matrix(desc)
+            """
+        )
+        findings = lint({"src/repro/core/w.py": code}, "shm-lifecycle")
+        assert len(findings) == 1
+        assert "no release method" in findings[0].message
+
+    def test_try_without_release_is_not_enough(self, lint):
+        code = _src(
+            """
+            from multiprocessing.shared_memory import SharedMemory
+
+
+            def attach(name):
+                shm = SharedMemory(name=name)
+                try:
+                    view = shm.buf[:8]
+                except ValueError:
+                    view = None
+                return shm, view
+            """
+        )
+        findings = lint({"src/repro/db/s.py": code}, "shm-lifecycle")
+        assert len(findings) == 1
+
+
+class TestNegative:
+    def test_guarded_release_passes(self, lint):
+        code = _src(
+            """
+            from multiprocessing.shared_memory import SharedMemory
+
+
+            def attach(name):
+                shm = SharedMemory(name=name)
+                try:
+                    view = shm.buf[:8]
+                except BaseException:
+                    shm.close()
+                    raise
+                return shm, view
+            """
+        )
+        assert lint({"src/repro/db/s.py": code}, "shm-lifecycle") == []
+
+    def test_with_block_passes(self, lint):
+        code = _src(
+            """
+            from multiprocessing.shared_memory import SharedMemory
+
+
+            def peek(name):
+                with SharedMemory(name=name) as shm:
+                    return bytes(shm.buf[:8])
+            """
+        )
+        assert lint({"src/repro/db/s.py": code}, "shm-lifecycle") == []
+
+    def test_pure_factory_return_passes(self, lint):
+        code = _src(
+            """
+            from multiprocessing.shared_memory import SharedMemory
+
+
+            def open_segment(name):
+                return SharedMemory(name=name)
+            """
+        )
+        assert lint({"src/repro/db/s.py": code}, "shm-lifecycle") == []
+
+    def test_self_storage_with_release_method_passes(self, lint):
+        code = _src(
+            """
+            class Worker:
+                def attach(self, desc):
+                    self.shm = attach_matrix(desc)
+
+                def close(self):
+                    if self.shm is not None:
+                        self.shm.close()
+            """
+        )
+        assert lint({"src/repro/core/w.py": code}, "shm-lifecycle") == []
+
+    def test_out_of_scope_paths_ignored(self, lint):
+        code = "def f(name):\n    shm = SharedMemory(name=name)\n    return shm, 1\n"
+        assert lint({"tests/db/test_s.py": code}, "shm-lifecycle") == []

@@ -1,0 +1,85 @@
+"""spawn-safety: module-level targets, function-free payloads."""
+
+from __future__ import annotations
+
+import textwrap
+
+
+def _src(body: str) -> str:
+    return textwrap.dedent(body)
+
+
+class TestPositive:
+    def test_lambda_target(self, lint):
+        code = _src(
+            """
+            import multiprocessing
+
+
+            def start(ctx):
+                return ctx.Process(target=lambda: None)
+            """
+        )
+        findings = lint({"src/repro/core/p.py": code}, "spawn-safety")
+        assert len(findings) == 1
+        assert "lambda" in findings[0].message
+
+    def test_bound_method_target(self, lint):
+        code = _src(
+            """
+            class Pool:
+                def start(self, ctx):
+                    return ctx.Process(target=self.serve)
+            """
+        )
+        findings = lint({"src/repro/core/p.py": code}, "spawn-safety")
+        assert len(findings) == 1
+        assert "bound method" in findings[0].message
+
+    def test_nested_def_target(self, lint):
+        code = _src(
+            """
+            def start(ctx):
+                def serve():
+                    pass
+
+                return ctx.Process(target=serve)
+            """
+        )
+        findings = lint({"src/repro/core/p.py": code}, "spawn-safety")
+        assert len(findings) == 1
+        assert "nested function" in findings[0].message
+
+    def test_lambda_in_dispatch_payload(self, lint):
+        code = _src(
+            """
+            def probe(conn):
+                conn.send({"cmd": "probe", "hook": lambda row: row})
+            """
+        )
+        findings = lint({"src/repro/core/p.py": code}, "spawn-safety")
+        assert len(findings) == 1
+        assert "picklable" in findings[0].message
+
+
+class TestNegative:
+    def test_module_level_target_passes(self, lint):
+        code = _src(
+            """
+            def _worker_main(conn, shard):
+                pass
+
+
+            def start(ctx, conn, shard):
+                return ctx.Process(target=_worker_main, args=(conn, shard))
+            """
+        )
+        assert lint({"src/repro/core/p.py": code}, "spawn-safety") == []
+
+    def test_plain_data_payload_passes(self, lint):
+        code = 'def probe(conn):\n    conn.send({"cmd": "probe", "rows": [1, 2]})\n'
+        assert lint({"src/repro/core/p.py": code}, "spawn-safety") == []
+
+    def test_tests_are_out_of_scope(self, lint):
+        code = "def t(ctx):\n    return ctx.Process(target=lambda: None)\n"
+        assert lint({"tests/core/test_p.py": code}, "spawn-safety") == []

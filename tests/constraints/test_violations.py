@@ -274,3 +274,27 @@ class TestDetach:
     def test_repr(self, simple_db, constant_rule_set):
         det = ViolationDetector(simple_db, constant_rule_set)
         assert "dirty" in repr(det)
+
+
+class TestSigCacheStats:
+    """The probe-signature cache is observable (repolint cache-discipline)."""
+
+    def test_counters_move_with_lookups(self, simple_db, variable_rule_set):
+        det = ViolationDetector(simple_db, variable_rule_set)
+        before = det.stats
+        assert before["sig_cache_hits"] == 0
+        det.probe_signature(0, "zip")
+        det.probe_signature(0, "zip")
+        after = det.stats
+        assert after["sig_cache_misses"] == before["sig_cache_misses"] + 1
+        assert after["sig_cache_hits"] == 1
+        assert after["sig_cache_size"] >= 1
+        assert after["sig_cache_capacity"] > 0
+
+    def test_write_invalidates_and_recounts(self, simple_db, variable_rule_set):
+        det = ViolationDetector(simple_db, variable_rule_set)
+        det.probe_signature(0, "zip")
+        simple_db.set_value(0, "zip", "99999")
+        det.probe_signature(0, "zip")  # entry was evicted by the write
+        assert det.stats["sig_cache_misses"] == 2
+        assert det.stats["sig_cache_hits"] == 0

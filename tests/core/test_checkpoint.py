@@ -178,11 +178,19 @@ class TestHealth:
         )
         engine.run()
         health = engine.health()
-        assert set(health) >= {"sim", "cache", "voi", "guard", "journal", "incidents"}
+        assert set(health) >= {"sim", "cache", "voi", "guard", "journal", "incidents", "faults"}
         assert health["journal"]["seq"] > 0
         assert health["guard"]["ticks"] > 0
         assert health["voi"]["term_memo_size"] >= 0
         assert health["incidents"] == []
+        # the faults section mirrors the machine-readable registry
+        from repro.testing.faults import FAULT_POINT_REGISTRY
+
+        assert set(health["faults"]["registered"]) == {
+            p.name for p in FAULT_POINT_REGISTRY
+        }
+        assert health["faults"]["registered"]["journal.append"] == "repro.db.journal"
+        assert health["faults"]["armed"] == []
 
     def test_health_without_robustness_layer(
         self, figure1_dirty, figure1_clean, figure1_rules

@@ -147,3 +147,35 @@ class TestAgainstRealDetector:
         ranked = estimator.rank_groups([harm, fix], lambda u: u.score)
         assert ranked[0][0] is fix
         assert ranked[0][1] > 0 > ranked[1][1]
+
+
+class TestCacheStats:
+    """The Eq. 6 term memo is observable (repolint cache-discipline)."""
+
+    def _detector_estimator(self):
+        schema = Schema("r", ["zip", "city"])
+        db = Database(
+            schema,
+            [["46360", "Westvile"], ["46360", "Michigan City"], ["46360", "Michigan City"]],
+        )
+        rules = RuleSet(parse_rules("(zip -> city, {46360 || 'Michigan City'})"))
+        detector = ViolationDetector(db, rules)
+        return VOIEstimator(detector)
+
+    def test_counters_move_with_the_memo(self):
+        estimator = self._detector_estimator()
+        group = UpdateGroup(
+            ("city", "Michigan City"),
+            [CandidateUpdate(0, "city", "Michigan City", 0.8)],
+        )
+        assert estimator.stats["term_memo_hits"] == 0
+        estimator.group_benefit(group, lambda u: u.score)
+        first = estimator.stats
+        assert first["term_memo_misses"] >= 1
+        assert first["term_memo_size"] == estimator.term_memo_size >= 1
+        estimator.group_benefit(group, lambda u: u.score)
+        second = estimator.stats
+        assert second["term_memo_hits"] >= 1
+        assert second["term_memo_misses"] == first["term_memo_misses"]
+        assert second["term_memo_capacity"] > 0
+        assert second["term_memo_clears"] == 0

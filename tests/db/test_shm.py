@@ -152,3 +152,75 @@ class TestArenaLifecycle:
         matrix, tids = arena._reallocate(3, 64)
         assert matrix.shape == (3, 64)
         assert tids.shape == (64,)
+
+
+class TestErrorPathReleases:
+    """Acquisition failure must not leak segments (repolint shm-lifecycle)."""
+
+    def test_attach_matrix_closes_on_malformed_descriptor(self, db, monkeypatch):
+        from multiprocessing import shared_memory
+
+        arena = share_column_store(db.columns)
+        try:
+            closed = []
+            real = shared_memory.SharedMemory
+
+            class Recording(real):
+                def close(self):
+                    # the < 3.13 track-kwarg probe leaves a half-built
+                    # instance behind whose __del__ still calls close()
+                    if self._name is not None:
+                        closed.append(self._name)
+                    super().close()
+
+            monkeypatch.setattr(shared_memory, "SharedMemory", Recording)
+            desc = dict(arena.descriptor())
+            desc["capacity"] = desc["capacity"] * 10_000_000
+            with pytest.raises(TypeError):
+                attach_matrix(desc)
+            # the worker-side handle was released on the failure path
+            assert closed
+        finally:
+            arena.close()
+
+    def test_arena_init_failure_unlinks_generation_zero(self, db, monkeypatch):
+        from multiprocessing import shared_memory
+
+        released = {"closed": 0, "unlinked": 0}
+        real = shared_memory.SharedMemory
+
+        class Recording(real):
+            def close(self):
+                released["closed"] += 1
+                super().close()
+
+            def unlink(self):
+                released["unlinked"] += 1
+                super().unlink()
+
+        monkeypatch.setattr(shared_memory, "SharedMemory", Recording)
+        store = db.columns
+        store._matrix = store._matrix[:-1]  # deliberately inconsistent shape
+        with pytest.raises(ValueError):
+            share_column_store(store)
+        assert released["closed"] == 1
+        assert released["unlinked"] == 1
+
+
+class TestWorkerStateLifecycle:
+    def test_worker_close_releases_the_mapping(self, db):
+        from repro.core.parallel import _WorkerState
+
+        arena = share_column_store(db.columns)
+        try:
+            state = _WorkerState(0)
+            state._attach(arena.descriptor())
+            assert state.shm is not None
+            assert state.matrix is not None
+            state.close()
+            assert state.shm is None
+            assert state.matrix is None
+            assert state.tids is None
+            state.close()  # idempotent
+        finally:
+            arena.close()

@@ -183,3 +183,34 @@ class TestGenerateForTuple:
         assert gen._witness_memo  # scenario-3 lookups populated the memo
         gen.detach()
         assert gen._witness_memo == {}
+
+
+class TestCacheStats:
+    """All three memos are bounded and observable (repolint cache-discipline)."""
+
+    def test_stats_surface_and_reuse(self, figure1_dirty, figure1_rules):
+        detector = ViolationDetector(figure1_dirty, figure1_rules)
+        gen = UpdateGenerator(figure1_dirty, figure1_rules, detector, RepairState())
+        gen.generate_all()
+        stats = gen.stats
+        for memo in ("witness", "rhs", "decision"):
+            assert stats[f"{memo}_memo_capacity"] > 0
+            assert stats[f"{memo}_memo_size"] >= 0
+        assert stats["witness_memo_misses"] >= 1
+        # a second pass over the unchanged instance reuses the memos
+        gen.generate_all()
+        again = gen.stats
+        assert (
+            again["witness_memo_hits"] > stats["witness_memo_hits"]
+            or again["decision_memo_hits"] > stats["decision_memo_hits"]
+        )
+
+    def test_witness_memo_is_bounded(self, figure1_dirty, figure1_rules, monkeypatch):
+        from repro.repair import generator as generator_module
+
+        monkeypatch.setattr(generator_module, "_WITNESS_MEMO_CAPACITY", 1)
+        detector = ViolationDetector(figure1_dirty, figure1_rules)
+        gen = UpdateGenerator(figure1_dirty, figure1_rules, detector, RepairState())
+        gen.generate_all()
+        assert len(gen._witness_memo) <= 1
+        assert gen.stats["witness_memo_clears"] >= 1

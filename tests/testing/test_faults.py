@@ -24,7 +24,8 @@ def _clean_schedule():
 class TestArming:
     def test_unknown_point_rejected(self):
         with pytest.raises(ValueError, match="unknown fault point"):
-            arm("no.such.point", action=lambda ctx: None)
+            # the point is deliberately unregistered: arm() must reject it
+            arm("no.such.point", action=lambda ctx: None)  # repolint: disable=fault-registry
 
     def test_bad_at_rejected(self):
         with pytest.raises(ValueError, match="1-based"):
@@ -126,3 +127,30 @@ class TestScope:
 
         assert not issubclass(SessionKilled, ReproError)
         assert issubclass(SessionKilled, RuntimeError)
+
+
+class TestRegistry:
+    """The machine-readable FAULT_POINT_REGISTRY (repolint fault-registry)."""
+
+    def test_fault_points_accessor(self):
+        from repro.testing import FAULT_POINT_REGISTRY, fault_points
+
+        points = fault_points()
+        assert set(points) == set(FAULT_POINTS)
+        for name, point in points.items():
+            assert point.name == name
+            assert point.description
+            assert point.module.startswith("repro.")
+        # a fresh dict per call: mutating one does not corrupt the registry
+        points.pop("journal.append")
+        assert "journal.append" in fault_points()
+        assert FAULT_POINTS == tuple(p.name for p in FAULT_POINT_REGISTRY)
+
+    def test_every_registered_point_is_armable(self):
+        def noop(ctx):
+            return None
+
+        with fault_scope():
+            for name in FAULT_POINTS:
+                arm(name, action=noop)
+            assert armed_points() == sorted(FAULT_POINTS)
